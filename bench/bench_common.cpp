@@ -1,0 +1,141 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace glova::bench {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Glova: return "Ours";
+    case Method::PvtSizing: return "PVTSizing";
+    case Method::RobustAnalog: return "RobustAnalog";
+  }
+  return "?";
+}
+
+BenchOptions options_from_env() {
+  BenchOptions opt;
+  if (const char* s = std::getenv("GLOVA_BENCH_SEEDS")) opt.seeds = std::strtoul(s, nullptr, 10);
+  if (const char* s = std::getenv("GLOVA_BENCH_MAXIT")) {
+    opt.max_iterations = std::strtoul(s, nullptr, 10);
+  }
+  if (opt.seeds == 0) opt.seeds = 1;
+  return opt;
+}
+
+CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod verif,
+                   const BenchOptions& options) {
+  set_log_level(LogLevel::Warn);
+  const auto testbench = circuits::make_testbench(testcase);
+  CellStats stats;
+  stats.runs = options.seeds;
+  std::size_t successes = 0;
+  double sum_it = 0.0;
+  double sum_sims = 0.0;
+  double sum_runtime = 0.0;
+  double sum_wall = 0.0;
+
+  for (std::size_t seed = 1; seed <= options.seeds; ++seed) {
+    core::GlovaResult res;
+    switch (method) {
+      case Method::Glova: {
+        core::GlovaConfig cfg;
+        cfg.method = verif;
+        cfg.seed = seed;
+        cfg.max_iterations = options.max_iterations;
+        cfg.use_ensemble_critic = options.use_ensemble_critic;
+        cfg.use_mu_sigma = options.use_mu_sigma;
+        cfg.use_reordering = options.use_reordering;
+        res = core::GlovaOptimizer(testbench, cfg).run();
+        break;
+      }
+      case Method::PvtSizing: {
+        baselines::PvtSizingConfig cfg;
+        cfg.method = verif;
+        cfg.seed = seed;
+        cfg.max_iterations = options.max_iterations;
+        res = baselines::PvtSizingOptimizer(testbench, cfg).run();
+        break;
+      }
+      case Method::RobustAnalog: {
+        baselines::RobustAnalogConfig cfg;
+        cfg.method = verif;
+        cfg.seed = seed;
+        cfg.max_iterations = options.max_iterations;
+        res = baselines::RobustAnalogOptimizer(testbench, cfg).run();
+        break;
+      }
+    }
+    if (res.success) {
+      ++successes;
+      // Paper footnote: cells with < 100 % success average successful runs.
+      sum_it += static_cast<double>(res.rl_iterations);
+      sum_sims += static_cast<double>(res.n_simulations);
+      sum_runtime += res.modeled_runtime;
+      sum_wall += res.wall_seconds;
+    }
+  }
+  if (successes > 0) {
+    stats.mean_iterations = sum_it / static_cast<double>(successes);
+    stats.mean_simulations = sum_sims / static_cast<double>(successes);
+    stats.mean_modeled_runtime = sum_runtime / static_cast<double>(successes);
+    stats.mean_wall_seconds = sum_wall / static_cast<double>(successes);
+  }
+  stats.success_rate = static_cast<double>(successes) / static_cast<double>(options.seeds);
+  return stats;
+}
+
+void print_table2_block(circuits::Testcase testcase,
+                        const std::vector<std::vector<PaperCell>>& paper,
+                        const BenchOptions& options) {
+  const auto verifs = core::all_verif_methods();
+  const Method methods[] = {Method::Glova, Method::PvtSizing, Method::RobustAnalog};
+
+  printf("Table II block — %s (%zu seeds, iteration cap %zu)\n",
+         circuits::to_string(testcase), options.seeds, options.max_iterations);
+  printf("%-14s | %-24s | %-24s | %-24s\n", "", "C", "C-MC_L", "C-MC_G-L");
+  printf("%-14s | %-11s %-12s | %-11s %-12s | %-11s %-12s\n", "method", "paper", "ours", "paper",
+         "ours", "paper", "ours");
+
+  // Gather all cells first so runtime normalization (Ours = 1.00) works.
+  std::vector<std::vector<CellStats>> cells(3, std::vector<CellStats>(verifs.size()));
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    for (std::size_t vi = 0; vi < verifs.size(); ++vi) {
+      cells[mi][vi] = run_cell(methods[mi], testcase, verifs[vi], options);
+    }
+  }
+
+  const auto row = [&](const char* label, auto paper_of, auto ours_of) {
+    printf("%s\n", label);
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      printf("  %-12s |", to_string(methods[mi]));
+      for (std::size_t vi = 0; vi < verifs.size(); ++vi) {
+        printf(" %-11.6g %-12.6g |", paper_of(mi, vi), ours_of(mi, vi));
+      }
+      printf("\n");
+    }
+  };
+
+  row(
+      "RL Iteration", [&](std::size_t mi, std::size_t vi) { return paper[mi][vi].iterations; },
+      [&](std::size_t mi, std::size_t vi) { return cells[mi][vi].mean_iterations; });
+  row(
+      "# Simulation", [&](std::size_t mi, std::size_t vi) { return paper[mi][vi].simulations; },
+      [&](std::size_t mi, std::size_t vi) { return cells[mi][vi].mean_simulations; });
+  row(
+      "Norm. Runtime",
+      [&](std::size_t mi, std::size_t vi) { return paper[mi][vi].norm_runtime; },
+      [&](std::size_t mi, std::size_t vi) {
+        const double base = cells[0][vi].mean_modeled_runtime;
+        return base > 0.0 ? cells[mi][vi].mean_modeled_runtime / base : 0.0;
+      });
+  row(
+      "Success Rate", [&](std::size_t mi, std::size_t vi) { return paper[mi][vi].success; },
+      [&](std::size_t mi, std::size_t vi) { return cells[mi][vi].success_rate; });
+  printf("\n");
+}
+
+}  // namespace glova::bench

@@ -1,0 +1,64 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Each bench prints the paper row ("paper") next to the measured row
+// ("ours") so the shape comparison is immediate.  Seeds and iteration caps
+// are env-tunable:
+//   GLOVA_BENCH_SEEDS   (default 5)   independent runs per cell
+//   GLOVA_BENCH_MAXIT   (default 3000) RL-iteration cap (success-rate cap)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/pvtsizing.hpp"
+#include "baselines/robustanalog.hpp"
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+
+namespace glova::bench {
+
+enum class Method { Glova, PvtSizing, RobustAnalog };
+
+[[nodiscard]] const char* to_string(Method m);
+
+/// Aggregated multi-seed statistics for one (method, circuit, verif) cell.
+struct CellStats {
+  double mean_iterations = 0.0;   ///< over successful runs (paper's footnote)
+  double mean_simulations = 0.0;  ///< over successful runs
+  double mean_modeled_runtime = 0.0;
+  double mean_wall_seconds = 0.0;
+  double success_rate = 0.0;      ///< over all runs
+  std::size_t runs = 0;
+};
+
+struct BenchOptions {
+  std::size_t seeds = 3;
+  std::size_t max_iterations = 3000;
+  /// Ablation switches (Table III); default = full GLOVA.
+  bool use_ensemble_critic = true;
+  bool use_mu_sigma = true;
+  bool use_reordering = true;
+};
+
+[[nodiscard]] BenchOptions options_from_env();
+
+/// Run one cell: `seeds` runs of `method` on `testcase` under `verif`.
+[[nodiscard]] CellStats run_cell(Method method, circuits::Testcase testcase,
+                                 core::VerifMethod verif, const BenchOptions& options);
+
+/// Print a Table II-style block for one circuit: rows = metric x method,
+/// columns = verification methods.  `paper` holds the published values
+/// in the order [metric][method][verif] for the comparison row.
+struct PaperCell {
+  double iterations = 0.0;
+  double simulations = 0.0;
+  double norm_runtime = 0.0;
+  double success = 1.0;
+};
+
+void print_table2_block(circuits::Testcase testcase,
+                        const std::vector<std::vector<PaperCell>>& paper,
+                        const BenchOptions& options);
+
+}  // namespace glova::bench

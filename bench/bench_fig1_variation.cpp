@@ -1,0 +1,63 @@
+// Fig. 1 reproduction: global (die-to-die) vs local (within-die) variation.
+//
+// The figure shows that the median difference between two dies is set by
+// sigma_Global while the spread within each die is set by sigma_Local.  We
+// draw many dies from the Eq. (3) sampler (SharedDie mode: one global draw
+// per die, many local draws within it), decompose the observed variance
+// into between-die and within-die components, and check both against the
+// configured sigmas.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "common/rng.hpp"
+#include "pdk/variation.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace glova;
+
+int main() {
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  const auto& sizing = tb->sizing();
+  std::vector<double> x01(sizing.dimension(), 0.5);
+  const auto x = sizing.denormalize(x01);
+  const pdk::MismatchLayout layout = tb->mismatch_layout(x, /*global_enabled=*/true);
+
+  constexpr std::size_t kDies = 200;
+  constexpr std::size_t kDevicesPerDie = 200;
+  Rng rng(2025);
+
+  printf("Fig. 1 — global vs local variation decomposition (%zu dies x %zu devices)\n", kDies,
+         kDevicesPerDie);
+  printf("%-22s %-12s %-12s %-12s %-12s\n", "parameter", "sigma_G cfg", "between-die",
+         "sigma_L cfg", "within-die");
+
+  // Analyze the first few representative coordinates.
+  for (const std::size_t d : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{6}}) {
+    std::vector<double> die_means;
+    stats::Welford within;
+    for (std::size_t die = 0; die < kDies; ++die) {
+      Rng die_rng = rng.split(die * 7919 + d);
+      const auto set = pdk::sample_mismatch_set(layout, kDevicesPerDie, die_rng,
+                                                pdk::GlobalMode::SharedDie);
+      std::vector<double> values(set.size());
+      for (std::size_t n = 0; n < set.size(); ++n) values[n] = set[n][d];
+      die_means.push_back(stats::mean(values));
+      stats::Welford w;
+      for (const double v : values) w.add(v);
+      within.merge(w.count() > 0 ? [&] {
+        stats::Welford centered;
+        for (const double v : values) centered.add(v - die_means.back());
+        return centered;
+      }() : w);
+    }
+    const double between = stats::stddev_sample(die_means);
+    const double within_sigma = within.stddev_sample();
+    printf("%-22s %-12.4g %-12.4g %-12.4g %-12.4g\n", layout.names[d].c_str(),
+           layout.global_sigma[d], between, layout.local_sigma[d], within_sigma);
+  }
+  printf("\nExpected shape: between-die spread tracks sigma_Global (plus a small\n"
+         "sigma_Local/sqrt(n) term); within-die spread tracks sigma_Local.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 3 reproduction: design-reliability-bound estimation by the
+// ensemble-based critic.
+//
+// The figure shows, across RL iterations, the sampled performance
+// distribution, the sampled worst case, and the critic's risk-adjusted
+// output E[Q] + beta1*sigma[Q] tracking (and lower-bounding) it.  We run
+// GLOVA on the SAL under C-MC_G-L and emit the per-iteration series as CSV,
+// then summarize how often the risk-adjusted bound sat below the sampled
+// worst case (the conservatism the risk-avoidance beta1 < 0 buys).
+#include <cstdio>
+
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+
+using namespace glova;
+
+int main() {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C_MCGL;
+  cfg.seed = 3;
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  core::GlovaOptimizer optimizer(tb, cfg);
+  const core::GlovaResult res = optimizer.run();
+
+  printf("Fig. 3 — ensemble-critic reliability bound (SAL, C-MC_G-L, seed 3)\n");
+  printf("iteration,sampled_worst_reward,critic_mean,critic_risk_bound\n");
+  std::size_t conservative = 0;
+  for (const core::IterationTrace& t : res.trace) {
+    printf("%zu,%.5f,%.5f,%.5f\n", t.iteration, t.reward_worst, t.critic_mean, t.critic_bound);
+    if (t.critic_bound <= t.reward_worst + 1e-9) ++conservative;
+  }
+  if (!res.trace.empty()) {
+    printf("\nrisk-adjusted bound below sampled worst case in %zu/%zu iterations "
+           "(beta1 < 0 keeps the estimate conservative)\n",
+           conservative, res.trace.size());
+  }
+  printf("success=%s after %zu iterations\n", res.success ? "yes" : "no", res.rl_iterations);
+  return res.success ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Fig. 4 reproduction: the three analog/mixed-signal testcase circuits.
+//
+// The figure is a schematic; its quantitative content is the circuit
+// inventory.  We print each testbench's sizing space, metric targets, and
+// mismatch dimensionality, and run one transistor-level SPICE transient of
+// the StrongARM latch through the in-repo MNA engine to show the actual
+// regenerative waveform behind the schematic.
+#include <cstdio>
+
+#include "circuits/registry.hpp"
+#include "circuits/spice_backend.hpp"
+#include "spice/simulator.hpp"
+
+using namespace glova;
+
+int main() {
+  printf("Fig. 4 — testcase circuit inventory\n\n");
+  for (const auto tc : circuits::all_testcases()) {
+    const auto tb = circuits::make_testbench(tc);
+    const auto& sz = tb->sizing();
+    const auto& perf = tb->performance();
+    std::vector<double> x01(sz.dimension(), 0.5);
+    const auto x = sz.denormalize(x01);
+    const auto layout = tb->mismatch_layout(x, true);
+    printf("%s\n", tb->name().c_str());
+    printf("  sizing parameters : %zu (design space ~10^%.0f)\n", sz.dimension(),
+           sz.log10_space_size());
+    printf("  mismatch space    : %zu coordinates\n", layout.dimension());
+    printf("  metrics           :");
+    for (const auto& m : perf.metrics) {
+      printf(" %s %s %.4g %s;", m.name.c_str(),
+             m.sense == circuits::Sense::MinimizeBelow ? "<=" : ">=", m.bound / m.unit_scale,
+             m.unit.c_str());
+    }
+    printf("\n\n");
+  }
+
+  // Transistor-level SAL evaluation through the MNA engine.
+  circuits::StrongArmLatchSpice sal_spice;
+  const auto& sz = sal_spice.sizing();
+  std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.05, 0.01};
+  const auto x = sz.denormalize(x01);
+  const auto ckt = sal_spice.build_netlist(x, pdk::typical_corner(), {});
+  printf("StrongARM latch SPICE netlist: %zu nodes, %zu MOSFETs, %zu capacitors, %zu sources\n",
+         ckt.node_count(), ckt.mosfets().size(), ckt.capacitors().size(), ckt.vsources().size());
+  const auto metrics = sal_spice.evaluate(x, pdk::typical_corner(), {});
+  printf("SPICE-extracted metrics: power=%.3g uW, set delay=%.3g ns, reset delay=%.3g ns, "
+         "noise=%.3g uV\n",
+         metrics[0] * 1e6, metrics[1] * 1e9, metrics[2] * 1e9, metrics[3] * 1e6);
+  return 0;
+}

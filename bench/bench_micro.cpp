@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the hot paths under the tables:
+// behavioral circuit evaluation, mismatch sampling, the SPICE transient,
+// network updates, and the reordering math.
+#include <benchmark/benchmark.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/spice_backend.hpp"
+#include "common/rng.hpp"
+#include "core/reordering.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "opt/gp.hpp"
+#include "pdk/variation.hpp"
+#include "rl/ensemble_critic.hpp"
+#include "spice/lu.hpp"
+#include "stats/pearson.hpp"
+
+using namespace glova;
+
+static void BM_BehavioralEval(benchmark::State& state) {
+  const auto tb =
+      circuits::make_testbench(static_cast<circuits::Testcase>(state.range(0)));
+  const auto& sz = tb->sizing();
+  std::vector<double> x01(sz.dimension(), 0.5);
+  const auto x = sz.denormalize(x01);
+  const auto layout = tb->mismatch_layout(x, true);
+  Rng rng(1);
+  const auto hs = pdk::sample_mismatch_set(layout, 1, rng, pdk::GlobalMode::PerSample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb->evaluate(x, pdk::typical_corner(), hs[0]));
+  }
+}
+BENCHMARK(BM_BehavioralEval)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_MismatchSample(benchmark::State& state) {
+  const auto tb = circuits::make_testbench(circuits::Testcase::DramOcsa);
+  const auto& sz = tb->sizing();
+  std::vector<double> x01(sz.dimension(), 0.5);
+  const auto x = sz.denormalize(x01);
+  const auto layout = tb->mismatch_layout(x, true);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdk::sample_mismatch_set(layout, state.range(0), rng, pdk::GlobalMode::PerSample));
+  }
+}
+BENCHMARK(BM_MismatchSample)->Arg(3)->Arg(100)->Arg(1000);
+
+static void BM_SpiceSalTransient(benchmark::State& state) {
+  circuits::StrongArmLatchSpice sal;
+  const auto& sz = sal.sizing();
+  std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01};
+  const auto x = sz.denormalize(x01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sal.evaluate(x, pdk::typical_corner(), {}));
+  }
+}
+BENCHMARK(BM_SpiceSalTransient)->Unit(benchmark::kMillisecond);
+
+static void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  spice::DenseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+    a.at(i, i) += static_cast<double>(n);
+  }
+  const std::vector<double> b = rng.uniform_vector(n, -1.0, 1.0);
+  for (auto _ : state) {
+    spice::LuSolver solver;
+    benchmark::DoNotOptimize(solver.factor(a));
+    benchmark::DoNotOptimize(solver.solve(b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(64);
+
+static void BM_CriticUpdate(benchmark::State& state) {
+  Rng rng(3);
+  rl::CriticConfig cfg;
+  rl::EnsembleCritic critic(14, cfg, rng);
+  std::vector<std::vector<double>> xs(10);
+  std::vector<double> rs(10);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform_vector(14, 0.0, 1.0);
+    rs[i] = rng.uniform(-1.0, 0.2);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < critic.ensemble_size(); ++i) {
+      benchmark::DoNotOptimize(critic.train_base(i, xs, rs));
+    }
+  }
+}
+BENCHMARK(BM_CriticUpdate);
+
+static void BM_HScoreReordering(benchmark::State& state) {
+  Rng rng(4);
+  const std::size_t n = state.range(0);
+  const std::size_t r = 21;
+  std::vector<std::vector<double>> hs(n);
+  for (auto& h : hs) h = rng.normal_vector(r);
+  const std::vector<double> rho = rng.normal_vector(r);
+  for (auto _ : state) {
+    std::vector<double> scores(n);
+    for (std::size_t i = 0; i < n; ++i) scores[i] = core::h_score(hs[i], rho);
+    benchmark::DoNotOptimize(core::order_descending(scores));
+  }
+}
+BENCHMARK(BM_HScoreReordering)->Arg(1000);
+
+static void BM_GpFitPredict(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t n = state.range(0);
+  std::vector<std::vector<double>> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform_vector(14, 0.0, 1.0);
+    ys[i] = std::sin(xs[i][0] * 6.0) + 0.1 * rng.normal();
+  }
+  const std::vector<double> q = rng.uniform_vector(14, 0.0, 1.0);
+  for (auto _ : state) {
+    opt::GaussianProcess gp;
+    gp.fit(xs, ys);
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Table II reproduction, OCSA + subhole in DRAM core block — the paper's
+// hardest testcase: conflicting dVD0/dVD1 sensing margins and a cell-array
+// mismatch space that demands the most statistical simulations.
+// Paper values from Kim et al., DAC 2025, Table II (DRAM columns).
+#include "bench_common.hpp"
+
+using namespace glova;
+using bench::PaperCell;
+
+int main() {
+  bench::BenchOptions options = bench::options_from_env();
+  const std::vector<std::vector<PaperCell>> paper = {
+      {{21, 390, 1.00, 1.00}, {84, 6916, 1.00, 1.00}, {129, 72853, 1.00, 1.00}},          // Ours
+      {{72, 2066, 3.85, 1.00}, {138, 300332, 40.59, 1.00}, {238, 224768, 3.07, 0.87}},    // PVTSizing
+      {{760, 6406, 21.24, 1.00}, {1166, 557050, 76.03, 0.83}, {2064, 753048, 10.40, 0.53}},  // RobustAnalog
+  };
+  bench::print_table2_block(circuits::Testcase::DramOcsa, paper, options);
+  return 0;
+}

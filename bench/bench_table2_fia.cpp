@@ -1,0 +1,18 @@
+// Table II reproduction, floating inverter amplifier block.
+// Paper values from Kim et al., DAC 2025, Table II (FIA columns); cells
+// marked * in the paper average only successful runs, as does our harness.
+#include "bench_common.hpp"
+
+using namespace glova;
+using bench::PaperCell;
+
+int main() {
+  bench::BenchOptions options = bench::options_from_env();
+  const std::vector<std::vector<PaperCell>> paper = {
+      {{18, 248, 1.00, 1.00}, {26, 3203, 1.00, 1.00}, {48, 6461, 1.00, 1.00}},          // Ours
+      {{48, 322, 1.71, 1.00}, {71, 87773, 26.28, 1.00}, {138, 293076, 43.53, 1.00}},    // PVTSizing
+      {{533, 2151, 14.94, 1.00}, {840, 146889, 45.26, 0.95}, {1733, 361066, 55.02, 0.90}},  // RobustAnalog
+  };
+  bench::print_table2_block(circuits::Testcase::Fia, paper, options);
+  return 0;
+}

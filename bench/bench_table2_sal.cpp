@@ -1,0 +1,23 @@
+// Table II reproduction, StrongARM latch block.
+//
+// Paper values (Kim et al., DAC 2025, Table II, SAL columns).  Our substrate
+// is a behavioral simulator rather than HSPICE on a 28 nm PDK, so absolute
+// numbers differ; the comparison of interest is the *shape*: Ours needs the
+// fewest iterations/simulations, PVTSizing sits in between, RobustAnalog is
+// the most expensive, and only Ours holds 100 % success everywhere.
+#include "bench_common.hpp"
+
+using namespace glova;
+using bench::PaperCell;
+
+int main() {
+  bench::BenchOptions options = bench::options_from_env();
+  // paper[method][verif]: {RL iterations, # simulations, norm. runtime, success}
+  const std::vector<std::vector<PaperCell>> paper = {
+      {{6, 83, 1.00, 1.00}, {8, 3103, 1.00, 1.00}, {12, 8809, 1.00, 1.00}},        // Ours
+      {{19, 186, 2.77, 1.00}, {24, 10748, 3.45, 1.00}, {27, 31221, 3.81, 1.00}},   // PVTSizing
+      {{104, 442, 11.17, 1.00}, {124, 12683, 4.43, 1.00}, {297, 75920, 9.63, 1.00}},  // RobustAnalog
+  };
+  bench::print_table2_block(circuits::Testcase::Sal, paper, options);
+  return 0;
+}

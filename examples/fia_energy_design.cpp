@@ -1,0 +1,44 @@
+// Floating inverter amplifier: energy/noise tradeoff exploration.
+//
+// First sizes the FIA with GLOVA under corner + local MC, then sweeps the
+// reservoir capacitor around the verified value to show the energy/noise
+// tradeoff the optimizer navigated (bigger reservoir = longer integration =
+// more gain and lower input-referred error, but linearly more energy).
+#include <cstdio>
+
+#include "circuits/fia.hpp"
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+
+int main() {
+  using namespace glova;
+  const auto bench = circuits::make_testbench(circuits::Testcase::Fia);
+
+  core::GlovaConfig config;
+  config.method = core::VerifMethod::C_MCL;
+  config.seed = 8;
+  core::GlovaOptimizer optimizer(bench, config);
+  const auto result = optimizer.run();
+  printf("optimization: success=%s iterations=%zu simulations=%llu\n",
+         result.success ? "yes" : "no", result.rl_iterations,
+         static_cast<unsigned long long>(result.n_simulations));
+  if (!result.success) return 1;
+
+  auto x = result.x_phys_final;
+  printf("\nverified design: W_n=%.3gu W_p=%.3gu L_n=%.3gu L_p=%.3gu C_res=%.3gf C_load=%.3gf\n",
+         x[circuits::FiaSizing::kWn] * 1e6, x[circuits::FiaSizing::kWp] * 1e6,
+         x[circuits::FiaSizing::kLn] * 1e6, x[circuits::FiaSizing::kLp] * 1e6,
+         x[circuits::FiaSizing::kCRes] * 1e15, x[circuits::FiaSizing::kCLoad] * 1e15);
+
+  printf("\nreservoir sweep at the typical corner (energy vs noise):\n");
+  printf("%-12s %-14s %-12s\n", "C_res (fF)", "energy (pJ)", "noise (mV)");
+  const double c_verified = x[circuits::FiaSizing::kCRes];
+  for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    x[circuits::FiaSizing::kCRes] = c_verified * scale;
+    const auto m = bench->evaluate(x, pdk::typical_corner(), {});
+    printf("%-12.2f %-14.4f %-12.4f%s\n", x[circuits::FiaSizing::kCRes] * 1e15, m[0] * 1e12,
+           m[1] * 1e3, scale == 1.0 ? "   <- verified" : "");
+  }
+  printf("\n(energy target <= 0.1 pJ, noise target <= 130 mV)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: size the StrongARM latch so it meets its specs at every PVT
+// corner, with five lines of setup.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: pick a testcase, pick a
+// verification method, run the GLOVA optimizer, inspect the result.
+#include <cstdio>
+
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+
+int main() {
+  using namespace glova;
+
+  // 1. A testbench: the StrongARM latch with the fast behavioral evaluator.
+  const circuits::TestbenchPtr bench = circuits::make_testbench(circuits::Testcase::Sal);
+
+  // 2. A configuration: corner verification (30 PVT conditions), defaults
+  //    from the paper (beta1 = -3, beta2 = 4, batch 10, ensemble 5).
+  core::GlovaConfig config;
+  config.method = core::VerifMethod::C;
+  config.seed = 2025;
+
+  // 3. Run.
+  core::GlovaOptimizer optimizer(bench, config);
+  const core::GlovaResult result = optimizer.run();
+
+  // 4. Inspect.
+  printf("success      : %s\n", result.success ? "yes" : "no");
+  printf("RL iterations: %zu\n", result.rl_iterations);
+  printf("simulations  : %llu (TuRBO init used %llu)\n",
+         static_cast<unsigned long long>(result.n_simulations),
+         static_cast<unsigned long long>(result.turbo_evaluations));
+  if (result.success) {
+    printf("\nverified sizing (physical units):\n");
+    const auto& sizing = bench->sizing();
+    for (std::size_t i = 0; i < sizing.dimension(); ++i) {
+      const bool is_cap = sizing.names[i].front() == 'C';
+      printf("  %-8s = %.4g %s\n", sizing.names[i].c_str(),
+             result.x_phys_final[i] * (is_cap ? 1e12 : 1e6), is_cap ? "pF" : "um");
+    }
+    printf("\nmetrics at the typical corner:\n");
+    const auto metrics = bench->evaluate(result.x_phys_final, pdk::typical_corner(), {});
+    const auto& perf = bench->performance();
+    for (std::size_t i = 0; i < perf.count(); ++i) {
+      const auto& m = perf.metrics[i];
+      printf("  %-12s = %8.3f %-3s (target %s %g %s)\n", m.name.c_str(),
+             metrics[i] / m.unit_scale, m.unit.c_str(),
+             m.sense == circuits::Sense::MinimizeBelow ? "<=" : ">=", m.bound / m.unit_scale,
+             m.unit.c_str());
+    }
+  }
+  return result.success ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// StrongARM latch under the full industrial verification ladder.
+//
+// Runs the same circuit through all three regimes of Table I — corner only,
+// corner + local MC, corner + global-local MC — and shows how the cost of
+// robustness grows while the verified design drifts toward larger devices
+// and a more conservative capacitor budget.
+#include <cstdio>
+
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+
+int main() {
+  using namespace glova;
+  const auto bench = circuits::make_testbench(circuits::Testcase::Sal);
+
+  printf("%-10s %-8s %-12s %-12s %-10s\n", "verif", "success", "iterations", "simulations",
+         "W_in (um)");
+  for (const auto method : core::all_verif_methods()) {
+    core::GlovaConfig config;
+    config.method = method;
+    config.seed = 11;
+    core::GlovaOptimizer optimizer(bench, config);
+    const auto result = optimizer.run();
+    printf("%-10s %-8s %-12zu %-12llu %-10.3f\n", core::to_string(method),
+           result.success ? "yes" : "no", result.rl_iterations,
+           static_cast<unsigned long long>(result.n_simulations),
+           result.success ? result.x_phys_final[1] * 1e6 : 0.0);
+  }
+  printf("\nExpected: simulations grow ~30 -> ~3k -> ~6k+ as the regime hardens,\n"
+         "and the mismatch-aware runs prefer larger input devices (lower offset).\n");
+  return 0;
+}

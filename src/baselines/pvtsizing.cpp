@@ -1,0 +1,132 @@
+#include "baselines/pvtsizing.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "core/reward.hpp"
+#include "core/verifier.hpp"
+#include "opt/turbo.hpp"
+#include "pdk/variation.hpp"
+#include "rl/agent.hpp"
+
+namespace glova::baselines {
+
+using core::kSuccessReward;
+
+PvtSizingOptimizer::PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizingConfig config)
+    : testbench_(std::move(testbench)),
+      config_(config),
+      op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
+
+core::GlovaResult PvtSizingOptimizer::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::GlovaResult result;
+  core::SimulationService service(testbench_);
+  const circuits::SizingSpec& sizing = testbench_->sizing();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
+  const std::size_t p = sizing.dimension();
+  Rng rng(config_.seed);
+
+  // --- TuRBO initial sampling at the typical condition (shared with GLOVA).
+  opt::TurboConfig turbo_cfg;
+  turbo_cfg.n_init = std::max<std::size_t>(8, p);
+  opt::Turbo turbo(p, turbo_cfg, rng.split(0x7B0));
+  const pdk::PvtCorner typical = pdk::typical_corner();
+  const std::size_t turbo_min = std::min<std::size_t>(turbo_cfg.n_init + 4, config_.turbo_budget);
+  while (service.simulation_count() < config_.turbo_budget) {
+    const auto points = turbo.ask(1);
+    std::vector<double> values;
+    for (const auto& x01 : points) {
+      const auto x = sizing.denormalize(x01);
+      values.push_back(core::reward_from_metrics(spec, service.evaluate_one(x, typical, {})));
+    }
+    turbo.tell(points, values);
+    if (turbo.best_value() >= kSuccessReward && service.simulation_count() >= turbo_min) break;
+  }
+  result.turbo_evaluations = service.simulation_count();
+
+  // --- risk-neutral agent: single critic, beta1 = 0.
+  rl::AgentConfig agent_cfg;
+  agent_cfg.critic.ensemble_size = 1;
+  agent_cfg.critic.beta1 = 0.0;
+  agent_cfg.critic.hidden = config_.hidden;
+  agent_cfg.hidden = config_.hidden;
+  agent_cfg.batch_size = config_.batch_size;
+  rl::RiskSensitiveAgent agent(p, agent_cfg, rng.split(0xA6E7));
+
+  rl::WorstCaseReplayBuffer buffer;
+  rl::LastWorstBuffer last_worst(op_config_.corner_count());
+
+  const auto sample_conditions = [&](std::span<const double> x_phys, std::size_t n,
+                                     Rng& stream) -> std::vector<std::vector<double>> {
+    if (!op_config_.has_mismatch()) return std::vector<std::vector<double>>(n);
+    const auto layout = testbench_->mismatch_layout(x_phys, op_config_.global_mismatch);
+    return pdk::sample_mismatch_set(layout, n, stream, op_config_.sampling_mode());
+  };
+  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
+    double worst = std::numeric_limits<double>::max();
+    for (const auto& m : metrics) worst = std::min(worst, core::reward_from_metrics(spec, m));
+    return worst;
+  };
+
+  // Verification without the mu-sigma gate or reordering.
+  core::VerifierOptions vopts;
+  vopts.use_mu_sigma = false;
+  vopts.use_reordering = false;
+  core::Verifier verifier(service, op_config_, vopts);
+
+  std::vector<double> x_last = turbo.best_point();
+  if (x_last.empty()) x_last = rng.uniform_vector(p, 0.0, 1.0);
+  buffer.add(x_last, 0.0);
+  Rng mc_rng = rng.split(0x3C3C);
+  result.termination = "iteration-cap";
+
+  for (std::size_t iter = 1; iter <= config_.max_iterations; ++iter) {
+    std::vector<double> x_new = agent.propose(x_last);
+    const auto x_phys = sizing.denormalize(x_new);
+
+    // Batch sampling: every corner, every iteration.
+    double r_worst = std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < op_config_.corner_count(); ++j) {
+      const auto hs = sample_conditions(x_phys, op_config_.n_opt, mc_rng);
+      const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[j], hs);
+      const double w = worst_reward_of(metrics);
+      last_worst.update(j, w);
+      r_worst = std::min(r_worst, w);
+    }
+
+    if (r_worst == kSuccessReward) {
+      const core::VerificationOutcome outcome = verifier.verify(x_phys, last_worst, mc_rng);
+      for (const auto& [j, w] : outcome.corner_worst_rewards) {
+        last_worst.update(j, w);
+        r_worst = std::min(r_worst, w);
+      }
+      if (outcome.passed) {
+        result.success = true;
+        result.rl_iterations = iter;
+        result.x01_final = x_new;
+        result.x_phys_final = x_phys;
+        result.termination = "verified";
+        break;
+      }
+    }
+
+    buffer.add(x_new, r_worst);
+    (void)agent.update(buffer);  // standard DDPG: one update per environment step
+    x_last = std::move(x_new);
+    if (const auto best = buffer.best(); best && r_worst < best->reward - 0.05) {
+      x_last = best->x01;
+    }
+    result.rl_iterations = iter;
+  }
+
+  result.n_simulations = service.simulation_count();
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.modeled_runtime =
+      static_cast<double>(result.n_simulations) * config_.cost.per_simulation +
+      static_cast<double>(result.rl_iterations) * config_.cost.per_rl_iteration;
+  return result;
+}
+
+}  // namespace glova::baselines

@@ -1,0 +1,43 @@
+// PVTSizing baseline (Kong et al., DAC 2024 [9]): a TuRBO-RL batch-sampling
+// framework for PVT-robust analog synthesis, reimplemented from its published
+// description for Table II.
+//
+// Differences from GLOVA that the paper's comparison isolates:
+//   - batch sampling: EVERY predefined corner is simulated at every RL
+//     iteration (k x N' simulations per step instead of GLOVA's N' at the
+//     single worst corner),
+//   - risk-neutral critic: one Q network, no ensemble bound (beta1 = 0),
+//   - verification: a full k x N sweep with neither the mu-sigma gate nor
+//     simulation reordering (it still aborts at the first failing run).
+// Shared with GLOVA: TuRBO initial sampling at the typical condition.
+#pragma once
+
+#include "circuits/testbench.hpp"
+#include "core/optimizer.hpp"
+
+namespace glova::baselines {
+
+struct PvtSizingConfig {
+  core::VerifMethod method = core::VerifMethod::C;
+  std::size_t n_opt_samples = 3;
+  std::size_t batch_size = 10;
+  std::size_t hidden = 64;
+  std::size_t max_iterations = 3000;
+  std::size_t turbo_budget = 150;
+  std::uint64_t seed = 1;
+  core::SimulationCost cost;
+};
+
+class PvtSizingOptimizer {
+ public:
+  PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizingConfig config);
+
+  [[nodiscard]] core::GlovaResult run();
+
+ private:
+  circuits::TestbenchPtr testbench_;
+  PvtSizingConfig config_;
+  core::OperationalConfig op_config_;
+};
+
+}  // namespace glova::baselines

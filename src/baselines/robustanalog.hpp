@@ -1,0 +1,44 @@
+// RobustAnalog baseline (He et al., MLCAD 2022 [8]): fast variation-aware
+// sizing via multi-task RL, reimplemented from its published description for
+// Table II.
+//
+// Characteristics the paper's comparison isolates:
+//   - random initial sampling (no TuRBO) — the limitation PVTSizing fixed,
+//   - every PVT corner is a task; k-means clustering of the corners'
+//     performance signatures prunes the task set to the dominant corner of
+//     each cluster, which is what gets simulated each iteration,
+//   - periodic re-clustering (full corner sweeps on the incumbent design),
+//   - risk-neutral critic; verification without mu-sigma or reordering.
+#pragma once
+
+#include "circuits/testbench.hpp"
+#include "core/optimizer.hpp"
+
+namespace glova::baselines {
+
+struct RobustAnalogConfig {
+  core::VerifMethod method = core::VerifMethod::C;
+  std::size_t n_opt_samples = 3;
+  std::size_t batch_size = 10;
+  std::size_t hidden = 64;
+  std::size_t max_iterations = 3000;
+  std::size_t random_init_samples = 20;
+  std::size_t clusters = 4;             ///< dominant-corner count
+  std::size_t recluster_interval = 25;  ///< iterations between corner sweeps
+  std::uint64_t seed = 1;
+  core::SimulationCost cost;
+};
+
+class RobustAnalogOptimizer {
+ public:
+  RobustAnalogOptimizer(circuits::TestbenchPtr testbench, RobustAnalogConfig config);
+
+  [[nodiscard]] core::GlovaResult run();
+
+ private:
+  circuits::TestbenchPtr testbench_;
+  RobustAnalogConfig config_;
+  core::OperationalConfig op_config_;
+};
+
+}  // namespace glova::baselines

@@ -1,0 +1,87 @@
+// Offset-cancellation sense amplifier (OCSA) + subhole (SH) in a DRAM core
+// testcase [26], [27] — paper Sec. VI-A.
+//
+// Sizing vector (12 parameters, design space ~10^24):
+//   OCSA widths  W_xn, W_xp, W_ocs, W_csel in [0.28, 1.028] um (cell pitch!)
+//   SH widths    W_nsa, W_psa             in [5, 15] um
+//   lengths      L_* (6)                  in [0.03, 0.06] um
+// Metrics / constraints (Kim et al., TVLSI 2019):
+//   low  data sensing voltage  dVD0 >= 85 mV   (maximize)
+//   high data sensing voltage  dVD1 >= 85 mV   (maximize)
+//   energy per 1-bit sensing   <= 30 fJ.
+//
+// The behavioral model reproduces the structure of 6F2 open-bitline sensing:
+// cell-to-bitline charge sharing (Cs vs large parasitic C_BL), SA offset
+// with offset cancellation (bigger OC switches cancel more but inject more
+// charge), subhole drivers shared by 512 SAs (drive strength vs common-mode
+// kickback), and a cell-array mismatch space (cell voltage and capacitor
+// spread) on top of the transistor Pelgrom mismatch — the "extensive
+// mismatches" that make this testcase need the most statistical simulations.
+//
+// The two sensing margins conflict: residual SA offset helps one data
+// polarity and hurts the other, and NSA/PSA drive asymmetry does the same,
+// exactly the tension the paper highlights.
+#pragma once
+
+#include "circuits/testbench.hpp"
+
+namespace glova::circuits {
+
+struct DramSizing {
+  enum : std::size_t {
+    kWXn = 0, kWXp, kWOcs, kWCsel, kWNsa, kWPsa,
+    kLXn, kLXp, kLOcs, kLCsel, kLNsa, kLPsa,
+    kCount
+  };
+};
+
+struct DramConditions {
+  double cs = 12e-15;           ///< cell capacitance [F]
+  double cbl0 = 25e-15;         ///< bare bitline parasitic [F] (2K-wordline array)
+  double c_san_fixed = 2e-15;   ///< per-SA fixed load on the shared SAN/SAP rail [F]
+  double n_shared_sa = 512;     ///< SAs served by one subhole driver
+  double v1_frac = 0.86;        ///< stored '1' level as fraction of vdd (retention loss)
+  double v0_frac = 0.10;        ///< stored '0' level as fraction of vdd
+  double t_overlap = 0.5e-9;    ///< sense-amp overlap window [s]
+  double t_ramp = 0.2e-9;       ///< subhole enable ramp [s]
+  double k_kick = 0.015;        ///< common-mode kickback coupling factor
+  double gain_cap = 2.0;        ///< regeneration boost cap during overlap
+  double oc_half_width = 0.28e-6;///< OC switch width for 50 % cancellation [m]
+  // Cell-array mismatch sigmas (local / global).
+  double sigma_vcell_local = 0.016;  ///< [V]
+  double sigma_vcell_global = 0.010; ///< [V]
+  double sigma_cs_local = 0.04;      ///< relative
+  double sigma_cs_global = 0.02;     ///< relative
+  double sigma_cbl_local = 0.03;     ///< relative
+  double sigma_cbl_global = 0.015;   ///< relative
+};
+
+class DramOcsaSubhole final : public Testbench {
+ public:
+  DramOcsaSubhole();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SizingSpec& sizing() const override { return sizing_; }
+  [[nodiscard]] const PerformanceSpec& performance() const override { return performance_; }
+
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double> x,
+                                                    bool global_enabled) const override;
+
+  /// Returns {dVD0 [V], dVD1 [V], energy per bit [J]}.
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const override;
+
+  /// Transistor instances (9 devices); array coordinates are appended after.
+  [[nodiscard]] std::vector<pdk::DeviceGeometry> devices(std::span<const double> x) const;
+
+  [[nodiscard]] const DramConditions& conditions() const { return conditions_; }
+
+ private:
+  std::string name_ = "OCSA and SH in DRAM core";
+  SizingSpec sizing_;
+  PerformanceSpec performance_;
+  DramConditions conditions_;
+};
+
+}  // namespace glova::circuits

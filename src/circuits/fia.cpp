@@ -1,0 +1,136 @@
+#include "circuits/fia.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuits/parasitics.hpp"
+#include "common/units.hpp"
+#include "pdk/mos_params.hpp"
+
+namespace glova::circuits {
+
+using units::literals::operator""_um;
+using units::literals::operator""_pF;
+using units::literals::operator""_pJ;
+using units::literals::operator""_mV;
+
+namespace {
+
+constexpr std::size_t kDeviceCount = 4;
+
+struct InstanceRole {
+  const char* name;
+  bool is_pmos;
+  std::size_t w_index;
+  std::size_t l_index;
+};
+
+constexpr InstanceRole kInstances[kDeviceCount] = {
+    {"invn_a", false, FiaSizing::kWn, FiaSizing::kLn},
+    {"invn_b", false, FiaSizing::kWn, FiaSizing::kLn},
+    {"invp_a", true, FiaSizing::kWp, FiaSizing::kLp},
+    {"invp_b", true, FiaSizing::kWp, FiaSizing::kLp},
+};
+
+}  // namespace
+
+FloatingInverterAmplifier::FloatingInverterAmplifier() {
+  sizing_.names = {"W_n", "W_p", "L_n", "L_p", "C_res", "C_load"};
+  sizing_.lower = {0.28_um, 0.28_um, 0.03_um, 0.03_um, 0.005_pF, 0.005_pF};
+  sizing_.upper = {32.8_um, 32.8_um, 0.33_um, 0.33_um, 5.5_pF, 5.5_pF};
+
+  performance_.metrics = {
+      MetricSpec{"energy_per_conv", "pJ", units::pico, 0.1_pJ, Sense::MinimizeBelow},
+      MetricSpec{"noise", "mV", units::milli, 130.0_mV, Sense::MinimizeBelow},
+  };
+}
+
+std::vector<pdk::DeviceGeometry> FloatingInverterAmplifier::devices(
+    std::span<const double> x) const {
+  if (x.size() != FiaSizing::kCount) throw std::invalid_argument("FIA: bad sizing vector");
+  std::vector<pdk::DeviceGeometry> devs;
+  devs.reserve(kDeviceCount);
+  for (const InstanceRole& role : kInstances) {
+    devs.push_back(pdk::DeviceGeometry{role.name, role.is_pmos, x[role.w_index], x[role.l_index]});
+  }
+  return devs;
+}
+
+pdk::MismatchLayout FloatingInverterAmplifier::mismatch_layout(std::span<const double> x,
+                                                               bool global_enabled) const {
+  return pdk::build_layout(devices(x), pdk::PelgromConstants{}, pdk::GlobalSigmas{}, global_enabled);
+}
+
+std::vector<double> FloatingInverterAmplifier::evaluate(std::span<const double> x,
+                                                        const pdk::PvtCorner& corner,
+                                                        std::span<const double> h) const {
+  if (x.size() != FiaSizing::kCount) throw std::invalid_argument("FIA: bad sizing vector");
+  if (!h.empty() && h.size() != kDeviceCount * 2) {
+    throw std::invalid_argument("FIA: bad mismatch vector");
+  }
+  const Parasitics& par = parasitics_28nm();
+  const double vdd = corner.vdd;
+  const double temp_k = corner.temp_k();
+  const double kT = units::kBoltzmann * temp_k;
+
+  std::vector<pdk::MosParams> p(kDeviceCount);
+  for (std::size_t d = 0; d < kDeviceCount; ++d) {
+    const InstanceRole& role = kInstances[d];
+    const double dvth = h.empty() ? 0.0 : h[2 * d];
+    const double dbeta = h.empty() ? 0.0 : h[2 * d + 1];
+    p[d] = pdk::mos_params(role.is_pmos, corner, x[role.l_index], dvth, dbeta);
+  }
+  const double wol_n = x[FiaSizing::kWn] / x[FiaSizing::kLn];
+  const double wol_p = x[FiaSizing::kWp] / x[FiaSizing::kLp];
+
+  // --- branch current: inverter biased at the input common mode ---
+  // NMOS sees vgs = vcm; PMOS sees vsg = vdd - vcm (the floating reservoir
+  // self-biases the rails; the usable drive is the weaker of the two).
+  const double vcm = conditions_.vcm_frac * vdd;
+  const double i_n = pdk::ekv_id(p[0], wol_n, vcm, 0.3 * vdd, temp_k);
+  const double i_p = pdk::ekv_id(p[2], wol_p, vdd - vcm, 0.3 * vdd, temp_k);
+  const double i_branch = std::max(1e-12, std::min(i_n, i_p));
+
+  // Effective transconductance of the push-pull pair at i_branch, using the
+  // smoothed overdrive (correct in both strong and weak inversion).
+  const double vov_n = pdk::ekv_overdrive(vcm - p[0].vth, temp_k);
+  const double vov_p = pdk::ekv_overdrive((vdd - vcm) - p[2].vth, temp_k);
+  const double gm_n = 2.0 * i_branch / std::max(vov_n, 1e-4);
+  const double gm_p = 2.0 * i_branch / std::max(vov_p, 1e-4);
+  const double gm_eff = gm_n + gm_p;
+
+  // --- integration window limited by the reservoir droop ---
+  const double c_res = x[FiaSizing::kCRes];
+  const double c_load = x[FiaSizing::kCLoad] +
+                        par.c_junction * (x[FiaSizing::kWn] + x[FiaSizing::kWp]);
+  const double t_int = c_res * conditions_.reservoir_swing * vdd / (2.0 * i_branch);
+  const double gain = std::max(0.05, gm_eff * t_int / c_load);
+
+  // --- energy per conversion: reservoir recharge + loads + gate charge ---
+  const double c_gate = 2.0 * par.cox * (x[FiaSizing::kWn] * x[FiaSizing::kLn] +
+                                         x[FiaSizing::kWp] * x[FiaSizing::kLp]);
+  const double energy =
+      (c_res + 2.0 * c_load + c_gate + conditions_.overhead_cap) * vdd * vdd;
+
+  // --- input-referred error ("noise" metric) ---
+  // integrated thermal noise of the push-pull gm over the window,
+  const double vn2_thermal = 4.0 * kT * par.gamma_noise / std::max(gm_eff * t_int, 1e-18);
+  // inverter offset: Vth mismatch of both polarities plus beta imbalance,
+  double v_off = 0.0;
+  if (!h.empty()) {
+    const double dvth_n = h[2 * 0] - h[2 * 1];
+    const double dvth_p = h[2 * 2] - h[2 * 3];
+    const double dbeta_n = h[2 * 0 + 1] - h[2 * 1 + 1];
+    const double dbeta_p = h[2 * 2 + 1] - h[2 * 3 + 1];
+    v_off = std::abs(dvth_n) * gm_n / gm_eff + std::abs(dvth_p) * gm_p / gm_eff +
+            0.25 * (std::abs(dbeta_n) * vov_n + std::abs(dbeta_p) * vov_p);
+  }
+  // and the following latch's offset attenuated by the FIA gain.
+  const double v_latch = conditions_.latch_sigma / gain;
+  const double noise = std::sqrt(vn2_thermal + v_off * v_off + v_latch * v_latch);
+
+  return {energy, noise};
+}
+
+}  // namespace glova::circuits

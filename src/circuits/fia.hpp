@@ -1,0 +1,61 @@
+// Floating inverter amplifier (FIA) testcase [25] — paper Sec. VI-A.
+//
+// Sizing vector (6 parameters, design space ~10^12):
+//   W_n, W_p in [0.28, 32.8] um; L_n, L_p in [0.03, 0.33] um;
+//   C_res, C_load in [0.005, 5.5] pF.
+// Metrics / constraints:
+//   energy per conversion <= 0.1 pJ, noise <= 130 mV.
+//
+// The FIA (Tang et al., JSSC 2020) is a fully dynamic pre-amplifier: a
+// differential pair of CMOS inverters powered from a floating reservoir
+// capacitor.  The behavioral model captures the energy budget (reservoir +
+// load + gate charge), the integration gain gm*t_int/C_load, and an
+// input-referred error combining integrated thermal noise, inverter offset
+// (Pelgrom mismatch), and the following latch's offset divided by the gain.
+// All constants flow through the pdk so corners/mismatch act consistently.
+#pragma once
+
+#include "circuits/testbench.hpp"
+
+namespace glova::circuits {
+
+struct FiaSizing {
+  enum : std::size_t { kWn = 0, kWp, kLn, kLp, kCRes, kCLoad, kCount };
+};
+
+struct FiaConditions {
+  double vcm_frac = 0.55;          ///< input common mode as a fraction of vdd
+  double reservoir_swing = 0.25;   ///< usable reservoir droop as fraction of vdd
+  double latch_sigma = 10e-3;      ///< next-stage latch offset sigma [V]
+  double overhead_cap = 2e-15;     ///< routing/clocking overhead [F]
+};
+
+class FloatingInverterAmplifier final : public Testbench {
+ public:
+  FloatingInverterAmplifier();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SizingSpec& sizing() const override { return sizing_; }
+  [[nodiscard]] const PerformanceSpec& performance() const override { return performance_; }
+
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double> x,
+                                                    bool global_enabled) const override;
+
+  /// Returns {energy per conversion [J], input-referred noise [V]}.
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const override;
+
+  /// Device instances (4 transistors: two inverters).
+  [[nodiscard]] std::vector<pdk::DeviceGeometry> devices(std::span<const double> x) const;
+
+  [[nodiscard]] const FiaConditions& conditions() const { return conditions_; }
+
+ private:
+  std::string name_ = "Floating inverter amplifier";
+  SizingSpec sizing_;
+  PerformanceSpec performance_;
+  FiaConditions conditions_;
+};
+
+}  // namespace glova::circuits

@@ -1,0 +1,19 @@
+// Shared technology parasitics for the behavioral circuit models.
+// Values are representative of a 28 nm bulk CMOS back-end:
+//   gate capacitance ~ 20 fF/um^2, drain junction ~ 0.5 fF/um of width.
+#pragma once
+
+namespace glova::circuits {
+
+struct Parasitics {
+  double cox = 0.020;        ///< gate cap density [F/m^2]  (20 fF/um^2)
+  double c_junction = 0.5e-9;///< drain/source junction cap [F/m of width]
+  double gamma_noise = 0.7;  ///< thermal-noise excess factor for short channel
+};
+
+[[nodiscard]] inline const Parasitics& parasitics_28nm() {
+  static const Parasitics p{};
+  return p;
+}
+
+}  // namespace glova::circuits

@@ -1,0 +1,39 @@
+#include "circuits/registry.hpp"
+
+#include <stdexcept>
+
+#include "circuits/dram_ocsa.hpp"
+#include "circuits/fia.hpp"
+#include "circuits/spice_backend.hpp"
+#include "circuits/strongarm.hpp"
+
+namespace glova::circuits {
+
+const char* to_string(Testcase testcase) {
+  switch (testcase) {
+    case Testcase::Sal: return "SAL";
+    case Testcase::Fia: return "FIA";
+    case Testcase::DramOcsa: return "OCSA+SH";
+  }
+  return "?";
+}
+
+std::vector<Testcase> all_testcases() {
+  return {Testcase::Sal, Testcase::Fia, Testcase::DramOcsa};
+}
+
+TestbenchPtr make_testbench(Testcase testcase, Backend backend) {
+  if (backend == Backend::Behavioral) {
+    switch (testcase) {
+      case Testcase::Sal: return std::make_shared<StrongArmLatch>();
+      case Testcase::Fia: return std::make_shared<FloatingInverterAmplifier>();
+      case Testcase::DramOcsa: return std::make_shared<DramOcsaSubhole>();
+    }
+  }
+  if (backend == Backend::Spice && testcase == Testcase::Sal) {
+    return std::make_shared<StrongArmLatchSpice>();
+  }
+  throw std::invalid_argument("make_testbench: no SPICE backend for this testcase yet");
+}
+
+}  // namespace glova::circuits

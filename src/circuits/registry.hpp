@@ -1,0 +1,28 @@
+// Factory tying testcases to evaluator backends.
+//
+// Benches use Backend::Behavioral (microsecond evaluations; hundreds of
+// thousands of MC samples are routine).  Backend::Spice builds and runs a
+// transistor-level netlist through the in-repo MNA engine — slower, used by
+// tests and examples to validate the behavioral models' trends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+
+namespace glova::circuits {
+
+enum class Testcase { Sal, Fia, DramOcsa };
+enum class Backend { Behavioral, Spice };
+
+[[nodiscard]] const char* to_string(Testcase testcase);
+
+/// All testcases in paper order (Table II columns).
+[[nodiscard]] std::vector<Testcase> all_testcases();
+
+/// Construct a testbench.  Throws std::invalid_argument for combinations
+/// that are not available.
+[[nodiscard]] TestbenchPtr make_testbench(Testcase testcase, Backend backend = Backend::Behavioral);
+
+}  // namespace glova::circuits

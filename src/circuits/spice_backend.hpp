@@ -1,0 +1,46 @@
+// SPICE-netlist testbench for the StrongARM latch.
+//
+// Builds the transistor-level SAL netlist (tail, input pair, cross-coupled
+// inverters, precharge devices, SR-latch load caps), runs a two-phase
+// transient through the MNA engine, and extracts the same four metrics the
+// behavioral model reports.  Noise remains an analytic kT/C estimate — the
+// engine has no small-signal noise analysis — which mirrors how dynamic
+// comparator noise is usually budgeted by hand.
+#pragma once
+
+#include "circuits/strongarm.hpp"
+#include "spice/circuit.hpp"
+#include "spice/simulator.hpp"
+
+namespace glova::circuits {
+
+class StrongArmLatchSpice final : public Testbench {
+ public:
+  StrongArmLatchSpice();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SizingSpec& sizing() const override { return behavioral_.sizing(); }
+  [[nodiscard]] const PerformanceSpec& performance() const override {
+    return behavioral_.performance();
+  }
+
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double> x,
+                                                    bool global_enabled) const override {
+    return behavioral_.mismatch_layout(x, global_enabled);
+  }
+
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const override;
+
+  /// Build the SAL netlist for inspection (Fig. 4 reproduction).
+  [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const;
+
+ private:
+  std::string name_ = "StrongARM latch (SPICE)";
+  StrongArmLatch behavioral_;  // reuses specs, layout, and noise budget
+};
+
+}  // namespace glova::circuits

@@ -1,0 +1,182 @@
+#include "circuits/strongarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuits/parasitics.hpp"
+#include "common/units.hpp"
+#include "pdk/mos_params.hpp"
+
+namespace glova::circuits {
+
+using units::literals::operator""_um;
+using units::literals::operator""_pF;
+using units::literals::operator""_ns;
+using units::literals::operator""_uW;
+using units::literals::operator""_uV;
+
+namespace {
+
+constexpr std::size_t kDeviceCount = 11;
+
+/// Instance -> (is_pmos, width index, length index) in the sizing vector.
+struct InstanceRole {
+  const char* name;
+  bool is_pmos;
+  std::size_t w_index;
+  std::size_t l_index;
+};
+
+constexpr InstanceRole kInstances[kDeviceCount] = {
+    {"tail", false, SalSizing::kWTail, SalSizing::kLTail},
+    {"in_a", false, SalSizing::kWIn, SalSizing::kLIn},
+    {"in_b", false, SalSizing::kWIn, SalSizing::kLIn},
+    {"xn_a", false, SalSizing::kWXn, SalSizing::kLXn},
+    {"xn_b", false, SalSizing::kWXn, SalSizing::kLXn},
+    {"xp_a", true, SalSizing::kWXp, SalSizing::kLXp},
+    {"xp_b", true, SalSizing::kWXp, SalSizing::kLXp},
+    {"pre_a", true, SalSizing::kWPre, SalSizing::kLPre},
+    {"pre_b", true, SalSizing::kWPre, SalSizing::kLPre},
+    {"sr_a", false, SalSizing::kWSr, SalSizing::kLSr},
+    {"sr_b", false, SalSizing::kWSr, SalSizing::kLSr},
+};
+
+}  // namespace
+
+StrongArmLatch::StrongArmLatch() {
+  sizing_.names = {"W_tail", "W_in", "W_xn", "W_xp", "W_pre", "W_sr",
+                   "L_tail", "L_in", "L_xn", "L_xp", "L_pre", "L_sr",
+                   "C_out", "C_sr"};
+  sizing_.lower.assign(SalSizing::kCount, 0.0);
+  sizing_.upper.assign(SalSizing::kCount, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    sizing_.lower[i] = 0.28_um;
+    sizing_.upper[i] = 32.8_um;
+    sizing_.lower[6 + i] = 0.03_um;
+    sizing_.upper[6 + i] = 0.33_um;
+  }
+  for (const std::size_t ci : {SalSizing::kCOut, SalSizing::kCSr}) {
+    sizing_.lower[ci] = 0.005_pF;
+    sizing_.upper[ci] = 5.5_pF;
+  }
+
+  performance_.metrics = {
+      MetricSpec{"power", "uW", units::micro, 40.0_uW, Sense::MinimizeBelow},
+      MetricSpec{"set_delay", "ns", units::nano, 4.0_ns, Sense::MinimizeBelow},
+      MetricSpec{"reset_delay", "ns", units::nano, 4.0_ns, Sense::MinimizeBelow},
+      MetricSpec{"noise", "uV", units::micro, 120.0_uV, Sense::MinimizeBelow},
+  };
+}
+
+std::vector<pdk::DeviceGeometry> StrongArmLatch::devices(std::span<const double> x) const {
+  if (x.size() != SalSizing::kCount) throw std::invalid_argument("SAL: bad sizing vector");
+  std::vector<pdk::DeviceGeometry> devs;
+  devs.reserve(kDeviceCount);
+  for (const InstanceRole& role : kInstances) {
+    devs.push_back(pdk::DeviceGeometry{role.name, role.is_pmos, x[role.w_index], x[role.l_index]});
+  }
+  return devs;
+}
+
+pdk::MismatchLayout StrongArmLatch::mismatch_layout(std::span<const double> x,
+                                                    bool global_enabled) const {
+  return pdk::build_layout(devices(x), pdk::PelgromConstants{}, pdk::GlobalSigmas{}, global_enabled);
+}
+
+std::vector<double> StrongArmLatch::evaluate(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const {
+  if (x.size() != SalSizing::kCount) throw std::invalid_argument("SAL: bad sizing vector");
+  if (!h.empty() && h.size() != kDeviceCount * 2) {
+    throw std::invalid_argument("SAL: bad mismatch vector");
+  }
+  const Parasitics& par = parasitics_28nm();
+  const double vdd = corner.vdd;
+  const double kT = units::kBoltzmann * corner.temp_k();
+
+  // Effective parameters per instance (PVT corner + mismatch).
+  std::vector<pdk::MosParams> p(kDeviceCount);
+  for (std::size_t d = 0; d < kDeviceCount; ++d) {
+    const InstanceRole& role = kInstances[d];
+    const double dvth = h.empty() ? 0.0 : h[2 * d];
+    const double dbeta = h.empty() ? 0.0 : h[2 * d + 1];
+    p[d] = pdk::mos_params(role.is_pmos, corner, x[role.l_index], dvth, dbeta);
+  }
+  const auto wol = [&](std::size_t d) {
+    const InstanceRole& role = kInstances[d];
+    return x[role.w_index] / x[role.l_index];
+  };
+
+  // --- bias: tail current during evaluation (clock high, gate at vdd) ---
+  const double i_tail = std::max(1e-9, pdk::square_law_id(p[0], wol(0), vdd, 0.3 * vdd));
+  const double i_branch = 0.5 * i_tail;
+
+  // Transconductances at the branch current (saturation gm = sqrt(2 kp W/L I)).
+  const auto gm_at = [&](std::size_t d, double i) {
+    return std::sqrt(std::max(1e-30, 2.0 * p[d].kp * wol(d) * i));
+  };
+  const double gm_in = 0.5 * (gm_at(1, i_branch) + gm_at(2, i_branch));
+  const double gm_xn = 0.5 * (gm_at(3, i_branch) + gm_at(4, i_branch));
+  const double gm_xp = 0.5 * (gm_at(5, i_branch) + gm_at(6, i_branch));
+
+  // --- capacitances ---
+  const double c_par_out =
+      par.cox * (x[SalSizing::kWXn] * x[SalSizing::kLXn] + x[SalSizing::kWXp] * x[SalSizing::kLXp] +
+                 x[SalSizing::kWPre] * x[SalSizing::kLPre]) +
+      par.c_junction * (x[SalSizing::kWXn] + x[SalSizing::kWXp] + x[SalSizing::kWPre] +
+                        x[SalSizing::kWIn]);
+  const double c_out = x[SalSizing::kCOut] + c_par_out;
+  const double c_sr =
+      x[SalSizing::kCSr] + 4.0 * par.cox * x[SalSizing::kWSr] * x[SalSizing::kLSr];
+
+  // --- input-referred offset from mismatch (reduces the effective input) ---
+  double v_off = 0.0;
+  if (!h.empty()) {
+    const double dvth_in = std::abs(h[2 * 1] - h[2 * 2]);
+    const double dvth_xn = std::abs(h[2 * 3] - h[2 * 4]);
+    const double dvth_xp = std::abs(h[2 * 5] - h[2 * 6]);
+    const double dbeta_in = std::abs(h[2 * 1 + 1] - h[2 * 2 + 1]);
+    const double vov_in = std::sqrt(std::max(1e-9, i_tail / (p[1].kp * wol(1))));
+    v_off = dvth_in + 0.5 * dbeta_in * vov_in +
+            (gm_xn / std::max(gm_in, 1e-9)) * dvth_xn +
+            (gm_xp / std::max(gm_in, 1e-9)) * 0.5 * dvth_xp;
+  }
+
+  // --- set delay: integration + regeneration + SR latch ---
+  const double vthp_x = p[5].vth;  // cross PMOS turns on after outputs drop |Vthp|
+  const double t_int = c_out * vthp_x / std::max(i_branch, 1e-9);
+  const double v_in_eff = std::max(1e-3, conditions_.v_input_diff - v_off);
+  const double dv0 = std::max(50e-6, gm_in * v_in_eff * t_int / c_out);
+  const double gm_regen = std::max(gm_xn + gm_xp, 1e-9);
+  const double tau = c_out / gm_regen;
+  const double t_regen = tau * std::log(std::max(1.001, 0.5 * vdd / dv0));
+  const double i_sr = std::max(1e-9, pdk::square_law_id(p[9], wol(9), vdd, 0.5 * vdd));
+  const double t_sr = c_sr * vdd / i_sr;
+  const double set_delay = t_int + t_regen + t_sr;
+
+  // --- reset delay: PMOS precharge pulls both outputs back to vdd ---
+  const double i_pre = std::max(1e-9, pdk::square_law_id(p[7], wol(7), vdd, 0.5 * vdd));
+  const double reset_delay = (c_out * 0.9 * vdd) / i_pre + (c_sr * 0.9 * vdd) / std::max(i_sr, i_pre);
+
+  // --- power: CV^2 switching + tail current during evaluation + leakage ---
+  double total_width = 0.0;
+  for (const InstanceRole& role : kInstances) total_width += x[role.w_index];
+  const double leak_mult =
+      std::exp((corner.temp_k() - units::kRoomTemperatureK) / 40.0) * (vdd / 0.9);
+  const double i_leak = conditions_.leakage_per_um * (total_width / 1e-6) * leak_mult;
+  const double t_eval = t_int + std::min(t_regen, 2e-9);
+  const double e_cycle = (2.0 * c_out + c_sr) * vdd * vdd + i_tail * t_eval * vdd;
+  const double power = conditions_.clock_hz * e_cycle + i_leak * vdd;
+
+  // --- input-referred noise: integrated thermal noise of the input pair ---
+  // vn^2 ~ 4 kT gamma / (gm_in * t_int), the classic dynamic-comparator
+  // result; cross-pair regeneration adds a (gm_x/gm_in) excess term.
+  const double excess = 1.0 + 0.15 * gm_regen / std::max(gm_in, 1e-9);
+  const double vn2 = 4.0 * kT * par.gamma_noise * excess / std::max(gm_in * t_int, 1e-18);
+  const double noise = std::sqrt(vn2);
+
+  return {power, set_delay, reset_delay, noise};
+}
+
+}  // namespace glova::circuits

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace glova {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug]";
+    case LogLevel::Info: return "[info ]";
+    case LogLevel::Warn: return "[warn ]";
+    case LogLevel::Error: return "[error]";
+    case LogLevel::Off: return "[off  ]";
+  }
+  return "[?]";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << level_tag(level) << ' ' << message << '\n';
+}
+
+}  // namespace glova

@@ -1,0 +1,62 @@
+// Minimal leveled logger.  The optimizer and verifier use it for workflow
+// traces (Fig. 2 reproduction); benches run with the level raised to Warn so
+// table output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace glova {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message at `level` (thread-safe, newline appended).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_info("iteration ", i, " reward ", r);
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::Debug) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::Info) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::Warn) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::Warn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::Error) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::Error, os.str());
+}
+
+}  // namespace glova

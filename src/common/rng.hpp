@@ -1,0 +1,65 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the library (mismatch sampling, exploration
+// noise, network initialization, TuRBO candidates, ...) draws from its own
+// `Rng` stream so that results are reproducible and independent of evaluation
+// order.  Streams are derived from a root seed with `split()`, which hashes
+// (seed, child-index) so sibling streams do not overlap.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace glova {
+
+/// Seeded pseudo-random stream.  Thin wrapper over std::mt19937_64 plus the
+/// handful of distributions the library needs.  Copyable; copies continue the
+/// same sequence independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent child stream.  Children with different indices
+  /// (or parents with different seeds) produce unrelated sequences.
+  [[nodiscard]] Rng split(std::uint64_t index) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal draw.
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Uniform integer in [0, n-1].  n must be >= 1.
+  std::size_t index(std::size_t n);
+
+  /// Vector of iid standard normal draws.
+  std::vector<double> normal_vector(std::size_t n);
+
+  /// Vector of iid uniform draws in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi);
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// The seed this stream was constructed with.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Access to the raw engine for use with std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// SplitMix64 hash step; used for seed derivation and in tests.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace glova

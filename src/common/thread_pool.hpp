@@ -1,0 +1,49 @@
+// Fixed-size worker pool used to run SPICE/behavioral simulations in
+// parallel.  The paper runs N' = 3 simulations concurrently during
+// optimization and "maximum available resources" during verification; the
+// pool supports both via `parallel_for`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace glova {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `n_threads` workers (0 means hardware_concurrency).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n) across the pool and block until all complete.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by simulation services.  Lazily constructed.
+ThreadPool& global_thread_pool();
+
+}  // namespace glova

@@ -1,0 +1,47 @@
+// SI unit helpers and physical constants.  All internal computation is in
+// base SI units (V, A, s, F, W, J, m); these helpers keep testbench code and
+// spec tables readable.
+#pragma once
+
+namespace glova::units {
+
+// Scale factors (multiply to convert into base SI).
+inline constexpr double kilo = 1e3;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+
+// Physical constants.
+inline constexpr double kBoltzmann = 1.380649e-23;  // J/K
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+inline constexpr double kRoomTemperatureK = 300.0;
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+
+/// Convert Celsius to Kelvin.
+[[nodiscard]] constexpr double celsius_to_kelvin(double celsius) {
+  return celsius + kZeroCelsiusInKelvin;
+}
+
+/// Thermal voltage kT/q at a temperature in Kelvin.
+[[nodiscard]] constexpr double thermal_voltage(double kelvin) {
+  return kBoltzmann * kelvin / kElectronCharge;
+}
+
+// User-defined literals for readable sizings: 0.28_um, 5.5_pF, 4.0_ns ...
+namespace literals {
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_uW(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+}  // namespace literals
+
+}  // namespace glova::units

@@ -1,0 +1,61 @@
+// Operational configuration (paper Table I): how the chosen verification
+// method selects predefined corners, mismatch variances, and sample counts
+// in the optimization and verification phases.
+//
+//   method   | predefined corner | global var | local var | N'_opt | N_verif/corner
+//   C        | P,V,T             | 0          | 0         | 1      | 1      (30 sims)
+//   C-MC_L   | P,V,T             | 0          | Sigma_L   | N'     | 100    (3,000 sims)
+//   C-MC_G-L | V,T               | Sigma_G    | Sigma_L   | N'     | 1,000  (6,000 sims)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pdk/corner.hpp"
+#include "pdk/variation.hpp"
+
+namespace glova::core {
+
+enum class VerifMethod { C, C_MCL, C_MCGL };
+
+[[nodiscard]] const char* to_string(VerifMethod method);
+
+/// All methods in Table I / Table II column order.
+[[nodiscard]] std::vector<VerifMethod> all_verif_methods();
+
+struct OperationalConfig {
+  VerifMethod method = VerifMethod::C;
+  bool predefined_process = true;  ///< Table I column "P"
+  bool global_mismatch = false;    ///< Sigma_Global enabled
+  bool local_mismatch = false;     ///< Sigma_Local enabled
+  std::size_t n_opt = 1;           ///< N' mismatch samples per optimization step
+  std::size_t n_verif = 1;         ///< N samples per corner in full verification
+  std::vector<pdk::PvtCorner> corners;  ///< the predefined set T (k corners)
+
+  [[nodiscard]] std::size_t corner_count() const { return corners.size(); }
+
+  /// k * N: total simulations of one full verification pass.
+  [[nodiscard]] std::size_t full_verification_sims() const {
+    return corner_count() * n_verif;
+  }
+
+  /// Sampling mode for the *optimization* phase: Eq. (3) literal — one
+  /// global draw centers each sampled set (one die per iteration); the
+  /// ensemble critic absorbs the resulting worst-case uncertainty.
+  [[nodiscard]] pdk::GlobalMode sampling_mode() const;
+
+  /// Sampling mode for the *verification* phase: every MC sample draws a
+  /// fresh global condition, so the 1K global-local sweep covers die-to-die
+  /// spread the way a wafer would (see DESIGN.md, interpretation choices).
+  [[nodiscard]] pdk::GlobalMode verification_sampling_mode() const;
+
+  /// True when mismatch conditions exist at all (C has none).
+  [[nodiscard]] bool has_mismatch() const { return local_mismatch || global_mismatch; }
+
+  /// Standard configuration for a verification method.
+  /// `n_opt_samples` is the paper's optimization-phase sample size (3).
+  static OperationalConfig for_method(VerifMethod method, std::size_t n_opt_samples = 3);
+};
+
+}  // namespace glova::core

@@ -1,0 +1,33 @@
+#include "core/mu_sigma.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace glova::core {
+
+MuSigmaResult mu_sigma_evaluate(const circuits::PerformanceSpec& spec,
+                                const std::vector<std::vector<double>>& metric_samples,
+                                double beta2) {
+  if (metric_samples.empty()) throw std::invalid_argument("mu_sigma_evaluate: no samples");
+  MuSigmaResult out;
+  out.e.resize(spec.count());
+  std::vector<double> g(metric_samples.size());
+  out.pass = true;
+  for (std::size_t i = 0; i < spec.count(); ++i) {
+    for (std::size_t n = 0; n < metric_samples.size(); ++n) {
+      if (metric_samples[n].size() != spec.count()) {
+        throw std::invalid_argument("mu_sigma_evaluate: ragged metric samples");
+      }
+      g[n] = circuits::degradation(spec.metrics[i], metric_samples[n][i]);
+    }
+    const double mu = stats::mean(g);
+    const double sigma = stats::stddev_sample(g);
+    out.e[i] = mu + beta2 * sigma;
+    out.t_score += out.e[i];
+    if (out.e[i] > 0.0) out.pass = false;
+  }
+  return out;
+}
+
+}  // namespace glova::core

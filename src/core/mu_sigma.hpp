@@ -1,0 +1,34 @@
+// mu-sigma evaluation (paper Sec. V-A, Eq. 7): from the N' pre-sampled
+// simulations of a corner, statistically decide whether the full N-sample
+// verification is worth running.
+//
+//   e_i = E[g_i] + beta2 * sigma[g_i] <= 0  for every metric i
+//
+// where g_i is the *normalized degradation* (-f_i of Eq. 5; bigger = worse).
+// The paper states Eq. (7) with raw metrics against c_i; we evaluate in the
+// unit-free normalized space so e_i values are comparable across metrics,
+// which Eq. (8)'s t-SCORE sum requires (see DESIGN.md, interpretation
+// choices).  The pass/fail decision is order-isomorphic to the raw form.
+// beta2 >= 4 compensates for how few samples N' provides.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+
+namespace glova::core {
+
+struct MuSigmaResult {
+  bool pass = false;
+  std::vector<double> e;  ///< e_i per metric (normalized degradation bound)
+  double t_score = 0.0;   ///< Eq. (8): sum_i e_i — corner severity rank key
+};
+
+/// Evaluate Eq. (7) over `metric_samples` (one vector of raw metric values
+/// per simulated mismatch condition).
+[[nodiscard]] MuSigmaResult mu_sigma_evaluate(const circuits::PerformanceSpec& spec,
+                                              const std::vector<std::vector<double>>& metric_samples,
+                                              double beta2);
+
+}  // namespace glova::core

@@ -1,0 +1,85 @@
+// The GLOVA optimization loop (paper Fig. 2, Secs. III-C and IV):
+//
+//   0. TuRBO generates design solutions meeting constraints at the typical
+//      condition (initial sampling adopted from PVTSizing [9]).
+//   1. The actor proposes a new design from the last one.
+//   2. The worst PVT corner is selected from the last-worst-case buffer and
+//      N' mismatch conditions are sampled via Eq. (3).
+//   3. The design is simulated under those conditions.
+//   4. The mu-sigma metric decides whether full verification is worthwhile.
+//   5. If so, Algorithm 2 verifies with reordered PVT conditions; success
+//      terminates the framework.
+//   6. Otherwise the worst reward is stored in the replay buffer and the
+//      risk-sensitive agent is updated (Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "core/verifier.hpp"
+#include "rl/agent.hpp"
+
+namespace glova::core {
+
+struct GlovaConfig {
+  VerifMethod method = VerifMethod::C;
+  std::size_t n_opt_samples = 3;      ///< N' (paper: parallel sample size 3)
+  double beta1 = -3.0;                ///< risk-avoidance (Eq. 6)
+  double beta2 = 4.0;                 ///< reliability factor (Eq. 7)
+  std::size_t batch_size = 10;        ///< replay batch (paper Sec. VI-B)
+  std::size_t ensemble_size = 5;
+  std::size_t hidden = 64;
+  std::size_t max_iterations = 3000;  ///< success-rate cap
+  std::size_t turbo_budget = 150;     ///< typical-condition evals for init
+  std::size_t init_buffer_seeds = 6;  ///< extra TuRBO designs seeding the buffer
+  bool use_ensemble_critic = true;    ///< ablation "w/o EC": single base model
+  bool use_mu_sigma = true;           ///< ablation "w/o mu-sigma"
+  bool use_reordering = true;         ///< ablation "w/o SR"
+  std::uint64_t seed = 1;
+  SimulationCost cost;
+};
+
+/// One row of the per-iteration trace (Fig. 3 reproduction).
+struct IterationTrace {
+  std::size_t iteration = 0;
+  double reward_worst = 0.0;        ///< sampled worst-case reward of x_new
+  double critic_mean = 0.0;         ///< E[Q_i(x_new)]
+  double critic_bound = 0.0;        ///< E + beta1 * sigma (Eq. 6)
+  bool mu_sigma_pass = false;       ///< step-4 gate outcome
+  bool attempted_verification = false;
+  std::uint64_t sims_total = 0;     ///< cumulative simulations
+};
+
+struct GlovaResult {
+  bool success = false;
+  std::size_t rl_iterations = 0;
+  std::uint64_t n_simulations = 0;
+  double wall_seconds = 0.0;
+  double modeled_runtime = 0.0;     ///< sims * t_sim + iterations * t_iter
+  std::uint64_t turbo_evaluations = 0;
+  std::vector<double> x01_final;    ///< verified design (normalized), if any
+  std::vector<double> x_phys_final; ///< verified design (physical units)
+  std::vector<IterationTrace> trace;
+  std::string termination;          ///< "verified" / "iteration-cap" / ...
+};
+
+class GlovaOptimizer {
+ public:
+  GlovaOptimizer(circuits::TestbenchPtr testbench, GlovaConfig config);
+
+  /// Run the full workflow to termination.
+  [[nodiscard]] GlovaResult run();
+
+  [[nodiscard]] const OperationalConfig& operational_config() const { return op_config_; }
+
+ private:
+  circuits::TestbenchPtr testbench_;
+  GlovaConfig config_;
+  OperationalConfig op_config_;
+};
+
+}  // namespace glova::core

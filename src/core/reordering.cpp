@@ -1,0 +1,42 @@
+#include "core/reordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/pearson.hpp"
+
+namespace glova::core {
+
+double total_degradation(const circuits::PerformanceSpec& spec, std::span<const double> metrics) {
+  if (metrics.size() != spec.count()) {
+    throw std::invalid_argument("total_degradation: metric count mismatch");
+  }
+  double g = 0.0;
+  for (std::size_t i = 0; i < spec.count(); ++i) {
+    g += circuits::degradation(spec.metrics[i], metrics[i]);
+  }
+  return g;
+}
+
+std::vector<double> correlation_vector(const std::vector<std::vector<double>>& mismatch_conditions,
+                                       std::span<const double> g) {
+  return stats::pearson_columns(mismatch_conditions, g);
+}
+
+double h_score(std::span<const double> h, std::span<const double> rho) {
+  if (h.size() != rho.size()) throw std::invalid_argument("h_score: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) s += h[i] * rho[i];
+  return s;
+}
+
+std::vector<std::size_t> order_descending(std::span<const double> scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace glova::core

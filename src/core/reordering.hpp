@@ -1,0 +1,36 @@
+// Simulation reordering (paper Sec. V-B): order verification work so the
+// most-likely-to-fail simulations run first and failures abort cheaply.
+//
+//   corner reordering:  t-SCORE_j = sum_i e_{j,i}        (Eq. 8)
+//   MC reordering:      rho_j = Pearson(h-coordinates, g)  (Eq. 9)
+//                       h-SCORE_{j,n} = sum_i (h_{j,n})_i * (rho_j)_i (Eq. 10)
+//
+// where g = sum_i g_i is the per-sample total degradation.  Corners with a
+// higher t-SCORE and mismatch conditions with a higher h-SCORE are simulated
+// first.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+
+namespace glova::core {
+
+/// Total degradation g = sum_i g_i of one simulated sample.
+[[nodiscard]] double total_degradation(const circuits::PerformanceSpec& spec,
+                                       std::span<const double> metrics);
+
+/// Pearson correlation vector rho_j (Eq. 9) from the pre-sampled mismatch
+/// conditions and their total degradations.
+[[nodiscard]] std::vector<double> correlation_vector(
+    const std::vector<std::vector<double>>& mismatch_conditions, std::span<const double> g);
+
+/// h-SCORE of one mismatch condition against rho (Eq. 10).
+[[nodiscard]] double h_score(std::span<const double> h, std::span<const double> rho);
+
+/// Indices sorted by descending score (ties keep original order).
+[[nodiscard]] std::vector<std::size_t> order_descending(std::span<const double> scores);
+
+}  // namespace glova::core

@@ -1,0 +1,33 @@
+#include "core/reward.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace glova::core {
+
+std::vector<double> margins(const circuits::PerformanceSpec& spec,
+                            std::span<const double> metrics) {
+  if (metrics.size() != spec.count()) throw std::invalid_argument("margins: metric count mismatch");
+  std::vector<double> f(spec.count());
+  for (std::size_t i = 0; i < spec.count(); ++i) {
+    f[i] = circuits::normalized_margin(spec.metrics[i], metrics[i]);
+  }
+  return f;
+}
+
+double reward_from_margins(std::span<const double> f) {
+  double r_prime = 0.0;
+  for (const double fi : f) r_prime += std::min(fi, 0.0);
+  return r_prime < 0.0 ? r_prime : kSuccessReward;
+}
+
+double reward_from_metrics(const circuits::PerformanceSpec& spec,
+                           std::span<const double> metrics) {
+  return reward_from_margins(margins(spec, metrics));
+}
+
+bool all_constraints_met(const circuits::PerformanceSpec& spec, std::span<const double> metrics) {
+  return reward_from_metrics(spec, metrics) == kSuccessReward;
+}
+
+}  // namespace glova::core

@@ -1,0 +1,33 @@
+// Reward shaping (paper Eqs. 4 and 5):
+//
+//   f_i = normalized margin of metric i          (positive = satisfied)
+//   r'  = sum_i min(f_i, 0)
+//   r   = r'            if r' < 0
+//       = 0.2           otherwise (all constraints met)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+
+namespace glova::core {
+
+inline constexpr double kSuccessReward = 0.2;
+
+/// Normalized margins f_i for all metrics.
+[[nodiscard]] std::vector<double> margins(const circuits::PerformanceSpec& spec,
+                                          std::span<const double> metrics);
+
+/// Eq. (4)/(5) reward from raw metric values.
+[[nodiscard]] double reward_from_metrics(const circuits::PerformanceSpec& spec,
+                                         std::span<const double> metrics);
+
+/// Reward from precomputed margins.
+[[nodiscard]] double reward_from_margins(std::span<const double> margins);
+
+/// True iff every constraint is satisfied.
+[[nodiscard]] bool all_constraints_met(const circuits::PerformanceSpec& spec,
+                                       std::span<const double> metrics);
+
+}  // namespace glova::core

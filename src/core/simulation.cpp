@@ -1,0 +1,39 @@
+#include "core/simulation.hpp"
+
+#include <stdexcept>
+
+namespace glova::core {
+
+SimulationService::SimulationService(circuits::TestbenchPtr testbench, std::size_t parallelism)
+    : testbench_(std::move(testbench)), parallelism_(parallelism) {
+  if (!testbench_) throw std::invalid_argument("SimulationService: null testbench");
+}
+
+std::vector<std::vector<double>> SimulationService::evaluate_batch(
+    std::span<const double> x_phys, const pdk::PvtCorner& corner,
+    const std::vector<std::vector<double>>& hs) {
+  std::vector<std::vector<double>> results(hs.size());
+  count_.fetch_add(hs.size());
+  // Behavioral evaluations are microseconds each; threading only pays off
+  // for sizable batches (or the SPICE backend).
+  const bool parallel = hs.size() >= 16 && parallelism_ != 1;
+  if (parallel) {
+    global_thread_pool().parallel_for(hs.size(), [&](std::size_t i) {
+      results[i] = testbench_->evaluate(x_phys, corner, hs[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      results[i] = testbench_->evaluate(x_phys, corner, hs[i]);
+    }
+  }
+  return results;
+}
+
+std::vector<double> SimulationService::evaluate_one(std::span<const double> x_phys,
+                                                    const pdk::PvtCorner& corner,
+                                                    std::span<const double> h) {
+  count_.fetch_add(1);
+  return testbench_->evaluate(x_phys, corner, h);
+}
+
+}  // namespace glova::core

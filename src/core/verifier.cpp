@@ -1,0 +1,140 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/mu_sigma.hpp"
+#include "core/reordering.hpp"
+#include "core/reward.hpp"
+#include "pdk/variation.hpp"
+
+namespace glova::core {
+
+Verifier::Verifier(SimulationService& service, OperationalConfig config, VerifierOptions options)
+    : service_(service), config_(std::move(config)), options_(options) {}
+
+VerificationOutcome Verifier::verify(std::span<const double> x_phys,
+                                     const rl::LastWorstBuffer& last_worst, Rng& rng,
+                                     const CornerPresample* reuse) {
+  const std::uint64_t sims_at_start = service_.simulation_count();
+  const circuits::PerformanceSpec& spec = service_.testbench().performance();
+  VerificationOutcome out;
+
+  const std::size_t k = config_.corner_count();
+  const std::size_t n_pre = std::min<std::size_t>(config_.n_opt, config_.n_verif);
+
+  // Mismatch layout is design-dependent (Sigma_Local(x), Eq. 3).
+  const pdk::MismatchLayout layout =
+      config_.has_mismatch() ? service_.testbench().mismatch_layout(x_phys, config_.global_mismatch)
+                             : pdk::MismatchLayout{};
+
+  const auto sample_conditions = [&](std::size_t n) -> std::vector<std::vector<double>> {
+    if (!config_.has_mismatch()) return std::vector<std::vector<double>>(n);  // nominal h
+    return pdk::sample_mismatch_set(layout, n, rng, config_.verification_sampling_mode());
+  };
+
+  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
+    double worst = std::numeric_limits<double>::max();
+    for (const auto& m : metrics) worst = std::min(worst, reward_from_metrics(spec, m));
+    return worst;
+  };
+
+  // ---------- Phase 1: mu-sigma gate over N' pre-samples per corner ----------
+  std::vector<std::size_t> phase1_order;
+  if (options_.use_reordering) {
+    phase1_order = last_worst.corners_worst_first();
+  } else {
+    phase1_order.resize(k);
+    for (std::size_t j = 0; j < k; ++j) phase1_order[j] = j;
+  }
+
+  std::vector<double> t_scores(k, 0.0);
+  std::vector<std::vector<double>> rho(k);                    // Eq. (9) per corner
+  std::vector<std::vector<std::vector<double>>> pre_hs(k);    // N' conditions per corner
+  const auto finish = [&](bool passed) {
+    out.passed = passed;
+    out.sims_used = service_.simulation_count() - sims_at_start;
+    return out;
+  };
+
+  for (const std::size_t j : phase1_order) {
+    std::vector<std::vector<double>> hs;
+    std::vector<std::vector<double>> metrics;
+    if (reuse != nullptr && reuse->corner_index == j && !reuse->metrics.empty()) {
+      hs = reuse->hs;
+      metrics = reuse->metrics;  // already simulated during optimization
+    } else {
+      hs = sample_conditions(n_pre);
+      metrics = service_.evaluate_batch(x_phys, config_.corners[j], hs);
+    }
+    out.corner_worst_rewards.emplace_back(j, worst_reward_of(metrics));
+
+    const MuSigmaResult ms = mu_sigma_evaluate(spec, metrics, options_.beta2);
+    // An actually-failing pre-sample fails verification regardless of the
+    // statistical gate; the gate additionally rejects distributions whose
+    // mu + beta2*sigma tail crosses a constraint.
+    const bool any_hard_failure = worst_reward_of(metrics) != kSuccessReward;
+    if (any_hard_failure || (options_.use_mu_sigma && !ms.pass)) {
+      out.failed_in_phase1 = true;
+      return finish(false);
+    }
+    t_scores[j] = ms.t_score;
+    if (config_.has_mismatch() && !hs.empty() && !hs.front().empty()) {
+      std::vector<double> g(metrics.size());
+      for (std::size_t n = 0; n < metrics.size(); ++n) g[n] = total_degradation(spec, metrics[n]);
+      rho[j] = correlation_vector(hs, g);
+    }
+    pre_hs[j] = std::move(hs);
+  }
+
+  // ---------- Phase 2: full verification of the remaining N - N' ----------
+  const std::size_t n_rest = config_.n_verif - n_pre;
+  if (n_rest == 0) {
+    out.corners_completed = k;
+    return finish(true);
+  }
+
+  std::vector<std::size_t> phase2_order;
+  if (options_.use_reordering) {
+    phase2_order = order_descending(t_scores);  // most degraded corners first
+  } else {
+    phase2_order.resize(k);
+    for (std::size_t j = 0; j < k; ++j) phase2_order[j] = j;
+  }
+
+  for (const std::size_t j : phase2_order) {
+    std::vector<std::vector<double>> hs = sample_conditions(n_rest);
+
+    if (options_.use_reordering && !rho[j].empty()) {
+      std::vector<double> scores(hs.size());
+      for (std::size_t n = 0; n < hs.size(); ++n) scores[n] = h_score(hs[n], rho[j]);
+      const std::vector<std::size_t> order = order_descending(scores);
+      std::vector<std::vector<double>> sorted;
+      sorted.reserve(hs.size());
+      for (const std::size_t n : order) sorted.push_back(std::move(hs[n]));
+      hs = std::move(sorted);
+    }
+
+    // Simulate in parallel chunks ("maximum available resources"); the chunk
+    // containing the first failure still counts — those runs were launched.
+    double corner_worst = kSuccessReward;
+    for (std::size_t begin = 0; begin < hs.size(); begin += options_.parallel_chunk) {
+      const std::size_t end = std::min(hs.size(), begin + options_.parallel_chunk);
+      const std::vector<std::vector<double>> chunk(hs.begin() + static_cast<std::ptrdiff_t>(begin),
+                                                   hs.begin() + static_cast<std::ptrdiff_t>(end));
+      const auto metrics = service_.evaluate_batch(x_phys, config_.corners[j], chunk);
+      const double w = worst_reward_of(metrics);
+      corner_worst = std::min(corner_worst, w);
+      if (w != kSuccessReward) {
+        out.corner_worst_rewards.emplace_back(j, corner_worst);
+        return finish(false);
+      }
+    }
+    out.corner_worst_rewards.emplace_back(j, corner_worst);
+    ++out.corners_completed;
+  }
+  return finish(true);
+}
+
+}  // namespace glova::core

@@ -1,0 +1,71 @@
+// Hierarchical verification (paper Algorithm 2).
+//
+// Phase 1 walks the corners worst-first (last-worst-case buffer order),
+// simulates N' mismatch pre-samples per corner, and gates on the mu-sigma
+// evaluation; a gate failure aborts verification immediately.  Phase 2 sorts
+// the surviving corners by t-SCORE, orders each corner's remaining N - N'
+// mismatch conditions by h-SCORE, and simulates until everything passes or
+// the first failing simulation aborts the run.
+//
+// For the corner-only regime (C), N = N' = 1 with no mismatch: phase 1 is
+// the entire verification and phase 2 degenerates to nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "rl/replay_buffer.hpp"
+
+namespace glova::core {
+
+struct VerifierOptions {
+  double beta2 = 4.0;        ///< reliability factor of Eq. (7)
+  bool use_mu_sigma = true;  ///< ablation: skip the statistical gate
+  bool use_reordering = true;///< ablation: natural corner/MC order
+  std::size_t parallel_chunk = 32;  ///< sims launched together in phase 2
+};
+
+/// Pre-simulated worst-corner samples from the optimization phase, reusable
+/// in phase 1 ("the H~N' for the worst corner has already been simulated").
+struct CornerPresample {
+  std::size_t corner_index = 0;
+  std::vector<std::vector<double>> hs;
+  std::vector<std::vector<double>> metrics;
+};
+
+struct VerificationOutcome {
+  bool passed = false;
+  std::uint64_t sims_used = 0;
+  bool failed_in_phase1 = false;
+  std::size_t corners_completed = 0;  ///< corners fully verified before stop
+  /// Worst reward observed per touched corner (corner index, reward), for
+  /// refreshing the last-worst-case buffer.
+  std::vector<std::pair<std::size_t, double>> corner_worst_rewards;
+};
+
+class Verifier {
+ public:
+  Verifier(SimulationService& service, OperationalConfig config, VerifierOptions options = {});
+
+  /// Run Algorithm 2 on a physical design point.
+  [[nodiscard]] VerificationOutcome verify(std::span<const double> x_phys,
+                                           const rl::LastWorstBuffer& last_worst, Rng& rng,
+                                           const CornerPresample* reuse = nullptr);
+
+  [[nodiscard]] const OperationalConfig& config() const { return config_; }
+  [[nodiscard]] const VerifierOptions& options() const { return options_; }
+
+ private:
+  SimulationService& service_;
+  OperationalConfig config_;
+  VerifierOptions options_;
+};
+
+}  // namespace glova::core

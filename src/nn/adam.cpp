@@ -1,0 +1,29 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::nn {
+
+Adam::Adam(std::size_t parameter_count, AdamConfig config)
+    : config_(config), m_(parameter_count, 0.0), v_(parameter_count, 0.0) {}
+
+void Adam::step(std::span<double> params, std::span<const double> grad) {
+  if (params.size() != m_.size() || grad.size() != m_.size()) {
+    throw std::invalid_argument("Adam::step: size mismatch");
+  }
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = b1 * m_[i] + (1.0 - b1) * grad[i];
+    v_[i] = b2 * v_[i] + (1.0 - b2) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    params[i] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+}  // namespace glova::nn

@@ -1,0 +1,34 @@
+// Adam optimizer (Kingma & Ba, 2015) over a flat parameter vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace glova::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Adam {
+ public:
+  Adam(std::size_t parameter_count, AdamConfig config = {});
+
+  /// Apply one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void step(std::span<double> params, std::span<const double> grad);
+
+  [[nodiscard]] std::size_t step_count() const { return t_; }
+  [[nodiscard]] const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace glova::nn

@@ -1,0 +1,33 @@
+#include "nn/loss.hpp"
+
+#include <stdexcept>
+
+namespace glova::nn {
+
+double mse(std::span<const double> pred, std::span<const double> target) {
+  if (pred.size() != target.size()) throw std::invalid_argument("mse: size mismatch");
+  if (pred.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    sum += 0.5 * d * d;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+std::vector<double> mse_grad(std::span<const double> pred, std::span<const double> target) {
+  if (pred.size() != target.size()) throw std::invalid_argument("mse_grad: size mismatch");
+  std::vector<double> g(pred.size());
+  const double scale = pred.empty() ? 0.0 : 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) g[i] = (pred[i] - target[i]) * scale;
+  return g;
+}
+
+double mse(double pred, double target) {
+  const double d = pred - target;
+  return 0.5 * d * d;
+}
+
+double mse_grad_scalar(double pred, double target) { return pred - target; }
+
+}  // namespace glova::nn

@@ -1,0 +1,21 @@
+// Mean-squared-error loss; Algorithm 1 uses MSE for both the critic
+// regression (L_Qi) and the actor objective (L_A).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace glova::nn {
+
+/// 0.5/n * sum (pred - target)^2 — the 0.5 keeps the gradient clean.
+[[nodiscard]] double mse(std::span<const double> pred, std::span<const double> target);
+
+/// Gradient of `mse` with respect to `pred`.
+[[nodiscard]] std::vector<double> mse_grad(std::span<const double> pred,
+                                           std::span<const double> target);
+
+/// Scalar convenience overloads.
+[[nodiscard]] double mse(double pred, double target);
+[[nodiscard]] double mse_grad_scalar(double pred, double target);
+
+}  // namespace glova::nn

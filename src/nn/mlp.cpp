@@ -1,0 +1,140 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::nn {
+
+double activate(Activation act, double x) {
+  switch (act) {
+    case Activation::Identity: return x;
+    case Activation::Tanh: return std::tanh(x);
+    case Activation::ReLU: return x > 0.0 ? x : 0.0;
+    case Activation::Sigmoid: return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double activate_grad(Activation act, double x) {
+  switch (act) {
+    case Activation::Identity: return 1.0;
+    case Activation::Tanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::ReLU: return x > 0.0 ? 1.0 : 0.0;
+    case Activation::Sigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Activation hidden, Activation output, Rng& rng)
+    : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2) throw std::invalid_argument("Mlp: need at least input and output layer");
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    total += sizes_[l] * sizes_[l + 1] + sizes_[l + 1];
+  }
+  params_.resize(total);
+  layers_.reserve(sizes_.size() - 1);
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const std::size_t in = sizes_[l];
+    const std::size_t out = sizes_[l + 1];
+    const Activation act = (l + 2 == sizes_.size()) ? output : hidden;
+    LayerView view{offset, offset + in * out, in, out, act};
+    offset += in * out + out;
+    // Xavier/Glorot uniform initialization keeps tanh layers in their linear
+    // region at the start of training.
+    const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (std::size_t i = 0; i < in * out; ++i) {
+      params_[view.w_offset + i] = rng.uniform(-bound, bound);
+    }
+    for (std::size_t i = 0; i < out; ++i) params_[view.b_offset + i] = 0.0;
+    layers_.push_back(view);
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  if (x.size() != input_dim()) throw std::invalid_argument("Mlp::forward: bad input size");
+  std::vector<double> cur(x.begin(), x.end());
+  std::vector<double> next;
+  for (const LayerView& layer : layers_) {
+    next.assign(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = params_[layer.b_offset + o];
+      const double* w_row = &params_[layer.w_offset + o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) z += w_row[i] * cur[i];
+      next[o] = activate(layer.act, z);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x, Workspace& ws) const {
+  if (x.size() != input_dim()) throw std::invalid_argument("Mlp::forward: bad input size");
+  ws.pre.assign(layers_.size(), {});
+  ws.post.assign(layers_.size() + 1, {});
+  ws.post[0].assign(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerView& layer = layers_[l];
+    ws.pre[l].assign(layer.out, 0.0);
+    ws.post[l + 1].assign(layer.out, 0.0);
+    const std::vector<double>& input = ws.post[l];
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = params_[layer.b_offset + o];
+      const double* w_row = &params_[layer.w_offset + o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) z += w_row[i] * input[i];
+      ws.pre[l][o] = z;
+      ws.post[l + 1][o] = activate(layer.act, z);
+    }
+  }
+  return ws.post.back();
+}
+
+std::vector<double> Mlp::backprop(const Workspace& ws, std::span<const double> dLdy,
+                                  std::span<double>* grad) const {
+  if (dLdy.size() != output_dim()) throw std::invalid_argument("Mlp::backward: bad dLdy size");
+  if (grad != nullptr && grad->size() != params_.size()) {
+    throw std::invalid_argument("Mlp::backward: bad grad size");
+  }
+  std::vector<double> delta(dLdy.begin(), dLdy.end());
+  std::vector<double> prev_delta;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const LayerView& layer = layers_[li];
+    // delta currently holds dL/d(post-activation) of this layer.
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      delta[o] *= activate_grad(layer.act, ws.pre[li][o]);
+    }
+    const std::vector<double>& input = ws.post[li];
+    if (grad != nullptr) {
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        double* gw_row = &(*grad)[layer.w_offset + o * layer.in];
+        for (std::size_t i = 0; i < layer.in; ++i) gw_row[i] += delta[o] * input[i];
+        (*grad)[layer.b_offset + o] += delta[o];
+      }
+    }
+    prev_delta.assign(layer.in, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* w_row = &params_[layer.w_offset + o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) prev_delta[i] += w_row[i] * delta[o];
+    }
+    delta.swap(prev_delta);
+  }
+  return delta;
+}
+
+std::vector<double> Mlp::backward(const Workspace& ws, std::span<const double> dLdy,
+                                  std::span<double> grad) const {
+  return backprop(ws, dLdy, &grad);
+}
+
+std::vector<double> Mlp::input_gradient(const Workspace& ws, std::span<const double> dLdy) const {
+  return backprop(ws, dLdy, nullptr);
+}
+
+}  // namespace glova::nn

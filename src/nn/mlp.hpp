@@ -1,0 +1,81 @@
+// Minimal fully-connected network with reverse-mode gradients.
+//
+// The paper's actor and critic are both "4-layer neural networks"
+// (Sec. IV-A).  This implementation keeps all parameters in one flat vector
+// so optimizers (nn::Adam) and parameter copies (ensemble base models) are
+// trivial, and exposes backward() variants that return input gradients so the
+// actor can be trained through the frozen critic (Algorithm 1's L_A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace glova::nn {
+
+enum class Activation { Identity, Tanh, ReLU, Sigmoid };
+
+/// Value of the activation function.
+[[nodiscard]] double activate(Activation act, double x);
+/// Derivative of the activation expressed via pre-activation x.
+[[nodiscard]] double activate_grad(Activation act, double x);
+
+/// Fully-connected feed-forward network.
+class Mlp {
+ public:
+  /// `sizes` lists layer widths including input and output,
+  /// e.g. {14, 64, 64, 64, 1} is a 4-layer network on a 14-dim input.
+  /// Hidden layers use `hidden`, the final layer uses `output`.
+  Mlp(std::vector<std::size_t> sizes, Activation hidden, Activation output, Rng& rng);
+
+  [[nodiscard]] std::size_t input_dim() const { return sizes_.front(); }
+  [[nodiscard]] std::size_t output_dim() const { return sizes_.back(); }
+  [[nodiscard]] std::size_t layer_count() const { return sizes_.size() - 1; }
+  [[nodiscard]] std::size_t parameter_count() const { return params_.size(); }
+
+  [[nodiscard]] std::span<double> parameters() { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const { return params_; }
+
+  /// Inference-only forward pass.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+  /// Activations cached by the training forward pass.
+  struct Workspace {
+    std::vector<std::vector<double>> pre;   ///< pre-activation per layer
+    std::vector<std::vector<double>> post;  ///< post-activation per layer; post[0] is the input
+  };
+
+  /// Forward pass that records activations for backward().
+  std::vector<double> forward(std::span<const double> x, Workspace& ws) const;
+
+  /// Backpropagate `dLdy` (gradient of the loss w.r.t. the network output)
+  /// through the cached workspace.  Parameter gradients are *accumulated*
+  /// into `grad` (must have parameter_count() entries).  Returns dL/dx.
+  std::vector<double> backward(const Workspace& ws, std::span<const double> dLdy,
+                               std::span<double> grad) const;
+
+  /// Gradient of the output w.r.t. the input only (no parameter gradients);
+  /// used when the critic is frozen during the actor update.
+  [[nodiscard]] std::vector<double> input_gradient(const Workspace& ws,
+                                                   std::span<const double> dLdy) const;
+
+ private:
+  struct LayerView {
+    std::size_t w_offset;  ///< offset of the (out x in) weight block in params_
+    std::size_t b_offset;  ///< offset of the bias vector in params_
+    std::size_t in;
+    std::size_t out;
+    Activation act;
+  };
+
+  std::vector<double> backprop(const Workspace& ws, std::span<const double> dLdy,
+                               std::span<double>* grad) const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<LayerView> layers_;
+  std::vector<double> params_;
+};
+
+}  // namespace glova::nn

@@ -1,0 +1,134 @@
+#include "opt/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace glova::opt {
+
+bool cholesky_factor(std::vector<double>& a, std::size_t n) {
+  if (a.size() != n * n) throw std::invalid_argument("cholesky_factor: bad size");
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) return false;
+    const double l_jj = std::sqrt(diag);
+    a[j * n + j] = l_jj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = sum / l_jj;
+    }
+    for (std::size_t k = j + 1; k < n; ++k) a[j * n + k] = 0.0;  // zero upper triangle
+  }
+  return true;
+}
+
+std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                   std::span<const double> b) {
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: bad rhs");
+  std::vector<double> x(b.begin(), b.end());
+  // Forward: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  // Backward: L^T x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  return x;
+}
+
+double GaussianProcess::kernel(std::span<const double> a, std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  const double ls2 = hyper_.lengthscale * hyper_.lengthscale;
+  return hyper_.signal_variance * std::exp(-0.5 * d2 / ls2);
+}
+
+double GaussianProcess::build(double lengthscale) {
+  hyper_.lengthscale = lengthscale;
+  const std::size_t n = x_.size();
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double k = kernel(x_[i], x_[j]);
+      chol_[i * n + j] = k;
+      chol_[j * n + i] = k;
+    }
+    chol_[i * n + i] += hyper_.noise_variance;
+  }
+  if (!cholesky_factor(chol_, n)) return -std::numeric_limits<double>::infinity();
+  alpha_ = cholesky_solve(chol_, n, y_);
+  // LML = -0.5 y^T alpha - sum log L_ii - n/2 log 2pi
+  double lml = 0.0;
+  for (std::size_t i = 0; i < n; ++i) lml -= 0.5 * y_[i] * alpha_[i];
+  for (std::size_t i = 0; i < n; ++i) lml -= std::log(chol_[i * n + i]);
+  lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  return lml;
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double> y,
+                          bool select_lengthscale) {
+  if (x.size() != y.size() || x.empty()) throw std::invalid_argument("GP::fit: bad data");
+  x_ = std::move(x);
+  // Standardize targets for a unit-signal-variance prior.
+  y_mean_ = stats::mean(y);
+  y_std_ = std::max(1e-9, stats::stddev_population(y));
+  y_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_[i] = (y[i] - y_mean_) / y_std_;
+  hyper_.noise_variance = std::max(hyper_.noise_variance, 1e-6);
+
+  if (select_lengthscale) {
+    static constexpr double kGrid[] = {0.1, 0.2, 0.3, 0.5, 0.8, 1.2};
+    double best_ls = hyper_.lengthscale;
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (const double ls : kGrid) {
+      const double lml = build(ls);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_ls = ls;
+      }
+    }
+    lml_ = build(best_ls);
+  } else {
+    lml_ = build(hyper_.lengthscale);
+  }
+}
+
+GpPrediction GaussianProcess::predict(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("GP::predict before fit");
+  const std::size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x_[i], x);
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += k_star[i] * alpha_[i];
+  // Predictive variance: k** - v^T v with v = L^-1 k*.
+  std::vector<double> v(k_star);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = v[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * v[k];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double var_std = hyper_.signal_variance;
+  for (std::size_t i = 0; i < n; ++i) var_std -= v[i] * v[i];
+  var_std = std::max(1e-12, var_std);
+
+  GpPrediction out;
+  out.mean = mean_std * y_std_ + y_mean_;
+  out.variance = var_std * y_std_ * y_std_;
+  return out;
+}
+
+}  // namespace glova::opt

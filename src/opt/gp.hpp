@@ -1,0 +1,65 @@
+// Gaussian-process regression with an RBF kernel — the surrogate inside
+// TuRBO [13], which GLOVA (following PVTSizing [9]) uses to generate initial
+// design solutions that already satisfy constraints at the typical corner.
+//
+// Scale: TuRBO fits on at most a few hundred points in <= 14 dimensions, so
+// dense Cholesky O(n^3) is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace glova::opt {
+
+struct GpHyperparameters {
+  double lengthscale = 0.3;  ///< isotropic RBF lengthscale (inputs live in [0,1]^p)
+  double signal_variance = 1.0;
+  double noise_variance = 1e-6;
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Dense Cholesky factorization A = L L^T (lower).  Returns false if A is
+/// not positive definite to working precision.
+[[nodiscard]] bool cholesky_factor(std::vector<double>& a, std::size_t n);
+
+/// Solve L L^T x = b given the factor from cholesky_factor.
+[[nodiscard]] std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                                 std::span<const double> b);
+
+class GaussianProcess {
+ public:
+  /// Fit on observations; `select_lengthscale` additionally does a small
+  /// grid search maximizing the log marginal likelihood.
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y,
+           bool select_lengthscale = true);
+
+  [[nodiscard]] GpPrediction predict(std::span<const double> x) const;
+
+  [[nodiscard]] bool fitted() const { return !x_.empty(); }
+  [[nodiscard]] const GpHyperparameters& hyperparameters() const { return hyper_; }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+  /// Log marginal likelihood of the current fit (for tests and tuning).
+  [[nodiscard]] double log_marginal_likelihood() const { return lml_; }
+
+ private:
+  [[nodiscard]] double kernel(std::span<const double> a, std::span<const double> b) const;
+  /// Factor + alpha for a candidate lengthscale; returns LML.
+  double build(double lengthscale);
+
+  GpHyperparameters hyper_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;            ///< standardized targets
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  std::vector<double> chol_;         ///< lower Cholesky of K + noise I
+  std::vector<double> alpha_;        ///< (K + noise I)^-1 y
+  double lml_ = 0.0;
+};
+
+}  // namespace glova::opt

@@ -1,0 +1,98 @@
+#include "opt/kmeans.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace glova::opt {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("squared_distance: dim mismatch");
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, std::size_t k, Rng& rng,
+                    std::size_t max_iterations) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no points");
+  if (k == 0 || k > points.size()) throw std::invalid_argument("kmeans: bad k");
+  const std::size_t n = points.size();
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids.push_back(points[rng.index(n)]);
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], result.centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      result.centroids.push_back(points[rng.index(n)]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  result.assignment.assign(n, 0);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    const std::size_t dim = points.front().size();
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) sums[result.assignment[i]][d] += points[i][d];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        result.centroids[c] = points[rng.index(n)];  // re-seed empty cluster
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = it + 1;
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += squared_distance(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace glova::opt

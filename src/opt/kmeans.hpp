@@ -1,0 +1,27 @@
+// k-means with k-means++ seeding.  RobustAnalog [8] clusters PVT corners by
+// their performance signatures and only simulates the dominant corner of
+// each cluster — the multi-task pruning GLOVA is compared against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace glova::opt {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;          ///< point -> cluster
+  std::vector<std::vector<double>> centroids;   ///< k centroids
+  double inertia = 0.0;                          ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Cluster `points` into k groups (k <= points.size()).
+[[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<double>>& points, std::size_t k,
+                                  Rng& rng, std::size_t max_iterations = 100);
+
+/// Squared Euclidean distance (exposed for tests).
+[[nodiscard]] double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace glova::opt

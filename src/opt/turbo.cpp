@@ -1,0 +1,150 @@
+#include "opt/turbo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace glova::opt {
+
+Turbo::Turbo(std::size_t dim, TurboConfig config, Rng rng)
+    : dim_(dim), config_(config), rng_(rng), tr_(config.tr_initial) {
+  if (dim_ == 0) throw std::invalid_argument("Turbo: zero-dimensional space");
+}
+
+std::vector<std::vector<double>> Turbo::latin_hypercube(std::size_t n) {
+  // One stratified permutation per axis.
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim_));
+  for (std::size_t d = 0; d < dim_; ++d) {
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = n; i-- > 1;) std::swap(perm[i], perm[rng_.index(i + 1)]);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i][d] = (static_cast<double>(perm[i]) + rng_.uniform()) / static_cast<double>(n);
+    }
+  }
+  return pts;
+}
+
+std::vector<std::vector<double>> Turbo::ask(std::size_t n) {
+  if (n == 0) return {};
+  // Warmup: serve Latin-hypercube points until n_init observations exist.
+  if (xs_.size() + 0 < config_.n_init) {
+    const std::size_t remaining = config_.n_init - xs_.size();
+    return latin_hypercube(std::min(n, std::max<std::size_t>(remaining, n)));
+  }
+
+  // Fit the surrogate on points inside (an inflated copy of) the trust region
+  // to keep the GP local, falling back to all points when too few are inside.
+  std::vector<std::vector<double>> x_fit;
+  std::vector<double> y_fit;
+  const double half = 0.75 * tr_;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    bool inside = true;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      if (std::abs(xs_[i][d] - best_x_[d]) > half) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      x_fit.push_back(xs_[i]);
+      y_fit.push_back(ys_[i]);
+    }
+  }
+  if (x_fit.size() < std::max<std::size_t>(dim_ + 2, 6)) {
+    x_fit = xs_;
+    y_fit = ys_;
+  }
+  // Cap the GP fit size for O(n^3) sanity: keep the most recent points.
+  constexpr std::size_t kMaxFit = 300;
+  if (x_fit.size() > kMaxFit) {
+    x_fit.erase(x_fit.begin(), x_fit.end() - static_cast<std::ptrdiff_t>(kMaxFit));
+    y_fit.erase(y_fit.begin(), y_fit.end() - static_cast<std::ptrdiff_t>(kMaxFit));
+  }
+  GaussianProcess gp;
+  gp.fit(x_fit, y_fit);
+
+  // Candidate pool: perturb the incumbent inside the trust region, changing a
+  // random subset of coordinates (TuRBO's sparse perturbation heuristic).
+  std::vector<std::vector<double>> cands;
+  cands.reserve(config_.candidates);
+  const double p_perturb = std::min(1.0, 20.0 / static_cast<double>(dim_));
+  for (std::size_t c = 0; c < config_.candidates; ++c) {
+    std::vector<double> cand = best_x_;
+    bool any = false;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      if (rng_.uniform() < p_perturb) {
+        cand[d] = std::clamp(best_x_[d] + (rng_.uniform() - 0.5) * tr_, 0.0, 1.0);
+        any = true;
+      }
+    }
+    if (!any) {
+      const std::size_t d = rng_.index(dim_);
+      cand[d] = std::clamp(best_x_[d] + (rng_.uniform() - 0.5) * tr_, 0.0, 1.0);
+    }
+    cands.push_back(std::move(cand));
+  }
+
+  // UCB acquisition over the pool; return the n best distinct candidates.
+  std::vector<std::pair<double, std::size_t>> scored(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const GpPrediction pred = gp.predict(cands[c]);
+    scored[c] = {pred.mean + config_.ucb_beta * std::sqrt(pred.variance), c};
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < std::min(n, scored.size()); ++i) {
+    out.push_back(cands[scored[i].second]);
+  }
+  return out;
+}
+
+void Turbo::tell(const std::vector<std::vector<double>>& points,
+                 const std::vector<double>& values) {
+  if (points.size() != values.size()) throw std::invalid_argument("Turbo::tell: size mismatch");
+  bool improved = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].size() != dim_) throw std::invalid_argument("Turbo::tell: bad point dim");
+    xs_.push_back(points[i]);
+    ys_.push_back(values[i]);
+    if (values[i] > best_y_ + 1e-4 * std::abs(best_y_)) {
+      best_y_ = values[i];
+      best_x_ = points[i];
+      improved = true;
+    }
+    if (best_x_.empty()) {
+      best_y_ = values[i];
+      best_x_ = points[i];
+    }
+  }
+  if (xs_.size() <= config_.n_init) return;  // no TR adaptation during warmup
+  if (improved) {
+    ++success_streak_;
+    failure_streak_ = 0;
+    if (success_streak_ >= config_.success_tolerance) {
+      tr_ = std::min(config_.tr_max, 2.0 * tr_);
+      success_streak_ = 0;
+    }
+  } else {
+    ++failure_streak_;
+    success_streak_ = 0;
+    if (failure_streak_ >= config_.failure_tolerance) {
+      tr_ *= 0.5;
+      failure_streak_ = 0;
+    }
+  }
+}
+
+std::vector<std::vector<double>> Turbo::top_points(std::size_t k) const {
+  std::vector<std::size_t> idx(xs_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) { return ys_[a] > ys_[b]; });
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < std::min(k, idx.size()); ++i) out.push_back(xs_[idx[i]]);
+  return out;
+}
+
+}  // namespace glova::opt

@@ -1,0 +1,69 @@
+// TuRBO-1 (Eriksson et al., NeurIPS 2019): trust-region Bayesian
+// optimization.  GLOVA and PVTSizing [9] use it to generate design solutions
+// that meet constraints under the *typical* condition before RL takes over
+// (paper Sec. III-C step 0); RobustAnalog's random initialization is the
+// contrast case the paper measures against.
+//
+// Ask/tell interface: the caller owns evaluation (and simulation counting).
+// Maximizes the reward surrogate; reaching `target` (the 0.2 all-constraints-
+// met reward) is the stop condition for initialization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/gp.hpp"
+
+namespace glova::opt {
+
+struct TurboConfig {
+  std::size_t n_init = 12;          ///< Latin-hypercube warmup points
+  std::size_t candidates = 256;     ///< candidate pool per ask
+  double tr_initial = 0.4;          ///< trust-region edge length (in [0,1] units)
+  double tr_min = 0.02;
+  double tr_max = 1.0;
+  std::size_t success_tolerance = 3;  ///< consecutive successes before expand
+  std::size_t failure_tolerance = 8;  ///< consecutive failures before shrink
+  double ucb_beta = 1.5;              ///< acquisition: mean + beta * std
+};
+
+class Turbo {
+ public:
+  Turbo(std::size_t dim, TurboConfig config, Rng rng);
+
+  /// Next batch of points to evaluate (normalized [0,1]^p).
+  [[nodiscard]] std::vector<std::vector<double>> ask(std::size_t n);
+
+  /// Report observed values (same order as the points from ask()).
+  void tell(const std::vector<std::vector<double>>& points, const std::vector<double>& values);
+
+  [[nodiscard]] const std::vector<double>& best_point() const { return best_x_; }
+  [[nodiscard]] double best_value() const { return best_y_; }
+  [[nodiscard]] double trust_region() const { return tr_; }
+  [[nodiscard]] std::size_t observation_count() const { return xs_.size(); }
+
+  /// The k best observed points (for seeding the RL replay buffer).
+  [[nodiscard]] std::vector<std::vector<double>> top_points(std::size_t k) const;
+
+  /// True once the trust region collapsed below tr_min (TuRBO restart
+  /// condition; the caller may reconstruct or stop).
+  [[nodiscard]] bool converged() const { return tr_ < config_.tr_min; }
+
+ private:
+  [[nodiscard]] std::vector<std::vector<double>> latin_hypercube(std::size_t n);
+
+  std::size_t dim_;
+  TurboConfig config_;
+  Rng rng_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  std::vector<double> best_x_;
+  double best_y_ = -1e300;
+  double tr_;
+  std::size_t success_streak_ = 0;
+  std::size_t failure_streak_ = 0;
+  std::size_t lhs_served_ = 0;
+};
+
+}  // namespace glova::opt

@@ -1,0 +1,85 @@
+#include "pdk/corner.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace glova::pdk {
+
+const char* to_string(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::TT: return "TT";
+    case ProcessCorner::SS: return "SS";
+    case ProcessCorner::FF: return "FF";
+    case ProcessCorner::SF: return "SF";
+    case ProcessCorner::FS: return "FS";
+  }
+  return "??";
+}
+
+std::string PvtCorner::name() const {
+  std::ostringstream os;
+  if (process_predefined) {
+    os << to_string(process);
+  } else {
+    os << "MCG";  // process axis sampled by global MC
+  }
+  os << '/' << vdd << "V/" << temp_c << "C";
+  return os.str();
+}
+
+double PvtCorner::temp_k() const { return units::celsius_to_kelvin(temp_c); }
+
+CornerFactors corner_factors(ProcessCorner corner) {
+  // Shift magnitudes are representative of a 28 nm bulk CMOS PDK: roughly
+  // +-8 % die-to-die mobility and +-40 mV threshold shift at the slow/fast
+  // 3-sigma corners.  The first letter is the NMOS corner, the second PMOS.
+  constexpr double kSlowKp = 0.92;
+  constexpr double kFastKp = 1.08;
+  constexpr double kSlowVth = 0.040;
+  constexpr double kFastVth = -0.040;
+  switch (corner) {
+    case ProcessCorner::TT: return {1.0, 1.0, 0.0, 0.0};
+    case ProcessCorner::SS: return {kSlowKp, kSlowKp, kSlowVth, kSlowVth};
+    case ProcessCorner::FF: return {kFastKp, kFastKp, kFastVth, kFastVth};
+    case ProcessCorner::SF: return {kSlowKp, kFastKp, kSlowVth, kFastVth};
+    case ProcessCorner::FS: return {kFastKp, kSlowKp, kFastVth, kSlowVth};
+  }
+  return {};
+}
+
+std::vector<PvtCorner> full_corner_set() {
+  static constexpr std::array<ProcessCorner, 5> kProcess = {
+      ProcessCorner::TT, ProcessCorner::SS, ProcessCorner::FF, ProcessCorner::SF,
+      ProcessCorner::FS};
+  static constexpr std::array<double, 2> kVdd = {0.8, 0.9};
+  static constexpr std::array<double, 3> kTemp = {-40.0, 27.0, 80.0};
+  std::vector<PvtCorner> corners;
+  corners.reserve(kProcess.size() * kVdd.size() * kTemp.size());
+  for (const ProcessCorner p : kProcess) {
+    for (const double v : kVdd) {
+      for (const double t : kTemp) {
+        corners.push_back(PvtCorner{p, v, t, true});
+      }
+    }
+  }
+  return corners;
+}
+
+std::vector<PvtCorner> vt_corner_set() {
+  static constexpr std::array<double, 2> kVdd = {0.8, 0.9};
+  static constexpr std::array<double, 3> kTemp = {-40.0, 27.0, 80.0};
+  std::vector<PvtCorner> corners;
+  corners.reserve(kVdd.size() * kTemp.size());
+  for (const double v : kVdd) {
+    for (const double t : kTemp) {
+      corners.push_back(PvtCorner{ProcessCorner::TT, v, t, false});
+    }
+  }
+  return corners;
+}
+
+PvtCorner typical_corner() { return PvtCorner{ProcessCorner::TT, 0.9, 27.0, true}; }
+
+}  // namespace glova::pdk

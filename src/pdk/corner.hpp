@@ -1,0 +1,54 @@
+// PVT corner definitions (paper Sec. II-A / VI-A).
+//
+// The paper verifies over 30 PVT conditions:
+//   {TT, SS, FF, SF, FS} x {0.8 V, 0.9 V} x {-40 C, 27 C, 80 C}
+// and, for the global-local MC regime (C-MC_G-L), over the 6 VT conditions
+// {0.8 V, 0.9 V} x {-40 C, 27 C, 80 C} where the process axis is *not*
+// predefined but sampled as a global variation (Table I, column P = N).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace glova::pdk {
+
+enum class ProcessCorner { TT, SS, FF, SF, FS };
+
+[[nodiscard]] const char* to_string(ProcessCorner corner);
+
+/// One PVT condition t in the predefined set T.
+struct PvtCorner {
+  ProcessCorner process = ProcessCorner::TT;
+  double vdd = 0.9;      ///< supply voltage [V]
+  double temp_c = 27.0;  ///< junction temperature [Celsius]
+  /// False for the C-MC_G-L regime: the process axis is nominal here and the
+  /// die-level shift comes from the sampled global variation instead.
+  bool process_predefined = true;
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] double temp_k() const;
+
+  bool operator==(const PvtCorner&) const = default;
+};
+
+/// Die-level device-parameter multipliers/shifts implied by a process corner.
+/// Slow corners have lower mobility (kp) and higher |Vth|.
+struct CornerFactors {
+  double kp_n_mult = 1.0;
+  double kp_p_mult = 1.0;
+  double vth_n_shift = 0.0;  ///< [V], added to NMOS Vth
+  double vth_p_shift = 0.0;  ///< [V], added to |PMOS Vth|
+};
+
+[[nodiscard]] CornerFactors corner_factors(ProcessCorner corner);
+
+/// The full 30-condition corner set used by C and C-MC_L.
+[[nodiscard]] std::vector<PvtCorner> full_corner_set();
+
+/// The 6 VT conditions used by C-MC_G-L (process nominal, not predefined).
+[[nodiscard]] std::vector<PvtCorner> vt_corner_set();
+
+/// The single typical condition {TT, 0.9 V, 27 C} used by TuRBO init.
+[[nodiscard]] PvtCorner typical_corner();
+
+}  // namespace glova::pdk

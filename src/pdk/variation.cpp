@@ -1,0 +1,65 @@
+#include "pdk/variation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::pdk {
+
+double pelgrom_sigma_vth(double avt, double w, double l) {
+  if (w <= 0.0 || l <= 0.0) throw std::invalid_argument("pelgrom_sigma_vth: non-positive geometry");
+  return avt / std::sqrt(w * l);
+}
+
+double pelgrom_sigma_beta(double abeta, double w, double l) {
+  if (w <= 0.0 || l <= 0.0) throw std::invalid_argument("pelgrom_sigma_beta: non-positive geometry");
+  return abeta / std::sqrt(w * l);
+}
+
+MismatchLayout build_layout(const std::vector<DeviceGeometry>& devices,
+                            const PelgromConstants& pelgrom, const GlobalSigmas& global_sigmas,
+                            bool global_enabled) {
+  MismatchLayout layout;
+  layout.names.reserve(devices.size() * 2);
+  layout.local_sigma.reserve(devices.size() * 2);
+  layout.global_sigma.reserve(devices.size() * 2);
+  for (const DeviceGeometry& dev : devices) {
+    const double avt = dev.is_pmos ? pelgrom.avt_p : pelgrom.avt_n;
+    layout.names.push_back(dev.name + ".dvth");
+    layout.local_sigma.push_back(pelgrom_sigma_vth(avt, dev.w, dev.l));
+    layout.global_sigma.push_back(global_enabled ? global_sigmas.vth : 0.0);
+
+    layout.names.push_back(dev.name + ".dbeta");
+    layout.local_sigma.push_back(pelgrom_sigma_beta(pelgrom.abeta, dev.w, dev.l));
+    layout.global_sigma.push_back(global_enabled ? global_sigmas.beta : 0.0);
+  }
+  return layout;
+}
+
+std::vector<std::vector<double>> sample_mismatch_set(const MismatchLayout& layout, std::size_t n,
+                                                     Rng& rng, GlobalMode mode) {
+  const std::size_t r = layout.dimension();
+  if (layout.local_sigma.size() != r || layout.global_sigma.size() != r) {
+    throw std::invalid_argument("sample_mismatch_set: inconsistent layout");
+  }
+  std::vector<std::vector<double>> set;
+  set.reserve(n);
+
+  std::vector<double> h1(r, 0.0);
+  const auto draw_global = [&] {
+    for (std::size_t d = 0; d < r; ++d) h1[d] = rng.normal(0.0, layout.global_sigma[d]);
+  };
+  if (mode == GlobalMode::SharedDie) draw_global();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mode == GlobalMode::PerSample) draw_global();
+    std::vector<double> h2(r);
+    for (std::size_t d = 0; d < r; ++d) {
+      const double mean = (mode == GlobalMode::Zero) ? 0.0 : h1[d];
+      h2[d] = rng.normal(mean, layout.local_sigma[d]);
+    }
+    set.push_back(std::move(h2));
+  }
+  return set;
+}
+
+}  // namespace glova::pdk

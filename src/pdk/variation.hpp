@@ -1,0 +1,81 @@
+// Process-variation model and the hierarchical mismatch sampler of Eq. (3):
+//
+//   h(1)      ~ N(0, Sigma_Global(x))            (one draw per die)
+//   h(2)_n    ~ N(h(1), Sigma_Local(x))           (per-instance draws)
+//   H~_N      = { h(2)_1 ... h(2)_N }
+//
+// Both covariance matrices are diagonal (the paper's formulation).  Local
+// sigmas follow the Pelgrom law sigma = A / sqrt(W*L), so Sigma_Local really
+// is a function of the sizing vector x — shrinking a device makes it noisier.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace glova::pdk {
+
+/// Pelgrom matching constants (units: V*m for A_VT, m for A_beta so that
+/// sigma = A / sqrt(W*L) with W, L in meters gives V / relative units).
+/// Defaults are representative of 28 nm bulk CMOS (A_VT ~ 2.8 mV*um).
+struct PelgromConstants {
+  double avt_n = 2.8e-9;   ///< NMOS Vth matching [V*m]
+  double avt_p = 3.2e-9;   ///< PMOS Vth matching [V*m]
+  double abeta = 0.015e-6; ///< current-factor matching [relative*m]
+};
+
+/// sigma(delta Vth) for a device of geometry w x l [m].
+[[nodiscard]] double pelgrom_sigma_vth(double avt, double w, double l);
+
+/// sigma(delta beta / beta) for a device of geometry w x l [m].
+[[nodiscard]] double pelgrom_sigma_beta(double abeta, double w, double l);
+
+/// Die-to-die (global) sigma defaults; these parameterize Sigma_Global.
+struct GlobalSigmas {
+  double vth = 0.020;  ///< [V] shared threshold shift per die
+  double beta = 0.04;  ///< relative shared current-factor shift per die
+};
+
+/// One transistor's geometry, used to build Sigma_Local(x).
+struct DeviceGeometry {
+  std::string name;
+  bool is_pmos = false;
+  double w = 1e-6;  ///< [m]
+  double l = 100e-9;  ///< [m]
+};
+
+/// Description of the r-dimensional mismatch space of a testbench.
+/// Layout: coordinates 2*d and 2*d+1 are (delta_vth, delta_beta) of device d;
+/// testbenches may append extra coordinates (e.g. DRAM cell/bitline spread)
+/// via `extra_names` / `extra_local_sigma` / `extra_global_sigma`.
+struct MismatchLayout {
+  std::vector<std::string> names;
+  std::vector<double> local_sigma;   ///< diag(Sigma_Local(x))^(1/2)
+  std::vector<double> global_sigma;  ///< diag(Sigma_Global)^(1/2)
+
+  [[nodiscard]] std::size_t dimension() const { return names.size(); }
+};
+
+/// Build the layout for a list of devices under the given constants.
+/// `global_enabled` = false zeroes Sigma_Global (rows C / C-MC_L of Table I).
+[[nodiscard]] MismatchLayout build_layout(const std::vector<DeviceGeometry>& devices,
+                                          const PelgromConstants& pelgrom,
+                                          const GlobalSigmas& global_sigmas, bool global_enabled);
+
+/// How the global draw h(1) is shared across the sampled set.
+enum class GlobalMode {
+  Zero,       ///< h(1) = 0: corner-only or local-MC regimes
+  SharedDie,  ///< Eq. (3) literal: one h(1) for the whole set (one die)
+  PerSample,  ///< a fresh h(1) per sample (each sample = a different die)
+};
+
+/// Sample a mismatch-condition set H~_N per Eq. (3).
+/// Each returned vector has `layout.dimension()` entries.
+[[nodiscard]] std::vector<std::vector<double>> sample_mismatch_set(const MismatchLayout& layout,
+                                                                   std::size_t n, Rng& rng,
+                                                                   GlobalMode mode);
+
+}  // namespace glova::pdk

@@ -1,0 +1,105 @@
+#include "rl/agent.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "nn/loss.hpp"
+
+namespace glova::rl {
+
+namespace {
+
+nn::Mlp make_actor(std::size_t design_dim, std::size_t hidden, Rng stream) {
+  // 4-layer network; sigmoid output keeps proposals inside [0,1]^p.
+  return nn::Mlp(std::vector<std::size_t>{design_dim, hidden, hidden, hidden, design_dim},
+                 nn::Activation::Tanh, nn::Activation::Sigmoid, stream);
+}
+
+EnsembleCritic make_critic(std::size_t design_dim, const CriticConfig& config, Rng stream) {
+  return EnsembleCritic(design_dim, config, stream);
+}
+
+}  // namespace
+
+RiskSensitiveAgent::RiskSensitiveAgent(std::size_t design_dim, const AgentConfig& config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      actor_(make_actor(design_dim, config.hidden, rng.split(0xAC70))),
+      actor_opt_(actor_.parameter_count(),
+                 nn::AdamConfig{config.actor_learning_rate, 0.9, 0.999, 1e-8}),
+      critic_(make_critic(design_dim, config.critic, rng.split(0xC217))),
+      noise_(config.noise_initial) {}
+
+double RiskSensitiveAgent::update(const WorstCaseReplayBuffer& buffer) {
+  if (buffer.empty()) return 0.0;
+  ++updates_;
+
+  // --- critic: each base model trains on its own batch (Sec. IV-B) ---
+  for (std::size_t i = 0; i < critic_.ensemble_size(); ++i) {
+    const std::vector<Experience> batch = buffer.sample(config_.batch_size, rng_);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> rs;
+    xs.reserve(batch.size());
+    rs.reserve(batch.size());
+    for (const Experience& e : batch) {
+      xs.push_back(e.x01);
+      rs.push_back(e.reward);
+    }
+    critic_.train_base(i, xs, rs);
+  }
+
+  // --- actor: minimize MSE(0.2, Q(A(x)) + bias) through the frozen critic ---
+  const std::vector<Experience> batch = buffer.sample(config_.batch_size, rng_);
+  std::vector<double> grad(actor_.parameter_count(), 0.0);
+  double loss = 0.0;
+  nn::Mlp::Workspace ws;
+  const double scale = 1.0 / static_cast<double>(batch.size());
+  for (const Experience& e : batch) {
+    const std::vector<double> action = actor_.forward(e.x01, ws);
+    const double q = critic_.predict(action) + config_.critic.bias;
+    loss += nn::mse(q, config_.target_reward) * scale;
+    const double dLdq = nn::mse_grad_scalar(q, config_.target_reward) * scale;
+    const std::vector<double> dLda = critic_.input_gradient(action, dLdq);
+    (void)actor_.backward(ws, dLda, grad);
+  }
+  actor_opt_.step(actor_.parameters(), grad);
+  return loss;
+}
+
+std::vector<double> RiskSensitiveAgent::propose(std::span<const double> x_last) {
+  std::vector<double> x_new = actor_.forward(x_last);
+  for (double& v : x_new) {
+    v = std::clamp(v + rng_.normal(0.0, noise_), 0.0, 1.0);
+  }
+  noise_ = std::max(config_.noise_min, noise_ * config_.noise_decay);
+  return x_new;
+}
+
+std::vector<double> RiskSensitiveAgent::propose_screened(std::span<const double> x_last,
+                                                         std::size_t candidates) {
+  const std::vector<double> mean = actor_.forward(x_last);
+  std::vector<double> best = mean;
+  double best_bound = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < std::max<std::size_t>(candidates, 1); ++c) {
+    std::vector<double> cand = mean;
+    // A fraction of candidates explore at doubled noise so the screen can
+    // escape shallow local basins.
+    const double sigma = (c % 4 == 3) ? 2.0 * noise_ : noise_;
+    for (double& v : cand) v = std::clamp(v + rng_.normal(0.0, sigma), 0.0, 1.0);
+    const double bound = critic_.predict(cand);
+    if (bound > best_bound) {
+      best_bound = bound;
+      best = std::move(cand);
+    }
+  }
+  noise_ = std::max(config_.noise_min, noise_ * config_.noise_decay);
+  return best;
+}
+
+std::vector<double> RiskSensitiveAgent::act(std::span<const double> x_last) const {
+  return actor_.forward(x_last);
+}
+
+}  // namespace glova::rl

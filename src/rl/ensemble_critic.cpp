@@ -1,0 +1,97 @@
+#include "rl/ensemble_critic.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace glova::rl {
+
+EnsembleCritic::EnsembleCritic(std::size_t input_dim, const CriticConfig& config, Rng& rng)
+    : config_(config) {
+  if (config_.ensemble_size == 0) throw std::invalid_argument("EnsembleCritic: empty ensemble");
+  models_.reserve(config_.ensemble_size);
+  optimizers_.reserve(config_.ensemble_size);
+  for (std::size_t i = 0; i < config_.ensemble_size; ++i) {
+    Rng stream = rng.split(i + 1);
+    // 4-layer network (paper Sec. IV-A): input -> h -> h -> h -> 1.
+    models_.emplace_back(
+        std::vector<std::size_t>{input_dim, config_.hidden, config_.hidden, config_.hidden, 1},
+        nn::Activation::Tanh, nn::Activation::Identity, stream);
+    optimizers_.emplace_back(models_.back().parameter_count(),
+                             nn::AdamConfig{config_.learning_rate, 0.9, 0.999, 1e-8});
+  }
+}
+
+EnsembleCritic::Bound EnsembleCritic::bound(std::span<const double> x) const {
+  Bound b;
+  std::vector<double> outs(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) outs[i] = models_[i].forward(x)[0];
+  double mean = 0.0;
+  for (const double o : outs) mean += o;
+  mean /= static_cast<double>(outs.size());
+  double var = 0.0;
+  for (const double o : outs) var += (o - mean) * (o - mean);
+  var = outs.size() > 1 ? var / static_cast<double>(outs.size() - 1) : 0.0;
+  b.mean = mean;
+  b.std = std::sqrt(var);
+  b.risk_adjusted = mean + config_.beta1 * b.std;
+  return b;
+}
+
+double EnsembleCritic::predict(std::span<const double> x) const { return bound(x).risk_adjusted; }
+
+double EnsembleCritic::train_base(std::size_t i, const std::vector<std::vector<double>>& xs,
+                                  std::span<const double> rewards) {
+  if (i >= models_.size()) throw std::out_of_range("EnsembleCritic::train_base");
+  if (xs.size() != rewards.size() || xs.empty()) {
+    throw std::invalid_argument("EnsembleCritic::train_base: bad batch");
+  }
+  nn::Mlp& model = models_[i];
+  std::vector<double> grad(model.parameter_count(), 0.0);
+  double loss = 0.0;
+  nn::Mlp::Workspace ws;
+  const double scale = 1.0 / static_cast<double>(xs.size());
+  for (std::size_t n = 0; n < xs.size(); ++n) {
+    const std::vector<double> out = model.forward(xs[n], ws);
+    const double pred = out[0] + config_.bias;
+    loss += nn::mse(pred, rewards[n]) * scale;
+    const double dLdy = nn::mse_grad_scalar(pred, rewards[n]) * scale;
+    const std::array<double, 1> dl{dLdy};
+    (void)model.backward(ws, std::span<const double>(dl.data(), 1), grad);
+  }
+  optimizers_[i].step(model.parameters(), grad);
+  return loss;
+}
+
+std::vector<double> EnsembleCritic::input_gradient(std::span<const double> x, double dLdq) const {
+  // Q = mean_i Q_i + beta1 * sigma.  dQ/dQ_i = 1/E + beta1 * (Q_i - mean) /
+  // ((E-1) * sigma); for sigma -> 0 only the mean term survives.
+  const std::size_t e = models_.size();
+  std::vector<double> outs(e);
+  std::vector<nn::Mlp::Workspace> wss(e);
+  for (std::size_t i = 0; i < e; ++i) outs[i] = models_[i].forward(x, wss[i])[0];
+  double mean = 0.0;
+  for (const double o : outs) mean += o;
+  mean /= static_cast<double>(e);
+  double var = 0.0;
+  for (const double o : outs) var += (o - mean) * (o - mean);
+  var = e > 1 ? var / static_cast<double>(e - 1) : 0.0;
+  const double sigma = std::sqrt(var);
+
+  std::vector<double> dx(x.size(), 0.0);
+  for (std::size_t i = 0; i < e; ++i) {
+    double weight = 1.0 / static_cast<double>(e);
+    if (e > 1 && sigma > 1e-12) {
+      weight += config_.beta1 * (outs[i] - mean) / (static_cast<double>(e - 1) * sigma);
+    }
+    const std::array<double, 1> dl{dLdq * weight};
+    const std::vector<double> gi =
+        models_[i].input_gradient(wss[i], std::span<const double>(dl.data(), 1));
+    for (std::size_t d = 0; d < dx.size(); ++d) dx[d] += gi[d];
+  }
+  return dx;
+}
+
+}  // namespace glova::rl

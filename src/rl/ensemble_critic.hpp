@@ -1,0 +1,62 @@
+// Ensemble-based critic (paper Sec. IV-B, Eq. 6):
+//
+//   Q(x) = E[Q_i(x)] + beta1 * sigma[Q_i(x)],   beta1 < 0 (risk avoidance)
+//
+// Each base model is a 4-layer MLP trained on its own batch from the
+// worst-case replay buffer; the ensemble spread estimates the uncertainty of
+// the design-reliability bound that only ~N' = 2..5 mismatch samples per
+// iteration could never pin down directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace glova::rl {
+
+struct CriticConfig {
+  std::size_t ensemble_size = 5;
+  std::size_t hidden = 64;
+  double beta1 = -3.0;        ///< risk-avoidance parameter (Eq. 6)
+  double learning_rate = 1e-3;
+  double bias = 0.0;          ///< the constant bias term of Algorithm 1's losses
+};
+
+class EnsembleCritic {
+ public:
+  EnsembleCritic(std::size_t input_dim, const CriticConfig& config, Rng& rng);
+
+  /// Risk-adjusted bound Q(x) of Eq. (6).
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  /// Mean and std of the base-model outputs (Fig. 3 reproduction).
+  struct Bound {
+    double mean = 0.0;
+    double std = 0.0;
+    double risk_adjusted = 0.0;
+  };
+  [[nodiscard]] Bound bound(std::span<const double> x) const;
+
+  /// One gradient step of base model `i` on (x, r) targets:
+  /// L_Qi = MSE(r, Q_i(x) + bias).  Returns the batch loss.
+  double train_base(std::size_t i, const std::vector<std::vector<double>>& xs,
+                    std::span<const double> rewards);
+
+  /// d Q(x) / d x of the aggregated (risk-adjusted) output, used to push
+  /// gradients into the actor.  `dLdq` scales the result.
+  [[nodiscard]] std::vector<double> input_gradient(std::span<const double> x, double dLdq) const;
+
+  [[nodiscard]] std::size_t ensemble_size() const { return models_.size(); }
+  [[nodiscard]] const CriticConfig& config() const { return config_; }
+
+ private:
+  CriticConfig config_;
+  std::vector<nn::Mlp> models_;
+  std::vector<nn::Adam> optimizers_;
+};
+
+}  // namespace glova::rl

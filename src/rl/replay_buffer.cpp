@@ -1,0 +1,56 @@
+#include "rl/replay_buffer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace glova::rl {
+
+WorstCaseReplayBuffer::WorstCaseReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("WorstCaseReplayBuffer: zero capacity");
+  entries_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void WorstCaseReplayBuffer::add(std::vector<double> x01, double reward) {
+  if (!best_ || reward > best_->reward) best_ = Experience{x01, reward};
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Experience{std::move(x01), reward});
+  } else {
+    entries_[next_] = Experience{std::move(x01), reward};
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<Experience> WorstCaseReplayBuffer::sample(std::size_t n, Rng& rng) const {
+  if (entries_.empty()) throw std::logic_error("WorstCaseReplayBuffer::sample: empty");
+  std::vector<Experience> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(entries_[rng.index(entries_.size())]);
+  return batch;
+}
+
+std::optional<Experience> WorstCaseReplayBuffer::best() const { return best_; }
+
+LastWorstBuffer::LastWorstBuffer(std::size_t corner_count) : rewards_(corner_count, -1.0) {
+  if (corner_count == 0) throw std::invalid_argument("LastWorstBuffer: zero corners");
+}
+
+void LastWorstBuffer::update(std::size_t corner, double worst_reward) {
+  if (corner >= rewards_.size()) throw std::out_of_range("LastWorstBuffer::update");
+  rewards_[corner] = worst_reward;
+}
+
+std::size_t LastWorstBuffer::worst_corner() const {
+  return static_cast<std::size_t>(
+      std::min_element(rewards_.begin(), rewards_.end()) - rewards_.begin());
+}
+
+std::vector<std::size_t> LastWorstBuffer::corners_worst_first() const {
+  std::vector<std::size_t> order(rewards_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return rewards_[a] < rewards_[b]; });
+  return order;
+}
+
+}  // namespace glova::rl

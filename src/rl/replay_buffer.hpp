@@ -1,0 +1,65 @@
+// The worst-case replay buffer (Fig. 2): each entry pairs a design with the
+// *worst* reward observed across the sampled PVT/mismatch conditions, and
+// the last-worst-case buffer tracks the most recent worst reward per corner
+// so step 2 of the workflow can pick the worst corner without re-simulating.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace glova::rl {
+
+struct Experience {
+  std::vector<double> x01;  ///< normalized design
+  double reward = 0.0;      ///< worst-case reward r_worst
+};
+
+/// Bounded FIFO of worst-case experiences.
+class WorstCaseReplayBuffer {
+ public:
+  explicit WorstCaseReplayBuffer(std::size_t capacity = 4096);
+
+  void add(std::vector<double> x01, double reward);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const Experience& at(std::size_t i) const { return entries_[i]; }
+
+  /// Sample `n` experiences uniformly with replacement (distinct batches per
+  /// critic base model come from distinct calls / rng streams).
+  [[nodiscard]] std::vector<Experience> sample(std::size_t n, Rng& rng) const;
+
+  /// Best experience seen so far (highest reward), if any.
+  [[nodiscard]] std::optional<Experience> best() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< FIFO cursor once full
+  std::vector<Experience> entries_;
+  std::optional<Experience> best_;
+};
+
+/// Last worst reward per PVT corner ("last worst-case buffer", Sec. III-C).
+class LastWorstBuffer {
+ public:
+  explicit LastWorstBuffer(std::size_t corner_count);
+
+  void update(std::size_t corner, double worst_reward);
+
+  [[nodiscard]] std::size_t corner_count() const { return rewards_.size(); }
+  [[nodiscard]] double reward(std::size_t corner) const { return rewards_[corner]; }
+
+  /// Corner with the lowest (worst) last reward.
+  [[nodiscard]] std::size_t worst_corner() const;
+
+  /// Corner indices sorted worst-first (used by Algorithm 2's first phase).
+  [[nodiscard]] std::vector<std::size_t> corners_worst_first() const;
+
+ private:
+  std::vector<double> rewards_;
+};
+
+}  // namespace glova::rl

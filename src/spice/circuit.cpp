@@ -1,0 +1,84 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace glova::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return ground();
+  for (NodeId i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return i;
+  }
+  node_names_.push_back(name);
+  return node_names_.size() - 1;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return ground();
+  for (NodeId i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return i;
+  }
+  throw std::out_of_range("Circuit::find_node: unknown node " + name);
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return true;
+  for (const std::string& n : node_names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  if (id >= node_names_.size()) throw std::out_of_range("Circuit::node_name: bad id");
+  return node_names_[id];
+}
+
+void Circuit::add_resistor(std::string name, NodeId a, NodeId b, double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: non-positive resistance");
+  resistors_.push_back(Resistor{std::move(name), a, b, ohms});
+}
+
+void Circuit::add_capacitor(std::string name, NodeId a, NodeId b, double farads,
+                            std::optional<double> initial_voltage) {
+  if (farads <= 0.0) throw std::invalid_argument("add_capacitor: non-positive capacitance");
+  capacitors_.push_back(Capacitor{std::move(name), a, b, farads, initial_voltage});
+}
+
+void Circuit::add_vsource(std::string name, NodeId pos, NodeId neg, Waveform waveform) {
+  vsources_.push_back(VoltageSource{std::move(name), pos, neg, std::move(waveform)});
+}
+
+void Circuit::add_isource(std::string name, NodeId pos, NodeId neg, Waveform waveform) {
+  isources_.push_back(CurrentSource{std::move(name), pos, neg, std::move(waveform)});
+}
+
+void Circuit::add_vcvs(std::string name, NodeId pos, NodeId neg, NodeId ctrl_pos, NodeId ctrl_neg,
+                       double gain) {
+  vcvs_.push_back(Vcvs{std::move(name), pos, neg, ctrl_pos, ctrl_neg, gain});
+}
+
+void Circuit::add_vccs(std::string name, NodeId pos, NodeId neg, NodeId ctrl_pos, NodeId ctrl_neg,
+                       double transconductance) {
+  vccs_.push_back(Vccs{std::move(name), pos, neg, ctrl_pos, ctrl_neg, transconductance});
+}
+
+void Circuit::add_mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+                         const pdk::MosParams& params, double w, double l) {
+  if (w <= 0.0 || l <= 0.0) throw std::invalid_argument("add_mosfet: non-positive geometry");
+  mosfets_.push_back(Mosfet{std::move(name), drain, gate, source, params, w, l});
+}
+
+std::size_t Circuit::element_count() const {
+  return resistors_.size() + capacitors_.size() + vsources_.size() + isources_.size() +
+         vcvs_.size() + vccs_.size() + mosfets_.size();
+}
+
+std::size_t Circuit::vsource_index(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    if (vsources_[i].name == name) return i;
+  }
+  throw std::out_of_range("Circuit::vsource_index: unknown source " + name);
+}
+
+}  // namespace glova::spice

@@ -1,0 +1,65 @@
+#include "spice/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::spice {
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool LuSolver::factor(const DenseMatrix& a) {
+  const std::size_t n = a.size();
+  lu_ = a;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(lu_.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu_.at(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;  // singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_.at(col, c), lu_.at(pivot, c));
+      std::swap(perm_[col], perm_[pivot]);
+    }
+    const double inv_pivot = 1.0 / lu_.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_.at(r, col) * inv_pivot;
+      lu_.at(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> LuSolver::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.size();
+  if (b.size() != n) throw std::invalid_argument("LuSolver::solve: size mismatch");
+  std::vector<double> x(n);
+  // Forward substitution with permutation.
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) sum -= lu_.at(r, c) * x[c];
+    x[r] = sum;
+  }
+  // Back substitution.
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= lu_.at(r, c) * x[c];
+    x[r] = sum / lu_.at(r, r);
+  }
+  return x;
+}
+
+}  // namespace glova::spice

@@ -1,0 +1,45 @@
+// Dense LU factorization with partial pivoting.  MNA systems for the paper's
+// testbenches have a few dozen unknowns, so a dense solver is both simpler
+// and faster than a sparse one at this scale.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace glova::spice {
+
+/// Row-major dense square matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+
+  void set_zero();
+  [[nodiscard]] std::span<double> row(std::size_t r) { return {&data_[r * n_], n_}; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Factor A in place (returns false if singular to working precision) and
+/// solve A x = b.  `perm` records the row permutation.
+class LuSolver {
+ public:
+  /// Factor a copy of `a`.  Returns false on (numerical) singularity.
+  [[nodiscard]] bool factor(const DenseMatrix& a);
+
+  /// Solve using the last successful factorization.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace glova::spice

@@ -1,0 +1,37 @@
+// Waveform post-processing: the .measure equivalents the testbenches use to
+// turn transient traces into performance metrics (delays, swings, energy).
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace glova::spice {
+
+enum class CrossDirection { Rising, Falling, Either };
+
+/// First time `values` crosses `threshold` after `t_start` (linear
+/// interpolation between samples).  Returns nullopt if it never does.
+[[nodiscard]] std::optional<double> first_crossing(std::span<const double> times,
+                                                   std::span<const double> values, double threshold,
+                                                   CrossDirection direction, double t_start = 0.0);
+
+/// Trapezoidal integral of `values` over `times` within [t0, t1].
+[[nodiscard]] double integrate(std::span<const double> times, std::span<const double> values,
+                               double t0, double t1);
+
+/// Value at (or linearly interpolated around) time `t`.
+[[nodiscard]] double value_at(std::span<const double> times, std::span<const double> values,
+                              double t);
+
+/// Extremes within [t0, t1].
+[[nodiscard]] double min_in_window(std::span<const double> times, std::span<const double> values,
+                                   double t0, double t1);
+[[nodiscard]] double max_in_window(std::span<const double> times, std::span<const double> values,
+                                   double t0, double t1);
+
+/// Energy delivered by a supply: -integral(v * i) dt over [t0, t1]
+/// (the source current convention makes delivered energy positive).
+[[nodiscard]] double supply_energy(std::span<const double> times, std::span<const double> currents,
+                                   double vdd, double t0, double t1);
+
+}  // namespace glova::spice

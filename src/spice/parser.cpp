@@ -1,0 +1,257 @@
+#include "spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace glova::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Split a line into tokens; '(' ')' ',' and '=' become separators so
+/// "PULSE(0 0.9 0 10p)" and "W=1u" tokenize cleanly, but we keep '='
+/// attached semantics by returning "key" "=" "value" triples merged later.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string cleaned;
+  cleaned.reserve(line.size());
+  for (const char c : line) {
+    if (c == '(' || c == ')' || c == ',') {
+      cleaned.push_back(' ');
+    } else if (c == '=') {
+      cleaned.push_back(' ');
+      cleaned.push_back('=');
+      cleaned.push_back(' ');
+    } else {
+      cleaned.push_back(c);
+    }
+  }
+  std::istringstream is(cleaned);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("netlist line " + std::to_string(line_no) + ": " + message);
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad number: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return value;
+  if (suffix.starts_with("meg")) return value * 1e6;
+  switch (suffix.front()) {
+    case 't': return value * 1e12;
+    case 'g': return value * 1e9;
+    case 'k': return value * 1e3;
+    case 'm': return value * 1e-3;
+    case 'u': return value * 1e-6;
+    case 'n': return value * 1e-9;
+    case 'p': return value * 1e-12;
+    case 'f': return value * 1e-15;
+    default: break;
+  }
+  // Trailing unit names like "5v" / "10s" / "1a" are tolerated.
+  if (suffix == "v" || suffix == "s" || suffix == "a" || suffix == "hz" || suffix == "ohm") {
+    return value;
+  }
+  throw std::runtime_error("bad unit suffix: " + token);
+}
+
+ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corner) {
+  ParsedNetlist out;
+  std::istringstream stream(text);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  bool first_content_line = true;
+  bool ended = false;
+
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    // Strip comments: full-line '*' and inline '$' / ';'.
+    std::string line = raw_line;
+    if (const auto dollar = line.find('$'); dollar != std::string::npos) line.resize(dollar);
+    if (const auto semi = line.find(';'); semi != std::string::npos) line.resize(semi);
+    // Trim.
+    const auto is_space = [](unsigned char c) { return std::isspace(c); };
+    while (!line.empty() && is_space(line.front())) line.erase(line.begin());
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == '*') continue;
+    if (ended) continue;
+
+    if (first_content_line && line.front() != '.' && !std::isalpha(line.front()) ) {
+      first_content_line = false;
+      continue;
+    }
+    first_content_line = false;
+
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string head = lower(tokens.front());
+
+    // Gather key=value parameters from the tail of the token list.
+    const auto find_param = [&](const std::string& key) -> std::optional<double> {
+      const std::string k = lower(key);
+      for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (lower(tokens[i]) == k && tokens[i + 1] == "=") {
+          return parse_spice_number(tokens[i + 2]);
+        }
+      }
+      return std::nullopt;
+    };
+
+    try {
+      switch (head.front()) {
+        case '.': {
+          if (head == ".end") {
+            ended = true;
+          } else if (head == ".tran") {
+            if (tokens.size() < 3) fail(line_no, ".tran needs step and stop");
+            TransientSpec spec;
+            spec.dt = parse_spice_number(tokens[1]);
+            spec.t_stop = parse_spice_number(tokens[2]);
+            if (tokens.size() > 3 && lower(tokens[3]) == "uic") spec.use_ic = true;
+            if (out.tran) {
+              spec.initial_conditions = out.tran->initial_conditions;
+              if (out.tran->use_ic) spec.use_ic = true;
+            }
+            out.tran = spec;
+          } else if (head == ".ic") {
+            // .ic V(node)=value ... — after tokenization: "v" "node" "=" "value"
+            TransientSpec spec = out.tran.value_or(TransientSpec{});
+            for (std::size_t i = 0; i + 3 < tokens.size() + 1;) {
+              if (i + 3 < tokens.size() && lower(tokens[i]) == "v" && tokens[i + 2] == "=") {
+                spec.initial_conditions[tokens[i + 1]] = parse_spice_number(tokens[i + 3]);
+                i += 4;
+              } else {
+                ++i;
+              }
+            }
+            spec.use_ic = true;
+            out.tran = spec;
+          } else if (head == ".title") {
+            out.title = line.substr(6);
+          }
+          // Unknown dot-cards are ignored (matches common simulator behaviour).
+          break;
+        }
+        case 'r': {
+          if (tokens.size() < 4) fail(line_no, "resistor needs 2 nodes and a value");
+          out.circuit.add_resistor(tokens[0], out.circuit.node(tokens[1]),
+                                   out.circuit.node(tokens[2]), parse_spice_number(tokens[3]));
+          break;
+        }
+        case 'c': {
+          if (tokens.size() < 4) fail(line_no, "capacitor needs 2 nodes and a value");
+          std::optional<double> ic;
+          if (const auto v = find_param("IC")) ic = *v;
+          out.circuit.add_capacitor(tokens[0], out.circuit.node(tokens[1]),
+                                    out.circuit.node(tokens[2]), parse_spice_number(tokens[3]), ic);
+          break;
+        }
+        case 'v':
+        case 'i': {
+          if (tokens.size() < 4) fail(line_no, "source needs 2 nodes and a value");
+          Waveform w = Waveform::dc(0.0);
+          const std::string kind = tokens.size() > 3 ? lower(tokens[3]) : "";
+          if (kind == "pulse") {
+            if (tokens.size() < 10) fail(line_no, "PULSE needs 7 values");
+            w = Waveform::pulse(parse_spice_number(tokens[4]), parse_spice_number(tokens[5]),
+                                parse_spice_number(tokens[6]), parse_spice_number(tokens[7]),
+                                parse_spice_number(tokens[8]), parse_spice_number(tokens[9]),
+                                tokens.size() > 10 ? parse_spice_number(tokens[10]) : 0.0);
+          } else if (kind == "pwl") {
+            std::vector<double> ts, vs;
+            for (std::size_t i = 4; i + 1 < tokens.size(); i += 2) {
+              ts.push_back(parse_spice_number(tokens[i]));
+              vs.push_back(parse_spice_number(tokens[i + 1]));
+            }
+            w = Waveform::pwl(std::move(ts), std::move(vs));
+          } else if (kind == "sin") {
+            if (tokens.size() < 7) fail(line_no, "SIN needs offset amplitude freq");
+            w = Waveform::sine(parse_spice_number(tokens[4]), parse_spice_number(tokens[5]),
+                               parse_spice_number(tokens[6]),
+                               tokens.size() > 7 ? parse_spice_number(tokens[7]) : 0.0);
+          } else if (kind == "dc") {
+            if (tokens.size() < 5) fail(line_no, "DC needs a value");
+            w = Waveform::dc(parse_spice_number(tokens[4]));
+          } else {
+            w = Waveform::dc(parse_spice_number(tokens[3]));
+          }
+          if (head.front() == 'v') {
+            out.circuit.add_vsource(tokens[0], out.circuit.node(tokens[1]),
+                                    out.circuit.node(tokens[2]), std::move(w));
+          } else {
+            out.circuit.add_isource(tokens[0], out.circuit.node(tokens[1]),
+                                    out.circuit.node(tokens[2]), std::move(w));
+          }
+          break;
+        }
+        case 'e': {
+          if (tokens.size() < 6) fail(line_no, "VCVS needs 4 nodes and a gain");
+          out.circuit.add_vcvs(tokens[0], out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+                               out.circuit.node(tokens[3]), out.circuit.node(tokens[4]),
+                               parse_spice_number(tokens[5]));
+          break;
+        }
+        case 'g': {
+          if (tokens.size() < 6) fail(line_no, "VCCS needs 4 nodes and a transconductance");
+          out.circuit.add_vccs(tokens[0], out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+                               out.circuit.node(tokens[3]), out.circuit.node(tokens[4]),
+                               parse_spice_number(tokens[5]));
+          break;
+        }
+        case 'm': {
+          // M<name> drain gate source [bulk] NMOS|PMOS W=.. L=..
+          if (tokens.size() < 5) fail(line_no, "MOSFET needs 3 nodes and a model");
+          std::string model;
+          std::size_t node_count = 0;
+          for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const std::string t = lower(tokens[i]);
+            if (t == "nmos" || t == "pmos") {
+              model = t;
+              node_count = i - 1;
+              break;
+            }
+          }
+          if (model.empty()) fail(line_no, "MOSFET model must be NMOS or PMOS");
+          if (node_count < 3) fail(line_no, "MOSFET needs at least drain/gate/source");
+          const double w = find_param("W").value_or(1e-6);
+          const double l = find_param("L").value_or(100e-9);
+          const bool pmos = model == "pmos";
+          out.circuit.add_mosfet(tokens[0], out.circuit.node(tokens[1]),
+                                 out.circuit.node(tokens[2]), out.circuit.node(tokens[3]),
+                                 pdk::mos_params(pmos, corner, l), w, l);
+          break;
+        }
+        default:
+          fail(line_no, "unsupported element: " + tokens[0]);
+      }
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return out;
+}
+
+}  // namespace glova::spice

@@ -1,0 +1,42 @@
+// Text netlist parser for a practical subset of SPICE syntax, so examples
+// and tests can describe circuits the way an analog designer would:
+//
+//   * comment
+//   R1 out 0 10k
+//   C1 out 0 100f IC=0.9
+//   VDD vdd 0 0.9
+//   VIN in 0 PULSE(0 0.9 0 10p 10p 1n 2n)
+//   M1 out in 0 NMOS W=1u L=30n
+//   .tran 1p 5n
+//   .ic V(out)=0.9
+//   .end
+//
+// MOSFET model cards resolve through the pdk at a caller-supplied PVT corner
+// so parsed netlists see the same process/temperature behaviour as
+// programmatically built ones.  Unit suffixes: f p n u m k meg g t.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pdk/corner.hpp"
+#include "spice/circuit.hpp"
+#include "spice/simulator.hpp"
+
+namespace glova::spice {
+
+struct ParsedNetlist {
+  std::string title;
+  Circuit circuit;
+  std::optional<TransientSpec> tran;
+};
+
+/// Parse a netlist; throws std::runtime_error with a line-numbered message
+/// on malformed input.  `corner` selects device parameters for M cards.
+[[nodiscard]] ParsedNetlist parse_netlist(const std::string& text,
+                                          const pdk::PvtCorner& corner = pdk::typical_corner());
+
+/// Parse a SPICE number with optional unit suffix ("10k", "100f", "3meg").
+[[nodiscard]] double parse_spice_number(const std::string& token);
+
+}  // namespace glova::spice

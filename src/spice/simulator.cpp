@@ -1,0 +1,406 @@
+#include "spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::spice {
+
+namespace {
+
+/// Linearized MOSFET: drain-to-source current and its partial derivatives
+/// with respect to the gate, drain and source node voltages.
+struct MosLinearization {
+  double i_ds = 0.0;
+  double d_vg = 0.0;
+  double d_vd = 0.0;
+  double d_vs = 0.0;
+};
+
+/// Square-law evaluation for an NMOS-oriented channel (vds >= 0 assumed by
+/// the caller): returns current and (gm, gds).
+struct NmosEval {
+  double id = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+NmosEval nmos_square_law(const pdk::MosParams& p, double w_over_l, double vgs, double vds) {
+  NmosEval e;
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0 || vds <= 0.0) return e;  // cutoff
+  const double k = p.kp * w_over_l;
+  if (vds < vov) {
+    // Triode region.
+    const double clm = 1.0 + p.lambda * vds;
+    e.id = k * (vov - 0.5 * vds) * vds * clm;
+    e.gm = k * vds * clm;
+    e.gds = k * ((vov - vds) * clm + (vov - 0.5 * vds) * vds * p.lambda);
+  } else {
+    // Saturation.
+    const double clm = 1.0 + p.lambda * vds;
+    e.id = 0.5 * k * vov * vov * clm;
+    e.gm = k * vov * clm;
+    e.gds = 0.5 * k * vov * vov * p.lambda;
+  }
+  return e;
+}
+
+/// NMOS including source/drain swap for vds < 0 (the channel is symmetric).
+MosLinearization nmos_linearize(const pdk::MosParams& p, double w_over_l, double vg, double vd,
+                                double vs) {
+  MosLinearization lin;
+  if (vd >= vs) {
+    const NmosEval e = nmos_square_law(p, w_over_l, vg - vs, vd - vs);
+    lin.i_ds = e.id;
+    lin.d_vg = e.gm;
+    lin.d_vd = e.gds;
+    lin.d_vs = -(e.gm + e.gds);
+  } else {
+    // Swapped: physical source terminal acts as the channel drain.
+    const NmosEval e = nmos_square_law(p, w_over_l, vg - vd, vs - vd);
+    lin.i_ds = -e.id;
+    lin.d_vg = -e.gm;
+    lin.d_vs = -e.gds;
+    lin.d_vd = e.gm + e.gds;
+  }
+  return lin;
+}
+
+/// Full linearization covering both polarities.  PMOS devices are evaluated
+/// as NMOS on mirrored voltages; the mirror flips the current sign while the
+/// chain rule cancels the sign on the derivatives.
+MosLinearization mos_linearize(const Mosfet& m, double vg, double vd, double vs) {
+  if (!m.params.is_pmos) {
+    return nmos_linearize(m.params, m.w_over_l(), vg, vd, vs);
+  }
+  const MosLinearization mirrored = nmos_linearize(m.params, m.w_over_l(), -vg, -vd, -vs);
+  MosLinearization lin;
+  lin.i_ds = -mirrored.i_ds;
+  lin.d_vg = mirrored.d_vg;
+  lin.d_vd = mirrored.d_vd;
+  lin.d_vs = mirrored.d_vs;
+  return lin;
+}
+
+}  // namespace
+
+const std::vector<double>& TransientResult::trace(const std::string& name) const {
+  for (const Trace& t : traces) {
+    if (t.name == name) return t.values;
+  }
+  throw std::out_of_range("TransientResult::trace: no trace named " + name);
+}
+
+bool TransientResult::has_trace(const std::string& name) const {
+  for (const Trace& t : traces) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+Simulator::Simulator(const Circuit& circuit, SimulatorOptions options)
+    : circuit_(circuit),
+      options_(options),
+      n_nodes_(circuit.node_count()),
+      n_vsrc_(circuit.vsources().size()),
+      n_vcvs_(circuit.vcvs().size()) {}
+
+std::size_t Simulator::unknown_count() const { return (n_nodes_ - 1) + n_vsrc_ + n_vcvs_; }
+
+std::size_t Simulator::node_unknown(NodeId node) const { return node - 1; }
+
+double Simulator::voltage_of(const std::vector<double>& x, NodeId node) const {
+  return node == Circuit::ground() ? 0.0 : x[node_unknown(node)];
+}
+
+void Simulator::assemble(const AssemblyInputs& in, DenseMatrix& g, std::vector<double>& rhs) const {
+  const std::size_t n = unknown_count();
+  g.set_zero();
+  std::fill(rhs.begin(), rhs.end(), 0.0);
+  if (rhs.size() != n) throw std::logic_error("assemble: rhs size");
+
+  const auto stamp_conductance = [&](NodeId a, NodeId b, double cond) {
+    if (a != Circuit::ground()) {
+      g.at(node_unknown(a), node_unknown(a)) += cond;
+      if (b != Circuit::ground()) g.at(node_unknown(a), node_unknown(b)) -= cond;
+    }
+    if (b != Circuit::ground()) {
+      g.at(node_unknown(b), node_unknown(b)) += cond;
+      if (a != Circuit::ground()) g.at(node_unknown(b), node_unknown(a)) -= cond;
+    }
+  };
+  const auto stamp_current_into = [&](NodeId node, double current) {
+    if (node != Circuit::ground()) rhs[node_unknown(node)] += current;
+  };
+
+  // gmin to ground keeps cutoff regions non-singular.
+  for (NodeId nd = 1; nd < n_nodes_; ++nd) g.at(node_unknown(nd), node_unknown(nd)) += options_.gmin;
+
+  for (const Resistor& r : circuit_.resistors()) stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+
+  if (in.mode == Mode::Transient) {
+    const std::vector<Capacitor>& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      const Capacitor& c = caps[ci];
+      const double v_prev =
+          (in.x_prev != nullptr)
+              ? voltage_of(*in.x_prev, c.a) - voltage_of(*in.x_prev, c.b)
+              : 0.0;
+      if (in.trapezoidal) {
+        // i_{n+1} = (2C/dt)(v_{n+1} - v_n) - i_n
+        const double geq = 2.0 * c.farads / in.dt;
+        const double i_prev = (in.cap_current_prev != nullptr) ? (*in.cap_current_prev)[ci] : 0.0;
+        stamp_conductance(c.a, c.b, geq);
+        stamp_current_into(c.a, geq * v_prev + i_prev);
+        stamp_current_into(c.b, -(geq * v_prev + i_prev));
+      } else {
+        // Backward Euler: i_{n+1} = (C/dt)(v_{n+1} - v_n)
+        const double geq = c.farads / in.dt;
+        stamp_conductance(c.a, c.b, geq);
+        stamp_current_into(c.a, geq * v_prev);
+        stamp_current_into(c.b, -geq * v_prev);
+      }
+    }
+  }
+  // In OP mode capacitors are open circuits: no stamp.
+
+  const std::vector<VoltageSource>& vsrcs = circuit_.vsources();
+  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+    const VoltageSource& v = vsrcs[si];
+    const std::size_t branch = (n_nodes_ - 1) + si;
+    const double value = v.waveform.value(in.time) * in.source_scale;
+    if (v.pos != Circuit::ground()) {
+      g.at(node_unknown(v.pos), branch) += 1.0;
+      g.at(branch, node_unknown(v.pos)) += 1.0;
+    }
+    if (v.neg != Circuit::ground()) {
+      g.at(node_unknown(v.neg), branch) -= 1.0;
+      g.at(branch, node_unknown(v.neg)) -= 1.0;
+    }
+    rhs[branch] += value;
+  }
+
+  for (const CurrentSource& i : circuit_.isources()) {
+    const double value = i.waveform.value(in.time) * in.source_scale;
+    stamp_current_into(i.pos, -value);
+    stamp_current_into(i.neg, value);
+  }
+
+  const std::vector<Vcvs>& vcvs = circuit_.vcvs();
+  for (std::size_t ei = 0; ei < vcvs.size(); ++ei) {
+    const Vcvs& e = vcvs[ei];
+    const std::size_t branch = (n_nodes_ - 1) + n_vsrc_ + ei;
+    if (e.pos != Circuit::ground()) {
+      g.at(node_unknown(e.pos), branch) += 1.0;
+      g.at(branch, node_unknown(e.pos)) += 1.0;
+    }
+    if (e.neg != Circuit::ground()) {
+      g.at(node_unknown(e.neg), branch) -= 1.0;
+      g.at(branch, node_unknown(e.neg)) -= 1.0;
+    }
+    if (e.ctrl_pos != Circuit::ground()) g.at(branch, node_unknown(e.ctrl_pos)) -= e.gain;
+    if (e.ctrl_neg != Circuit::ground()) g.at(branch, node_unknown(e.ctrl_neg)) += e.gain;
+  }
+
+  for (const Vccs& gm : circuit_.vccs()) {
+    const auto stamp = [&](NodeId row, NodeId col, double val) {
+      if (row != Circuit::ground() && col != Circuit::ground()) {
+        g.at(node_unknown(row), node_unknown(col)) += val;
+      }
+    };
+    stamp(gm.pos, gm.ctrl_pos, gm.transconductance);
+    stamp(gm.pos, gm.ctrl_neg, -gm.transconductance);
+    stamp(gm.neg, gm.ctrl_pos, -gm.transconductance);
+    stamp(gm.neg, gm.ctrl_neg, gm.transconductance);
+  }
+
+  // MOSFETs: companion model around the current Newton iterate.
+  const std::vector<double>& x_guess = *in.x_guess;
+  for (const Mosfet& m : circuit_.mosfets()) {
+    const double vg = voltage_of(x_guess, m.gate);
+    const double vd = voltage_of(x_guess, m.drain);
+    const double vs = voltage_of(x_guess, m.source);
+    const MosLinearization lin = mos_linearize(m, vg, vd, vs);
+    // i(vg, vd, vs) ~ i0 + d_vg*(Vg - vg) + d_vd*(Vd - vd) + d_vs*(Vs - vs)
+    const double i_eq = lin.i_ds - lin.d_vg * vg - lin.d_vd * vd - lin.d_vs * vs;
+    const auto stamp_row = [&](NodeId row, double sign) {
+      if (row == Circuit::ground()) return;
+      const std::size_t r = node_unknown(row);
+      if (m.gate != Circuit::ground()) g.at(r, node_unknown(m.gate)) += sign * lin.d_vg;
+      if (m.drain != Circuit::ground()) g.at(r, node_unknown(m.drain)) += sign * lin.d_vd;
+      if (m.source != Circuit::ground()) g.at(r, node_unknown(m.source)) += sign * lin.d_vs;
+      rhs[r] -= sign * i_eq;
+    };
+    stamp_row(m.drain, 1.0);   // current i_ds leaves the drain node
+    stamp_row(m.source, -1.0); // and enters the source node
+  }
+}
+
+bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x,
+                             int* iterations_out) const {
+  const std::size_t n = unknown_count();
+  DenseMatrix g(n);
+  std::vector<double> rhs(n, 0.0);
+  LuSolver solver;
+  AssemblyInputs iter_in = in;
+  for (int it = 0; it < options_.max_newton_iterations; ++it) {
+    iter_in.x_guess = &x;
+    assemble(iter_in, g, rhs);
+    if (!solver.factor(g)) return false;
+    const std::vector<double> x_new = solver.solve(rhs);
+    // Damped update: clamp the voltage change per iteration.
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = x_new[i] - x[i];
+      if (i < n_nodes_ - 1) {
+        delta = std::clamp(delta, -options_.max_step_voltage, options_.max_step_voltage);
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+      x[i] += delta;
+    }
+    if (max_delta < options_.vtol) {
+      if (iterations_out != nullptr) *iterations_out = it + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+OpResult Simulator::operating_point() {
+  OpResult result;
+  std::vector<double> x(unknown_count(), 0.0);
+
+  AssemblyInputs in;
+  in.mode = Mode::Op;
+  in.time = 0.0;
+
+  int iterations = 0;
+  bool ok = newton_solve(in, x, &iterations);
+  if (!ok) {
+    // Source stepping: ramp all independent sources from 0 to full value.
+    std::fill(x.begin(), x.end(), 0.0);
+    ok = true;
+    for (int step = 1; step <= options_.source_steps; ++step) {
+      in.source_scale = static_cast<double>(step) / options_.source_steps;
+      if (!newton_solve(in, x, &iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    in.source_scale = 1.0;
+  }
+
+  result.converged = ok;
+  result.iterations = iterations;
+  if (ok) {
+    result.node_voltages.assign(n_nodes_, 0.0);
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) result.node_voltages[nd] = x[node_unknown(nd)];
+    result.vsource_currents.assign(n_vsrc_, 0.0);
+    for (std::size_t si = 0; si < n_vsrc_; ++si) result.vsource_currents[si] = x[(n_nodes_ - 1) + si];
+  }
+  return result;
+}
+
+TransientResult Simulator::transient(const TransientSpec& spec) {
+  TransientResult result;
+  if (spec.dt <= 0.0 || spec.t_stop <= 0.0) {
+    result.error = "transient: dt and t_stop must be positive";
+    return result;
+  }
+
+  // --- initial state ---
+  std::vector<double> x(unknown_count(), 0.0);
+  if (spec.use_ic) {
+    for (const auto& [name, value] : spec.initial_conditions) {
+      const NodeId node = circuit_.find_node(name);
+      if (node != Circuit::ground()) x[node_unknown(node)] = value;
+    }
+    // Also honor capacitor initial voltages for caps to ground.
+    for (const Capacitor& c : circuit_.capacitors()) {
+      if (c.initial_voltage && c.b == Circuit::ground() && c.a != Circuit::ground()) {
+        x[node_unknown(c.a)] = *c.initial_voltage;
+      }
+    }
+  } else {
+    OpResult op = operating_point();
+    if (!op.converged) {
+      result.error = "transient: DC operating point failed to converge";
+      return result;
+    }
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) x[node_unknown(nd)] = op.node_voltages[nd];
+    for (std::size_t si = 0; si < n_vsrc_; ++si) x[(n_nodes_ - 1) + si] = op.vsource_currents[si];
+  }
+
+  // --- set up recording ---
+  std::vector<NodeId> record_nodes;
+  if (spec.record.empty()) {
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) record_nodes.push_back(nd);
+  } else {
+    for (const std::string& name : spec.record) record_nodes.push_back(circuit_.find_node(name));
+  }
+  result.traces.reserve(record_nodes.size() + n_vsrc_);
+  for (const NodeId nd : record_nodes) result.traces.push_back(Trace{circuit_.node_name(nd), {}});
+  for (const VoltageSource& v : circuit_.vsources()) {
+    result.traces.push_back(Trace{"I(" + v.name + ")", {}});
+  }
+
+  const auto record_point = [&](double time, const std::vector<double>& solution) {
+    result.times.push_back(time);
+    std::size_t ti = 0;
+    for (const NodeId nd : record_nodes) result.traces[ti++].values.push_back(voltage_of(solution, nd));
+    for (std::size_t si = 0; si < n_vsrc_; ++si) {
+      result.traces[ti++].values.push_back(solution[(n_nodes_ - 1) + si]);
+    }
+  };
+
+  record_point(0.0, x);
+
+  // --- time stepping ---
+  const std::size_t n_caps = circuit_.capacitors().size();
+  std::vector<double> cap_current(n_caps, 0.0);
+  std::vector<double> x_prev = x;
+  const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / spec.dt));
+
+  for (std::size_t step = 1; step <= n_steps; ++step) {
+    const double t = std::min(spec.t_stop, static_cast<double>(step) * spec.dt);
+    const double dt = t - static_cast<double>(step - 1) * spec.dt > 0.0
+                          ? t - result.times.back()
+                          : spec.dt;
+    AssemblyInputs in;
+    in.mode = Mode::Transient;
+    in.time = t;
+    in.dt = dt;
+    // Backward-Euler startup damps the artificial transient from imperfect
+    // initial conditions; trapezoidal afterwards for accuracy.
+    in.trapezoidal = step > 2;
+    in.x_prev = &x_prev;
+    in.cap_current_prev = &cap_current;
+
+    if (!newton_solve(in, x, nullptr)) {
+      result.error = "transient: Newton failed at t = " + std::to_string(t);
+      return result;
+    }
+
+    // Update per-capacitor branch currents for the trapezoidal companion.
+    const std::vector<Capacitor>& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < n_caps; ++ci) {
+      const Capacitor& c = caps[ci];
+      const double v_now = voltage_of(x, c.a) - voltage_of(x, c.b);
+      const double v_was = voltage_of(x_prev, c.a) - voltage_of(x_prev, c.b);
+      if (in.trapezoidal) {
+        cap_current[ci] = 2.0 * c.farads / dt * (v_now - v_was) - cap_current[ci];
+      } else {
+        cap_current[ci] = c.farads / dt * (v_now - v_was);
+      }
+    }
+
+    record_point(t, x);
+    x_prev = x;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace glova::spice

@@ -1,0 +1,104 @@
+// MNA-based circuit simulation: Newton-Raphson operating point and
+// fixed-step transient analysis (backward-Euler startup, trapezoidal after).
+//
+// Unknown ordering: node voltages for nodes 1..N-1 (ground eliminated),
+// followed by one branch current per independent voltage source, then one
+// per VCVS.  Nonlinear devices (MOSFETs) are linearized each Newton
+// iteration via their companion model; a global gmin keeps matrices
+// non-singular when devices cut off.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/lu.hpp"
+
+namespace glova::spice {
+
+struct OpResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> node_voltages;  ///< indexed by NodeId (ground included, = 0)
+  std::vector<double> vsource_currents;
+};
+
+/// Transient configuration.
+struct TransientSpec {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  /// If true, start from `initial_conditions` instead of a DC operating
+  /// point (HSPICE "UIC").  Nodes absent from the map start at 0 V.
+  bool use_ic = false;
+  std::map<std::string, double> initial_conditions;
+  /// Node names to record (empty = record every node).  Voltage-source
+  /// currents are always recorded as "I(<name>)".
+  std::vector<std::string> record;
+};
+
+/// Sampled waveform of one quantity over the transient run.
+struct Trace {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct TransientResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> times;
+  std::vector<Trace> traces;
+
+  /// Access a trace by name ("out", "I(VDD)"); throws std::out_of_range.
+  [[nodiscard]] const std::vector<double>& trace(const std::string& name) const;
+  [[nodiscard]] bool has_trace(const std::string& name) const;
+};
+
+struct SimulatorOptions {
+  double gmin = 1e-12;          ///< [S] from every node to ground
+  double abstol = 1e-12;        ///< [A]
+  double vtol = 1e-9;           ///< [V] Newton convergence on voltage update
+  double max_step_voltage = 0.5;///< [V] Newton damping clamp
+  int max_newton_iterations = 200;
+  int source_steps = 10;        ///< source-stepping ramp points for hard OPs
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Circuit& circuit, SimulatorOptions options = {});
+
+  /// DC operating point (capacitors open).
+  [[nodiscard]] OpResult operating_point();
+
+  /// Transient analysis.
+  [[nodiscard]] TransientResult transient(const TransientSpec& spec);
+
+ private:
+  enum class Mode { Op, Transient };
+
+  struct AssemblyInputs {
+    Mode mode = Mode::Op;
+    double time = 0.0;
+    double dt = 0.0;
+    double source_scale = 1.0;
+    bool trapezoidal = false;
+    const std::vector<double>* x_guess = nullptr;
+    const std::vector<double>* x_prev = nullptr;         ///< previous timepoint
+    const std::vector<double>* cap_current_prev = nullptr;  ///< i_n per capacitor (trap)
+  };
+
+  void assemble(const AssemblyInputs& in, DenseMatrix& g, std::vector<double>& rhs) const;
+  [[nodiscard]] bool newton_solve(const AssemblyInputs& in, std::vector<double>& x,
+                                  int* iterations_out) const;
+  [[nodiscard]] std::size_t unknown_count() const;
+  [[nodiscard]] std::size_t node_unknown(NodeId node) const;  ///< valid for node != ground
+  [[nodiscard]] double voltage_of(const std::vector<double>& x, NodeId node) const;
+
+  const Circuit& circuit_;
+  SimulatorOptions options_;
+  std::size_t n_nodes_;    ///< including ground
+  std::size_t n_vsrc_;
+  std::size_t n_vcvs_;
+};
+
+}  // namespace glova::spice

@@ -1,0 +1,88 @@
+#include "spice/waveform.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace glova::spice {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.v1_ = value;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise, double fall, double width,
+                         double period) {
+  if (rise < 0.0 || fall < 0.0 || width < 0.0) {
+    throw std::invalid_argument("Waveform::pulse: negative timing");
+  }
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = rise > 0.0 ? rise : 1e-15;
+  w.fall_ = fall > 0.0 ? fall : 1e-15;
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values) {
+  if (times.size() != values.size() || times.empty()) {
+    throw std::invalid_argument("Waveform::pwl: need equal, non-empty point lists");
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) throw std::invalid_argument("Waveform::pwl: times not increasing");
+  }
+  Waveform w;
+  w.kind_ = Kind::Pwl;
+  w.times_ = std::move(times);
+  w.values_ = std::move(values);
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq_hz, double delay) {
+  Waveform w;
+  w.kind_ = Kind::Sine;
+  w.v1_ = offset;
+  w.v2_ = amplitude;
+  w.freq_ = freq_hz;
+  w.delay_ = delay;
+  return w;
+}
+
+double Waveform::value(double time) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return v1_;
+    case Kind::Pulse: {
+      if (time < delay_) return v1_;
+      double t = time - delay_;
+      if (period_ > 0.0) t = std::fmod(t, period_);
+      if (t < rise_) return v1_ + (v2_ - v1_) * (t / rise_);
+      t -= rise_;
+      if (t < width_) return v2_;
+      t -= width_;
+      if (t < fall_) return v2_ + (v1_ - v2_) * (t / fall_);
+      return v1_;
+    }
+    case Kind::Pwl: {
+      if (time <= times_.front()) return values_.front();
+      if (time >= times_.back()) return values_.back();
+      std::size_t hi = 1;
+      while (times_[hi] < time) ++hi;
+      const double frac = (time - times_[hi - 1]) / (times_[hi] - times_[hi - 1]);
+      return values_[hi - 1] + frac * (values_[hi] - values_[hi - 1]);
+    }
+    case Kind::Sine: {
+      if (time < delay_) return v1_;
+      return v1_ + v2_ * std::sin(2.0 * std::numbers::pi * freq_ * (time - delay_));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace glova::spice

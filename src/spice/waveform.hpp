@@ -1,0 +1,45 @@
+// Independent-source waveforms: DC, PULSE, PWL and SIN, mirroring the
+// corresponding HSPICE source specifications the paper's testbenches rely on.
+#pragma once
+
+#include <vector>
+
+namespace glova::spice {
+
+/// Value of a time-dependent source.  Cheap to copy.
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+
+  /// SPICE PULSE(v1 v2 delay rise fall width period).  After `delay` the
+  /// source ramps v1->v2 in `rise`, holds for `width`, ramps back in `fall`,
+  /// and repeats every `period` (period <= 0 means single pulse).
+  static Waveform pulse(double v1, double v2, double delay, double rise, double fall, double width,
+                        double period);
+
+  /// Piecewise-linear through (t, v) points (t strictly increasing).
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+  /// SIN(offset amplitude freq [delay]).
+  static Waveform sine(double offset, double amplitude, double freq_hz, double delay = 0.0);
+
+  [[nodiscard]] double value(double time) const;
+
+  /// Largest value the waveform ever takes (used for source stepping).
+  [[nodiscard]] double dc_value() const { return value(0.0); }
+
+ private:
+  enum class Kind { Dc, Pulse, Pwl, Sine };
+  Kind kind_ = Kind::Dc;
+  // Dc
+  double v1_ = 0.0;
+  // Pulse
+  double v2_ = 0.0, delay_ = 0.0, rise_ = 0.0, fall_ = 0.0, width_ = 0.0, period_ = 0.0;
+  // Pwl
+  std::vector<double> times_, values_;
+  // Sine
+  double freq_ = 0.0;
+};
+
+}  // namespace glova::spice

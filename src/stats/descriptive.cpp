@@ -1,0 +1,85 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace glova::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance_population(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance_sample(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev_population(std::span<const double> xs) { return std::sqrt(variance_population(xs)); }
+
+double stddev_sample(std::span<const double> xs) { return std::sqrt(variance_sample(xs)); }
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::stddev_population() const { return std::sqrt(variance_population()); }
+
+double Welford::stddev_sample() const { return std::sqrt(variance_sample()); }
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+}
+
+}  // namespace glova::stats

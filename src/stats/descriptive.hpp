@@ -1,0 +1,66 @@
+// Descriptive statistics used throughout the framework:
+//  - mean / standard deviation feed the mu-sigma evaluation (Eq. 7) and the
+//    ensemble critic's risk bound (Eq. 6),
+//  - Welford accumulators provide numerically stable online updates,
+//  - quantiles support the reported result summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace glova::stats {
+
+/// Arithmetic mean.  Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divide by n).  Returns 0 for n < 1.
+[[nodiscard]] double variance_population(std::span<const double> xs);
+
+/// Sample variance (divide by n-1).  Returns 0 for n < 2.
+[[nodiscard]] double variance_sample(std::span<const double> xs);
+
+/// Population standard deviation.
+[[nodiscard]] double stddev_population(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev_sample(std::span<const double> xs);
+
+/// Minimum value; throws std::invalid_argument on empty input.
+[[nodiscard]] double min_value(std::span<const double> xs);
+
+/// Maximum value; throws std::invalid_argument on empty input.
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]; throws on empty input.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// Numerically stable online mean/variance accumulator (Welford, 1962).
+class Welford {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance of the samples added so far.
+  [[nodiscard]] double variance_population() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance of the samples added so far.
+  [[nodiscard]] double variance_sample() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev_population() const;
+  [[nodiscard]] double stddev_sample() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Welford& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace glova::stats

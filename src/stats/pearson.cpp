@@ -1,0 +1,48 @@
+#include "stats/pearson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace glova::stats {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx) * std::sqrt(syy);
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  return sxy / denom;
+}
+
+std::vector<double> pearson_columns(const std::vector<std::vector<double>>& rows,
+                                    std::span<const double> g) {
+  if (rows.size() != g.size()) throw std::invalid_argument("pearson_columns: row/score count mismatch");
+  if (rows.empty()) return {};
+  const std::size_t r = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != r) throw std::invalid_argument("pearson_columns: ragged rows");
+  }
+  std::vector<double> rho(r, 0.0);
+  std::vector<double> column(rows.size());
+  for (std::size_t d = 0; d < r; ++d) {
+    for (std::size_t n = 0; n < rows.size(); ++n) column[n] = rows[n][d];
+    rho[d] = pearson(column, g);
+  }
+  return rho;
+}
+
+}  // namespace glova::stats

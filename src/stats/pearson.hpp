@@ -1,0 +1,23 @@
+// Pearson correlation, used by the MC reordering method (paper Eq. 9):
+// for each mismatch-parameter dimension, the correlation between that
+// parameter across the pre-sampled conditions and the scalar degradation
+// score g of each condition ranks which directions in mismatch space hurt.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace glova::stats {
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series is (numerically) constant or shorter than 2.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Column-wise Pearson correlation (paper Eq. 9).
+/// `rows` holds n vectors of equal dimension r (the mismatch conditions
+/// h_{j,n}); `g` holds the n scalar scores.  Returns the r-dimensional
+/// correlation vector rho_j.
+[[nodiscard]] std::vector<double> pearson_columns(const std::vector<std::vector<double>>& rows,
+                                                  std::span<const double> g);
+
+}  // namespace glova::stats

@@ -1,0 +1,143 @@
+// Tests for the common substrate: deterministic RNG, stream splitting,
+// thread pool, units.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace glova {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfDrawOrder) {
+  Rng root(7);
+  Rng child_a = root.split(3);
+  // Drawing from the root must not perturb an already-split child.
+  (void)root.uniform();
+  Rng child_b = Rng(7).split(3);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(child_a.uniform(), child_b.uniform());
+}
+
+TEST(Rng, SplitChildrenDiffer) {
+  Rng root(7);
+  Rng a = root.split(1);
+  Rng b = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.5, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.5, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalZeroSigmaIsMean) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.25, 0.0), 3.25);
+}
+
+TEST(Rng, NormalNegativeSigmaThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(9);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 50u);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Splitmix, KnownNonTrivial) {
+  // Distinct inputs map to distinct outputs; zero does not map to zero.
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroAndOneTasks) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  int calls = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Units, Conversions) {
+  using namespace units::literals;
+  EXPECT_DOUBLE_EQ(1.0_um, 1e-6);
+  EXPECT_DOUBLE_EQ(2.5_pF, 2.5e-12);
+  EXPECT_DOUBLE_EQ(4.0_ns, 4e-9);
+  EXPECT_DOUBLE_EQ(units::celsius_to_kelvin(27.0), 300.15);
+  EXPECT_NEAR(units::thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+}  // namespace
+}  // namespace glova

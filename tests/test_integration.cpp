@@ -1,0 +1,138 @@
+// End-to-end integration tests: full GLOVA runs and baseline runs on the
+// real testbenches, determinism, and ablation wiring.
+#include <gtest/gtest.h>
+
+#include "baselines/pvtsizing.hpp"
+#include "baselines/robustanalog.hpp"
+#include "circuits/registry.hpp"
+#include "core/optimizer.hpp"
+#include "core/reward.hpp"
+#include "pdk/variation.hpp"
+
+namespace glova {
+namespace {
+
+TEST(GlovaIntegration, SalCornerOnlySucceeds) {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 1;
+  core::GlovaOptimizer opt(circuits::make_testbench(circuits::Testcase::Sal), cfg);
+  const auto res = opt.run();
+  ASSERT_TRUE(res.success) << res.termination;
+  EXPECT_EQ(res.termination, "verified");
+  EXPECT_GT(res.rl_iterations, 0u);
+  EXPECT_GT(res.n_simulations, 30u);  // at least init + one full verification
+  EXPECT_FALSE(res.x01_final.empty());
+  EXPECT_FALSE(res.trace.empty());
+
+  // The returned design really does satisfy every corner.
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  for (const auto& corner : pdk::full_corner_set()) {
+    const auto m = tb->evaluate(res.x_phys_final, corner, {});
+    EXPECT_TRUE(core::all_constraints_met(tb->performance(), m)) << corner.name();
+  }
+}
+
+TEST(GlovaIntegration, DeterministicForFixedSeed) {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 5;
+  const auto tb = circuits::make_testbench(circuits::Testcase::Fia);
+  const auto a = core::GlovaOptimizer(tb, cfg).run();
+  const auto b = core::GlovaOptimizer(tb, cfg).run();
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.rl_iterations, b.rl_iterations);
+  EXPECT_EQ(a.n_simulations, b.n_simulations);
+  EXPECT_EQ(a.x01_final, b.x01_final);
+}
+
+TEST(GlovaIntegration, FiaLocalMcSucceedsAndCountsVerificationSims) {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C_MCL;
+  cfg.seed = 2;
+  core::GlovaOptimizer opt(circuits::make_testbench(circuits::Testcase::Fia), cfg);
+  const auto res = opt.run();
+  ASSERT_TRUE(res.success);
+  // A successful run must include one full verification (~3,000 sims).
+  EXPECT_GE(res.n_simulations, 3000u);
+  // Trace bookkeeping: cumulative sims are non-decreasing.
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_GE(res.trace[i].sims_total, res.trace[i - 1].sims_total);
+  }
+}
+
+TEST(GlovaIntegration, TraceExposesCriticBound) {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C_MCL;
+  cfg.seed = 3;
+  core::GlovaOptimizer opt(circuits::make_testbench(circuits::Testcase::Sal), cfg);
+  const auto res = opt.run();
+  ASSERT_FALSE(res.trace.empty());
+  for (const auto& t : res.trace) {
+    // Risk-adjusted bound never exceeds the ensemble mean (beta1 < 0).
+    EXPECT_LE(t.critic_bound, t.critic_mean + 1e-12);
+  }
+}
+
+TEST(GlovaIntegration, AblationFlagsRun) {
+  for (const bool ec : {true, false}) {
+    core::GlovaConfig cfg;
+    cfg.method = core::VerifMethod::C;
+    cfg.seed = 4;
+    cfg.use_ensemble_critic = ec;
+    cfg.use_mu_sigma = ec;
+    cfg.use_reordering = !ec;
+    core::GlovaOptimizer opt(circuits::make_testbench(circuits::Testcase::Sal), cfg);
+    const auto res = opt.run();
+    EXPECT_TRUE(res.success) << "ec=" << ec;
+  }
+}
+
+TEST(Baselines, PvtSizingSalCornerOnlySucceedsWithMoreSims) {
+  baselines::PvtSizingConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 1;
+  const auto res =
+      baselines::PvtSizingOptimizer(circuits::make_testbench(circuits::Testcase::Sal), cfg).run();
+  ASSERT_TRUE(res.success);
+  // Batch sampling simulates all 30 corners each iteration, so its per-
+  // iteration simulation bill is ~30x GLOVA's single-worst-corner bill.
+  EXPECT_GE(res.n_simulations, 30u * res.rl_iterations);
+}
+
+TEST(Baselines, RobustAnalogSalCornerOnlySucceeds) {
+  baselines::RobustAnalogConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 1;
+  const auto res =
+      baselines::RobustAnalogOptimizer(circuits::make_testbench(circuits::Testcase::Sal), cfg)
+          .run();
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.termination, "verified");
+}
+
+TEST(Baselines, ResultsAreDeterministic) {
+  baselines::RobustAnalogConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 9;
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  const auto a = baselines::RobustAnalogOptimizer(tb, cfg).run();
+  const auto b = baselines::RobustAnalogOptimizer(tb, cfg).run();
+  EXPECT_EQ(a.rl_iterations, b.rl_iterations);
+  EXPECT_EQ(a.n_simulations, b.n_simulations);
+}
+
+TEST(ModeledRuntime, ScalesWithSimulationsAndIterations) {
+  core::GlovaConfig cfg;
+  cfg.method = core::VerifMethod::C;
+  cfg.seed = 1;
+  core::GlovaOptimizer opt(circuits::make_testbench(circuits::Testcase::Sal), cfg);
+  const auto res = opt.run();
+  EXPECT_NEAR(res.modeled_runtime,
+              static_cast<double>(res.n_simulations) * cfg.cost.per_simulation +
+                  static_cast<double>(res.rl_iterations) * cfg.cost.per_rl_iteration,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace glova

@@ -1,0 +1,136 @@
+// Tests for the optimization substrate: Cholesky, GP regression, TuRBO
+// trust-region behavior, and k-means.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/gp.hpp"
+#include "opt/kmeans.hpp"
+#include "opt/turbo.hpp"
+
+namespace glova::opt {
+namespace {
+
+TEST(Cholesky, FactorsAndSolves) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]]
+  std::vector<double> a = {4.0, 2.0, 2.0, 3.0};
+  ASSERT_TRUE(cholesky_factor(a, 2));
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[2], 1.0, 1e-12);
+  EXPECT_NEAR(a[3], std::sqrt(2.0), 1e-12);
+  const auto x = cholesky_solve(a, 2, std::vector<double>{8.0, 7.0});
+  // A x = b -> x = [1.25, 1.5]
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};
+  EXPECT_FALSE(cholesky_factor(a, 2));
+}
+
+TEST(Gp, InterpolatesTrainingDataAtLowNoise) {
+  Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(rng.uniform_vector(2, 0.0, 1.0));
+    ys.push_back(std::sin(4.0 * xs.back()[0]) + xs.back()[1]);
+  }
+  GaussianProcess gp;
+  gp.fit(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const GpPrediction pred = gp.predict(xs[i]);
+    EXPECT_NEAR(pred.mean, ys[i], 0.05);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  gp.fit({{0.2, 0.2}, {0.3, 0.3}, {0.25, 0.2}}, {1.0, 2.0, 1.5});
+  const double var_near = gp.predict(std::vector<double>{0.25, 0.25}).variance;
+  const double var_far = gp.predict(std::vector<double>{0.95, 0.95}).variance;
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST(Gp, PredictBeforeFitThrows) {
+  GaussianProcess gp;
+  EXPECT_THROW((void)gp.predict(std::vector<double>{0.5}), std::logic_error);
+}
+
+TEST(Turbo, OptimizesSmoothBowl) {
+  // Maximize -(x - 0.7)^2 summed over 4 dims; optimum 0 at x = 0.7.
+  const std::size_t dim = 4;
+  Turbo turbo(dim, TurboConfig{}, Rng(5));
+  for (int step = 0; step < 120; ++step) {
+    const auto points = turbo.ask(1);
+    std::vector<double> values;
+    for (const auto& x : points) {
+      double v = 0.0;
+      for (const double xi : x) v -= (xi - 0.7) * (xi - 0.7);
+      values.push_back(v);
+    }
+    turbo.tell(points, values);
+  }
+  EXPECT_GT(turbo.best_value(), -0.02);
+  for (const double xi : turbo.best_point()) EXPECT_NEAR(xi, 0.7, 0.15);
+}
+
+TEST(Turbo, TrustRegionShrinksOnFailures) {
+  Turbo turbo(3, TurboConfig{}, Rng(6));
+  // Constant objective: never improves after the first tell.
+  for (int step = 0; step < 60; ++step) {
+    const auto points = turbo.ask(1);
+    turbo.tell(points, std::vector<double>(points.size(), 0.0));
+  }
+  EXPECT_LT(turbo.trust_region(), TurboConfig{}.tr_initial);
+}
+
+TEST(Turbo, TopPointsSortedByValue) {
+  Turbo turbo(2, TurboConfig{}, Rng(7));
+  turbo.tell({{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}}, {1.0, 3.0, 2.0});
+  const auto top = turbo.top_points(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (std::vector<double>{0.2, 0.2}));
+  EXPECT_EQ(top[1], (std::vector<double>{0.3, 0.3}));
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  Rng rng(8);
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({c * 10.0 + rng.normal() * 0.2, c * -5.0 + rng.normal() * 0.2});
+    }
+  }
+  const KMeansResult result = kmeans(points, 3, rng);
+  // All points of one block share an assignment; blocks differ.
+  for (int c = 0; c < 3; ++c) {
+    const std::size_t label = result.assignment[c * 30];
+    for (int i = 1; i < 30; ++i) EXPECT_EQ(result.assignment[c * 30 + i], label);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[30]);
+  EXPECT_NE(result.assignment[30], result.assignment[60]);
+  EXPECT_LT(result.inertia, 30.0);
+}
+
+TEST(KMeans, KEqualsOneAndBadInputs) {
+  Rng rng(9);
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}, {2.0}};
+  const KMeansResult one = kmeans(points, 1, rng);
+  EXPECT_NEAR(one.centroids[0][0], 1.0, 1e-9);
+  EXPECT_THROW((void)kmeans(points, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans(points, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans({}, 1, rng), std::invalid_argument);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Rng rng(10);
+  const std::vector<std::vector<double>> points(10, std::vector<double>{1.0, 1.0});
+  const KMeansResult result = kmeans(points, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace glova::opt

@@ -1,0 +1,212 @@
+// Tests for the process model: corner sets, device-parameter shifts, the
+// square-law/EKV current models, Pelgrom mismatch, and the hierarchical
+// Eq. (3) sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "pdk/corner.hpp"
+#include "pdk/mos_params.hpp"
+#include "pdk/variation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace glova::pdk {
+namespace {
+
+TEST(Corner, FullSetHas30Conditions) {
+  const auto corners = full_corner_set();
+  EXPECT_EQ(corners.size(), 30u);
+  for (const auto& c : corners) EXPECT_TRUE(c.process_predefined);
+}
+
+TEST(Corner, VtSetHas6ConditionsWithoutPredefinedProcess) {
+  const auto corners = vt_corner_set();
+  EXPECT_EQ(corners.size(), 6u);
+  for (const auto& c : corners) EXPECT_FALSE(c.process_predefined);
+}
+
+TEST(Corner, TypicalIsTT09V27C) {
+  const auto t = typical_corner();
+  EXPECT_EQ(t.process, ProcessCorner::TT);
+  EXPECT_DOUBLE_EQ(t.vdd, 0.9);
+  EXPECT_DOUBLE_EQ(t.temp_c, 27.0);
+  EXPECT_NEAR(t.temp_k(), 300.15, 1e-9);
+}
+
+TEST(Corner, FactorsFollowSlowFastConvention) {
+  const auto tt = corner_factors(ProcessCorner::TT);
+  EXPECT_DOUBLE_EQ(tt.kp_n_mult, 1.0);
+  EXPECT_DOUBLE_EQ(tt.vth_n_shift, 0.0);
+  const auto ss = corner_factors(ProcessCorner::SS);
+  EXPECT_LT(ss.kp_n_mult, 1.0);
+  EXPECT_GT(ss.vth_n_shift, 0.0);
+  const auto ff = corner_factors(ProcessCorner::FF);
+  EXPECT_GT(ff.kp_n_mult, 1.0);
+  EXPECT_LT(ff.vth_n_shift, 0.0);
+  // SF: slow NMOS, fast PMOS.
+  const auto sf = corner_factors(ProcessCorner::SF);
+  EXPECT_LT(sf.kp_n_mult, 1.0);
+  EXPECT_GT(sf.kp_p_mult, 1.0);
+}
+
+TEST(MosParams, SlowCornerRaisesVthAndLowersKp) {
+  const PvtCorner tt{ProcessCorner::TT, 0.9, 27.0, true};
+  const PvtCorner ss{ProcessCorner::SS, 0.9, 27.0, true};
+  const auto p_tt = mos_params(false, tt, 60e-9);
+  const auto p_ss = mos_params(false, ss, 60e-9);
+  EXPECT_GT(p_ss.vth, p_tt.vth);
+  EXPECT_LT(p_ss.kp, p_tt.kp);
+}
+
+TEST(MosParams, ColdIncreasesBothMobilityAndVth) {
+  const PvtCorner warm{ProcessCorner::TT, 0.9, 27.0, true};
+  const PvtCorner cold{ProcessCorner::TT, 0.9, -40.0, true};
+  const auto p_warm = mos_params(false, warm, 60e-9);
+  const auto p_cold = mos_params(false, cold, 60e-9);
+  EXPECT_GT(p_cold.kp, p_warm.kp);   // mobility ~ T^-1.5
+  EXPECT_GT(p_cold.vth, p_warm.vth); // vth_tc < 0
+}
+
+TEST(MosParams, MismatchShiftsApply) {
+  const PvtCorner tt = typical_corner();
+  const auto base = mos_params(false, tt, 60e-9);
+  const auto shifted = mos_params(false, tt, 60e-9, 0.02, 0.05);
+  EXPECT_NEAR(shifted.vth - base.vth, 0.02, 1e-12);
+  EXPECT_NEAR(shifted.kp / base.kp, 1.05, 1e-12);
+}
+
+TEST(MosParams, LambdaShrinksWithLength) {
+  const PvtCorner tt = typical_corner();
+  EXPECT_GT(mos_params(false, tt, 30e-9).lambda, mos_params(false, tt, 300e-9).lambda);
+}
+
+TEST(SquareLaw, Regions) {
+  MosParams p;
+  p.vth = 0.4;
+  p.kp = 300e-6;
+  p.lambda = 0.0;
+  // Cutoff.
+  EXPECT_DOUBLE_EQ(square_law_id(p, 10.0, 0.3, 0.5), 0.0);
+  // Saturation: id = 0.5 k W/L vov^2.
+  EXPECT_NEAR(square_law_id(p, 10.0, 0.9, 0.9), 0.5 * 300e-6 * 10 * 0.25, 1e-12);
+  // Triode < saturation at same vgs.
+  EXPECT_LT(square_law_id(p, 10.0, 0.9, 0.1), square_law_id(p, 10.0, 0.9, 0.9));
+  // Continuity at vds = vov.
+  const double at_edge_tri = square_law_id(p, 10.0, 0.9, 0.5 - 1e-9);
+  const double at_edge_sat = square_law_id(p, 10.0, 0.9, 0.5 + 1e-9);
+  EXPECT_NEAR(at_edge_tri, at_edge_sat, 1e-9);
+}
+
+TEST(Ekv, MatchesSquareLawInStrongInversion) {
+  MosParams p;
+  p.vth = 0.38;
+  p.kp = 350e-6;
+  p.lambda = 0.05;
+  const double sq = square_law_id(p, 20.0, 1.2, 1.0);
+  const double ekv = ekv_id(p, 20.0, 1.2, 1.0, 300.0);
+  EXPECT_NEAR(ekv / sq, 1.0, 0.02);
+}
+
+TEST(Ekv, PositiveBelowThreshold) {
+  MosParams p;
+  p.vth = 0.45;
+  const double id = ekv_id(p, 20.0, 0.40, 0.5, 300.0);
+  EXPECT_GT(id, 0.0);
+  EXPECT_LT(id, ekv_id(p, 20.0, 0.50, 0.5, 300.0));
+}
+
+TEST(Ekv, OverdriveIsMonotoneAndAsymptotic) {
+  EXPECT_GT(ekv_overdrive(0.0, 300.0), 0.0);
+  EXPECT_LT(ekv_overdrive(-0.3, 300.0), ekv_overdrive(0.0, 300.0));
+  EXPECT_NEAR(ekv_overdrive(0.5, 300.0), 0.5, 0.01);
+  EXPECT_NEAR(ekv_overdrive(3.0, 300.0), 3.0, 1e-6);
+}
+
+TEST(Pelgrom, SigmaScalesInverseSqrtArea) {
+  const double small = pelgrom_sigma_vth(2.8e-9, 0.28e-6, 30e-9);
+  const double big = pelgrom_sigma_vth(2.8e-9, 1.12e-6, 120e-9);  // 16x area
+  EXPECT_NEAR(small / big, 4.0, 1e-9);
+  EXPECT_THROW((void)pelgrom_sigma_vth(2.8e-9, 0.0, 30e-9), std::invalid_argument);
+}
+
+TEST(Layout, TwoCoordinatesPerDevice) {
+  const std::vector<DeviceGeometry> devs = {{"a", false, 1e-6, 60e-9}, {"b", true, 2e-6, 30e-9}};
+  const auto layout = build_layout(devs, PelgromConstants{}, GlobalSigmas{}, true);
+  ASSERT_EQ(layout.dimension(), 4u);
+  EXPECT_EQ(layout.names[0], "a.dvth");
+  EXPECT_EQ(layout.names[3], "b.dbeta");
+  // PMOS uses the larger A_VT.
+  EXPECT_GT(layout.local_sigma[2] * std::sqrt(2e-6 * 30e-9),
+            layout.local_sigma[0] * std::sqrt(1e-6 * 60e-9) - 1e-15);
+  // Global sigmas present when enabled, zero otherwise.
+  EXPECT_GT(layout.global_sigma[0], 0.0);
+  const auto no_global = build_layout(devs, PelgromConstants{}, GlobalSigmas{}, false);
+  EXPECT_DOUBLE_EQ(no_global.global_sigma[0], 0.0);
+}
+
+class SamplerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplerProperty, ZeroModeMatchesLocalSigma) {
+  MismatchLayout layout;
+  layout.names = {"p0", "p1"};
+  layout.local_sigma = {0.01, 0.05};
+  layout.global_sigma = {0.02, 0.02};
+  Rng rng(GetParam());
+  const auto set = sample_mismatch_set(layout, 4000, rng, GlobalMode::Zero);
+  std::vector<double> col0(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) col0[i] = set[i][0];
+  EXPECT_NEAR(stats::mean(col0), 0.0, 0.001);
+  EXPECT_NEAR(stats::stddev_population(col0), 0.01, 0.001);
+}
+
+TEST_P(SamplerProperty, SharedDieShiftsTheWholeSet) {
+  MismatchLayout layout;
+  layout.names = {"p0"};
+  layout.local_sigma = {0.001};  // tiny local spread
+  layout.global_sigma = {0.1};   // dominant global
+  Rng rng(GetParam() + 77);
+  const auto set = sample_mismatch_set(layout, 200, rng, GlobalMode::SharedDie);
+  std::vector<double> col(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) col[i] = set[i][0];
+  // Within the die: small spread around a common (usually nonzero) mean.
+  EXPECT_LT(stats::stddev_population(col), 0.01);
+}
+
+TEST_P(SamplerProperty, PerSampleHasFullCombinedVariance) {
+  MismatchLayout layout;
+  layout.names = {"p0"};
+  layout.local_sigma = {0.03};
+  layout.global_sigma = {0.04};
+  Rng rng(GetParam() + 123);
+  const auto set = sample_mismatch_set(layout, 8000, rng, GlobalMode::PerSample);
+  std::vector<double> col(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) col[i] = set[i][0];
+  EXPECT_NEAR(stats::stddev_population(col), std::sqrt(0.03 * 0.03 + 0.04 * 0.04), 0.004);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Sampler, DeterministicGivenRngState) {
+  MismatchLayout layout;
+  layout.names = {"p0", "p1"};
+  layout.local_sigma = {0.01, 0.02};
+  layout.global_sigma = {0.0, 0.0};
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(sample_mismatch_set(layout, 10, a, GlobalMode::Zero),
+            sample_mismatch_set(layout, 10, b, GlobalMode::Zero));
+}
+
+TEST(Sampler, InconsistentLayoutThrows) {
+  MismatchLayout layout;
+  layout.names = {"p0"};
+  layout.local_sigma = {0.01, 0.02};  // wrong length
+  layout.global_sigma = {0.0};
+  Rng rng(1);
+  EXPECT_THROW((void)sample_mismatch_set(layout, 1, rng, GlobalMode::Zero),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glova::pdk

@@ -1,0 +1,293 @@
+// Tests for the SPICE engine: linear algebra, operating point, transient
+// accuracy against closed-form RC solutions, device models, the netlist
+// parser, and waveform measurements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "pdk/mos_params.hpp"
+#include "spice/circuit.hpp"
+#include "spice/lu.hpp"
+#include "spice/measure.hpp"
+#include "spice/parser.hpp"
+#include "spice/simulator.hpp"
+#include "spice/waveform.hpp"
+
+namespace glova::spice {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  LuSolver solver;
+  ASSERT_TRUE(solver.factor(a));
+  const auto x = solver.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  LuSolver solver;
+  EXPECT_FALSE(solver.factor(a));
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(4);
+  const std::size_t n = 12;
+  DenseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+    a.at(i, i) += 5.0;
+  }
+  const std::vector<double> x_true = rng.uniform_vector(n, -2.0, 2.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  LuSolver solver;
+  ASSERT_TRUE(solver.factor(a));
+  const auto x = solver.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Waveform, PulseShape) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9, 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(1.05e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(1.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(3.0e-9), 0.0);
+}
+
+TEST(Waveform, PwlInterpolates) {
+  const Waveform w = Waveform::pwl({0.0, 1.0, 2.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(5.0), 0.0);
+  EXPECT_THROW((void)Waveform::pwl({1.0, 0.5}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Op, VoltageDivider) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.add_vsource("V1", in, Circuit::ground(), Waveform::dc(1.0));
+  ckt.add_resistor("R1", in, mid, 1e3);
+  ckt.add_resistor("R2", mid, Circuit::ground(), 3e3);
+  Simulator sim(ckt);
+  const OpResult op = sim.operating_point();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.node_voltages[mid], 0.75, 1e-6);
+  // Branch current of V1: 1 V over 4 kOhm, flowing out of + internally.
+  EXPECT_NEAR(op.vsource_currents[0], -1.0 / 4e3, 1e-9);
+}
+
+TEST(Op, CurrentSourceIntoResistor) {
+  Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add_isource("I1", Circuit::ground(), out, Waveform::dc(1e-3));
+  ckt.add_resistor("R1", out, Circuit::ground(), 2e3);
+  Simulator sim(ckt);
+  const OpResult op = sim.operating_point();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.node_voltages[out], 2.0, 1e-6);
+}
+
+TEST(Op, VcvsGain) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, Circuit::ground(), Waveform::dc(0.25));
+  ckt.add_vcvs("E1", out, Circuit::ground(), in, Circuit::ground(), 4.0);
+  ckt.add_resistor("RL", out, Circuit::ground(), 1e3);
+  Simulator sim(ckt);
+  const OpResult op = sim.operating_point();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.node_voltages[out], 1.0, 1e-6);
+}
+
+TEST(Op, NmosSaturationCurrentMatchesModel) {
+  const pdk::MosParams params = pdk::mos_params(false, pdk::typical_corner(), 60e-9);
+  Circuit ckt;
+  const auto d = ckt.node("d");
+  const auto g = ckt.node("g");
+  ckt.add_vsource("VD", d, Circuit::ground(), Waveform::dc(0.9));
+  ckt.add_vsource("VG", g, Circuit::ground(), Waveform::dc(0.9));
+  ckt.add_mosfet("M1", d, g, Circuit::ground(), params, 1e-6, 60e-9);
+  Simulator sim(ckt);
+  const OpResult op = sim.operating_point();
+  ASSERT_TRUE(op.converged);
+  const double expected = pdk::square_law_id(params, 1e-6 / 60e-9, 0.9, 0.9);
+  // VD supplies the drain current (negative branch convention).
+  EXPECT_NEAR(-op.vsource_currents[0], expected, expected * 1e-3 + 1e-12);
+}
+
+TEST(Op, CmosInverterTransfersCorrectly) {
+  const auto nmos = pdk::mos_params(false, pdk::typical_corner(), 60e-9);
+  const auto pmos = pdk::mos_params(true, pdk::typical_corner(), 60e-9);
+  const auto out_at = [&](double vin) {
+    Circuit ckt;
+    const auto vdd = ckt.node("vdd");
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("VDD", vdd, Circuit::ground(), Waveform::dc(0.9));
+    ckt.add_vsource("VIN", in, Circuit::ground(), Waveform::dc(vin));
+    ckt.add_mosfet("MN", out, in, Circuit::ground(), nmos, 1e-6, 60e-9);
+    ckt.add_mosfet("MP", out, in, vdd, pmos, 2e-6, 60e-9);
+    Simulator sim(ckt);
+    const OpResult op = sim.operating_point();
+    EXPECT_TRUE(op.converged) << "vin = " << vin;
+    return op.node_voltages[out];
+  };
+  EXPECT_GT(out_at(0.0), 0.85);   // input low -> output high
+  EXPECT_LT(out_at(0.9), 0.05);   // input high -> output low
+  EXPECT_GT(out_at(0.2), out_at(0.7));  // monotone falling
+}
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // C charged to 1 V discharging through R: v(t) = exp(-t/RC).
+  Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add_resistor("R1", out, Circuit::ground(), 1e3);
+  ckt.add_capacitor("C1", out, Circuit::ground(), 1e-12, 1.0);
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 3e-9;
+  spec.dt = 5e-12;
+  spec.use_ic = true;
+  spec.initial_conditions["out"] = 1.0;
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& v = res.trace("out");
+  const double tau = 1e3 * 1e-12;
+  for (std::size_t i = 0; i < res.times.size(); i += 50) {
+    EXPECT_NEAR(v[i], std::exp(-res.times[i] / tau), 5e-3) << "t = " << res.times[i];
+  }
+}
+
+TEST(Transient, RcChargeStepResponse) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, Circuit::ground(),
+                  Waveform::pulse(0.0, 1.0, 0.1e-9, 1e-12, 1e-12, 10e-9, 0.0));
+  ckt.add_resistor("R1", in, out, 10e3);
+  ckt.add_capacitor("C1", out, Circuit::ground(), 100e-15);
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 5e-9;
+  spec.dt = 2e-12;
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& v = res.trace("out");
+  const double tau = 10e3 * 100e-15;  // 1 ns
+  const double t_probe = 0.1e-9 + tau;
+  EXPECT_NEAR(value_at(res.times, v, t_probe), 1.0 - std::exp(-1.0), 0.01);
+}
+
+TEST(Transient, EnergyConservationInRcCharge) {
+  // Charging a cap through a resistor from a step: the supply delivers
+  // C*V^2, half stored, half dissipated.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, Circuit::ground(),
+                  Waveform::pulse(0.0, 1.0, 0.05e-9, 1e-12, 1e-12, 100e-9, 0.0));
+  ckt.add_resistor("R1", in, out, 1e3);
+  ckt.add_capacitor("C1", out, Circuit::ground(), 200e-15);
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 3e-9;  // 15 tau
+  spec.dt = 1e-12;
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok);
+  const double delivered = supply_energy(res.times, res.trace("I(V1)"), 1.0, 0.0, 3e-9);
+  EXPECT_NEAR(delivered, 200e-15 * 1.0, 200e-15 * 0.05);
+}
+
+TEST(Measure, CrossingAndIntegral) {
+  const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v = {0.0, 1.0, 0.0, 1.0};
+  const auto rise = first_crossing(t, v, 0.5, CrossDirection::Rising);
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_DOUBLE_EQ(*rise, 0.5);
+  const auto fall = first_crossing(t, v, 0.5, CrossDirection::Falling);
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_DOUBLE_EQ(*fall, 1.5);
+  const auto late = first_crossing(t, v, 0.5, CrossDirection::Rising, 1.6);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(*late, 2.5);
+  EXPECT_FALSE(first_crossing(t, v, 2.0, CrossDirection::Rising).has_value());
+  EXPECT_DOUBLE_EQ(integrate(t, v, 0.0, 3.0), 1.5);
+  EXPECT_DOUBLE_EQ(integrate(t, v, 0.5, 1.5), 0.75);
+  EXPECT_DOUBLE_EQ(min_in_window(t, v, 0.5, 2.5), 0.0);
+  EXPECT_DOUBLE_EQ(max_in_window(t, v, 0.0, 1.2), 1.0);
+}
+
+TEST(Parser, NumbersWithSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10k"), 1e4);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100f"), 1e-13);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5n"), 2.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("0.9"), 0.9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1u"), 1e-6);
+  EXPECT_THROW((void)parse_spice_number("abc"), std::runtime_error);
+}
+
+TEST(Parser, RcNetlistSimulates) {
+  const std::string text = R"(* RC lowpass
+VIN in 0 PULSE(0 1 0.1n 1p 1p 10n)
+R1 in out 10k
+C1 out 0 100f
+.tran 2p 5n
+.end
+)";
+  const ParsedNetlist parsed = parse_netlist(text);
+  ASSERT_TRUE(parsed.tran.has_value());
+  EXPECT_EQ(parsed.circuit.resistors().size(), 1u);
+  EXPECT_EQ(parsed.circuit.capacitors().size(), 1u);
+  Simulator sim(parsed.circuit);
+  const TransientResult res = sim.transient(*parsed.tran);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_NEAR(value_at(res.times, res.trace("out"), 1.1e-9),
+              1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(Parser, MosfetAndControlCards) {
+  const std::string text = R"(
+VDD vdd 0 0.9
+VIN in 0 DC 0.45
+M1 out in 0 NMOS W=1u L=60n
+M2 out in vdd PMOS W=2u L=60n
+.ic V(out)=0.5
+.tran 1p 1n uic
+.end
+)";
+  const ParsedNetlist parsed = parse_netlist(text);
+  EXPECT_EQ(parsed.circuit.mosfets().size(), 2u);
+  EXPECT_TRUE(parsed.circuit.mosfets()[1].params.is_pmos);
+  EXPECT_DOUBLE_EQ(parsed.circuit.mosfets()[0].w, 1e-6);
+  ASSERT_TRUE(parsed.tran.has_value());
+  EXPECT_TRUE(parsed.tran->use_ic);
+  EXPECT_DOUBLE_EQ(parsed.tran->initial_conditions.at("out"), 0.5);
+}
+
+TEST(Parser, MalformedLineReportsLineNumber) {
+  try {
+    (void)parse_netlist("R1 a b\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace glova::spice

@@ -1,0 +1,134 @@
+// Tests for descriptive statistics, Welford accumulation, and the Pearson
+// correlation used by the MC reordering method (Eq. 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/pearson.hpp"
+
+namespace glova::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance_population(xs), 1.25);
+  EXPECT_NEAR(variance_sample(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev_population(xs), std::sqrt(1.25));
+}
+
+TEST(Descriptive, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_population({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(variance_sample(one), 0.0);
+  EXPECT_THROW((void)min_value({}), std::invalid_argument);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, MinMaxQuantileMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+/// Property sweep: Welford matches batch statistics on random data.
+class WelfordProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WelfordProperty, MatchesBatchFormulas) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.index(200);
+  const std::vector<double> xs = rng.uniform_vector(n, -10.0, 10.0);
+  Welford w;
+  for (const double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), n);
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(w.variance_population(), variance_population(xs), 1e-9);
+  EXPECT_NEAR(w.variance_sample(), variance_sample(xs), 1e-9);
+}
+
+TEST_P(WelfordProperty, MergeEqualsConcatenation) {
+  Rng rng(GetParam() + 1000);
+  const std::vector<double> a = rng.uniform_vector(5 + rng.index(50), -5.0, 5.0);
+  const std::vector<double> b = rng.uniform_vector(5 + rng.index(50), -5.0, 5.0);
+  Welford wa;
+  for (const double x : a) wa.add(x);
+  Welford wb;
+  for (const double x : b) wb.add(x);
+  wa.merge(wb);
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  EXPECT_NEAR(wa.mean(), mean(all), 1e-9);
+  EXPECT_NEAR(wa.variance_population(), variance_population(all), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  EXPECT_THROW((void)pearson(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  Rng rng(5);
+  const std::vector<double> xs = rng.normal_vector(50);
+  std::vector<double> ys(50);
+  for (std::size_t i = 0; i < 50; ++i) ys[i] = xs[i] + 0.2 * rng.normal();
+  const double base = pearson(xs, ys);
+  std::vector<double> xs2(50);
+  for (std::size_t i = 0; i < 50; ++i) xs2[i] = 3.0 * xs[i] - 7.0;
+  EXPECT_NEAR(pearson(xs2, ys), base, 1e-12);
+}
+
+TEST(PearsonColumns, RecoversPerColumnCorrelation) {
+  Rng rng(6);
+  const std::size_t n = 200;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(3));
+  std::vector<double> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i][0] = rng.normal();
+    rows[i][1] = rng.normal();
+    rows[i][2] = rng.normal();
+    // g depends strongly on column 0, weakly negative on column 2.
+    g[i] = 2.0 * rows[i][0] - 0.5 * rows[i][2] + 0.1 * rng.normal();
+  }
+  const auto rho = pearson_columns(rows, g);
+  ASSERT_EQ(rho.size(), 3u);
+  EXPECT_GT(rho[0], 0.9);
+  EXPECT_NEAR(rho[1], 0.0, 0.15);
+  EXPECT_LT(rho[2], -0.1);
+}
+
+TEST(PearsonColumns, RaggedRowsThrow) {
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {1.0}};
+  const std::vector<double> g = {1.0, 2.0};
+  EXPECT_THROW((void)pearson_columns(rows, g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glova::stats
