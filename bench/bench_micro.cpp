@@ -5,7 +5,10 @@
 
 #include "circuits/registry.hpp"
 #include "circuits/spice_backend.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/evaluation_engine.hpp"
+#include "core/optimizer.hpp"
 #include "core/reordering.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
@@ -73,6 +76,54 @@ static void BM_LuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuSolve)->Arg(16)->Arg(64);
+
+static void BM_EngineBatch(benchmark::State& state) {
+  // The evaluation funnel under every table: one design, one corner, a batch
+  // of fresh mismatch draws through the caching engine.
+  core::EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::DramOcsa));
+  const auto& sz = engine.testbench().sizing();
+  std::vector<double> x01(sz.dimension(), 0.5);
+  const auto x = sz.denormalize(x01);
+  const auto layout = engine.testbench().mismatch_layout(x, false);
+  Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto hs =
+        pdk::sample_mismatch_set(layout, state.range(0), rng, pdk::GlobalMode::Zero);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.evaluate_batch(x, pdk::typical_corner(), hs));
+  }
+}
+BENCHMARK(BM_EngineBatch)->Arg(3)->Arg(32)->Arg(100);
+
+static void BM_EngineCacheHit(benchmark::State& state) {
+  core::EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::DramOcsa));
+  const auto& sz = engine.testbench().sizing();
+  std::vector<double> x01(sz.dimension(), 0.5);
+  const auto x = sz.denormalize(x01);
+  (void)engine.evaluate_one(x, pdk::typical_corner(), {});  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate_one(x, pdk::typical_corner(), {}));
+  }
+}
+BENCHMARK(BM_EngineCacheHit);
+
+static void BM_GlovaRunCornerOnly(benchmark::State& state) {
+  // End-to-end GlovaOptimizer::run — TuRBO init, RL loop, verification —
+  // on the behavioral SAL bench, corner-only regime, fixed seed.
+  set_log_level(LogLevel::Warn);
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  for (auto _ : state) {
+    core::GlovaConfig cfg;
+    cfg.method = core::VerifMethod::C;
+    cfg.seed = 1;
+    cfg.max_iterations = 200;
+    core::GlovaOptimizer opt(tb, cfg);
+    const auto res = opt.run();
+    benchmark::DoNotOptimize(res.n_simulations);
+  }
+}
+BENCHMARK(BM_GlovaRunCornerOnly)->Unit(benchmark::kMillisecond);
 
 static void BM_CriticUpdate(benchmark::State& state) {
   Rng rng(3);

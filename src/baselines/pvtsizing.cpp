@@ -22,7 +22,7 @@ PvtSizingOptimizer::PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizi
 core::GlovaResult PvtSizingOptimizer::run() {
   const auto t0 = std::chrono::steady_clock::now();
   core::GlovaResult result;
-  core::SimulationService service(testbench_);
+  core::EvaluationEngine service(testbench_, config_.engine);
   const circuits::SizingSpec& sizing = testbench_->sizing();
   const circuits::PerformanceSpec& spec = testbench_->performance();
   const std::size_t p = sizing.dimension();
@@ -121,7 +121,10 @@ core::GlovaResult PvtSizingOptimizer::run() {
     result.rl_iterations = iter;
   }
 
-  result.n_simulations = service.simulation_count();
+  const core::EngineStats eval_stats = service.stats();
+  result.n_simulations = eval_stats.requested;
+  result.n_simulations_executed = eval_stats.executed;
+  result.n_cache_hits = eval_stats.cache_hits;
   result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   result.modeled_runtime =
       static_cast<double>(result.n_simulations) * config_.cost.per_simulation +

@@ -26,6 +26,7 @@ struct PvtSizingConfig {
   std::size_t turbo_budget = 150;
   std::uint64_t seed = 1;
   core::SimulationCost cost;
+  core::EngineConfig engine;
 };
 
 class PvtSizingOptimizer {

@@ -27,6 +27,7 @@ struct RobustAnalogConfig {
   std::size_t recluster_interval = 25;  ///< iterations between corner sweeps
   std::uint64_t seed = 1;
   core::SimulationCost cost;
+  core::EngineConfig engine;
 };
 
 class RobustAnalogOptimizer {

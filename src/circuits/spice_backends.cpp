@@ -91,6 +91,9 @@ std::vector<double> StrongArmLatchSpice::evaluate(std::span<const double> x,
                                                   const pdk::PvtCorner& corner,
                                                   std::span<const double> h) const {
   const spice::Circuit ckt = build_netlist(x, corner, h);
+  // Each pool worker keeps one workspace (the Simulator default): the Newton
+  // loop's matrix, RHS, and factorization buffers survive across the
+  // thousands of evaluate() calls an optimization run makes on that thread.
   spice::Simulator sim(ckt);
   spice::TransientSpec spec;
   spec.t_stop = kTStop;

@@ -38,16 +38,18 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              std::size_t max_workers) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  if (n == 1 || max_workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  const std::size_t n_tasks = std::min(n, workers_.size());
+  std::size_t n_tasks = std::min(n, workers_.size());
+  if (max_workers != 0) n_tasks = std::min(n_tasks, max_workers);
   std::vector<std::future<void>> futures;
   futures.reserve(n_tasks);
   for (std::size_t t = 0; t < n_tasks; ++t) {

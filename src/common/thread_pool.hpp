@@ -30,8 +30,10 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and block until all complete.
+  /// At most `max_workers` tasks run concurrently (0 = every worker).
   /// Exceptions from tasks are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_workers = 0);
 
  private:
   void worker_loop();

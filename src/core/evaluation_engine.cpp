@@ -1,0 +1,250 @@
+#include "core/evaluation_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace glova::core {
+
+namespace {
+
+/// FNV-1a over the key words; good enough for a few thousand entries.
+std::size_t fnv1a(const std::vector<std::int64_t>& words) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::int64_t w : words) {
+    auto u = static_cast<std::uint64_t>(w);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (u >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::int64_t quantize(double v, double quantum) {
+  // Saturate instead of invoking UB on overflow; keys only need equality.
+  const double q = v / quantum;
+  if (q >= 9.2e18) return std::numeric_limits<std::int64_t>::max();
+  if (q <= -9.2e18) return std::numeric_limits<std::int64_t>::min();
+  return std::llround(q);
+}
+
+}  // namespace
+
+std::size_t EvaluationEngine::CacheKeyHash::operator()(const CacheKey& key) const noexcept {
+  return fnv1a(key);
+}
+
+EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfig config)
+    : testbench_(std::move(testbench)), config_(config) {
+  if (!testbench_) throw std::invalid_argument("EvaluationEngine: null testbench");
+  if (config_.cache_quantum <= 0.0) {
+    throw std::invalid_argument("EvaluationEngine: cache_quantum must be positive");
+  }
+}
+
+EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, std::size_t parallelism)
+    : EvaluationEngine(std::move(testbench), [&] {
+        EngineConfig cfg;
+        cfg.parallelism = parallelism;
+        return cfg;
+      }()) {}
+
+EvaluationEngine::~EvaluationEngine() {
+  std::vector<std::future<void>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending.swap(pending_);
+  }
+  for (std::future<void>& f : pending) {
+    if (f.valid()) f.wait();
+  }
+}
+
+EvaluationEngine::CacheKey EvaluationEngine::make_key(std::span<const double> x_phys,
+                                                      const pdk::PvtCorner& corner,
+                                                      std::span<const double> h) const {
+  CacheKey key;
+  key.reserve(4 + x_phys.size() + 1 + h.size());
+  key.push_back(static_cast<std::int64_t>(corner.process) * 2 +
+                (corner.process_predefined ? 1 : 0));
+  key.push_back(quantize(corner.vdd, config_.cache_quantum));
+  key.push_back(quantize(corner.temp_c, config_.cache_quantum));
+  key.push_back(static_cast<std::int64_t>(x_phys.size()));
+  for (const double v : x_phys) key.push_back(quantize(v, config_.cache_quantum));
+  key.push_back(static_cast<std::int64_t>(h.size()));
+  for (const double v : h) key.push_back(quantize(v, config_.cache_quantum));
+  return key;
+}
+
+bool EvaluationEngine::cache_lookup(const CacheKey& key, std::vector<double>& out) {
+  if (config_.cache_capacity == 0) return false;
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->second;
+  return true;
+}
+
+void EvaluationEngine::cache_insert(CacheKey key, const std::vector<double>& metrics) {
+  if (config_.cache_capacity == 0) return;
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (index_.find(key) != index_.end()) return;  // concurrent duplicate compute
+  lru_.emplace_front(std::move(key), metrics);
+  index_.emplace(lru_.front().first, lru_.begin());
+  if (lru_.size() > config_.cache_capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t EvaluationEngine::effective_parallelism() const {
+  const std::size_t pool = global_thread_pool().size();
+  if (config_.parallelism == 0) return pool;
+  return std::min(config_.parallelism, pool);
+}
+
+std::vector<std::vector<double>> EvaluationEngine::evaluate_batch(
+    std::span<const double> x_phys, const pdk::PvtCorner& corner,
+    const std::vector<std::vector<double>>& hs) {
+  std::vector<std::vector<double>> results(hs.size());
+  requested_.fetch_add(hs.size());
+
+  // Resolve cache hits up front; only misses go to the simulator.  Identical
+  // conditions inside one batch are still evaluated once each requested time
+  // until the first insert lands — correctness is unaffected, and in practice
+  // duplicate keys within a batch are repeated nominal-mismatch draws.
+  const bool caching = config_.cache_capacity != 0;
+  std::vector<std::size_t> miss_indices;
+  std::vector<CacheKey> miss_keys;
+  miss_indices.reserve(hs.size());
+  if (caching) {
+    miss_keys.reserve(hs.size());
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      CacheKey key = make_key(x_phys, corner, hs[i]);
+      if (cache_lookup(key, results[i])) {
+        cache_hits_.fetch_add(1);
+      } else {
+        miss_indices.push_back(i);
+        miss_keys.push_back(std::move(key));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < hs.size(); ++i) miss_indices.push_back(i);
+  }
+  if (miss_indices.empty()) return results;
+
+  const auto run_one = [&](std::size_t mi) {
+    const std::size_t i = miss_indices[mi];
+    results[i] = testbench_->evaluate(x_phys, corner, hs[i]);
+    // Counted after the run so a throwing evaluation keeps the invariant
+    // requested == cache_hits + executed (+ failures, which propagate).
+    executed_.fetch_add(1);
+    if (caching) cache_insert(std::move(miss_keys[mi]), results[i]);
+  };
+
+  const std::size_t parallelism = effective_parallelism();
+  if (parallelism > 1 && miss_indices.size() >= config_.min_parallel_batch) {
+    global_thread_pool().parallel_for(miss_indices.size(), run_one, parallelism);
+  } else {
+    for (std::size_t mi = 0; mi < miss_indices.size(); ++mi) run_one(mi);
+  }
+  return results;
+}
+
+std::vector<double> EvaluationEngine::evaluate_one(std::span<const double> x_phys,
+                                                   const pdk::PvtCorner& corner,
+                                                   std::span<const double> h) {
+  requested_.fetch_add(1);
+  const bool caching = config_.cache_capacity != 0;
+  CacheKey key;
+  std::vector<double> metrics;
+  if (caching) {
+    key = make_key(x_phys, corner, h);
+    if (cache_lookup(key, metrics)) {
+      cache_hits_.fetch_add(1);
+      return metrics;
+    }
+  }
+  metrics = testbench_->evaluate(x_phys, corner, h);
+  executed_.fetch_add(1);
+  if (caching) cache_insert(std::move(key), metrics);
+  return metrics;
+}
+
+std::future<std::vector<double>> EvaluationEngine::submit(std::span<const double> x_phys,
+                                                          const pdk::PvtCorner& corner,
+                                                          std::span<const double> h) {
+  requested_.fetch_add(1);
+  const bool caching = config_.cache_capacity != 0;
+  CacheKey key;
+  std::vector<double> metrics;
+  if (caching) {
+    key = make_key(x_phys, corner, h);
+    if (cache_lookup(key, metrics)) {
+      cache_hits_.fetch_add(1);
+      std::promise<std::vector<double>> ready;
+      ready.set_value(std::move(metrics));
+      return ready.get_future();
+    }
+  }
+  // The task owns copies of its inputs: the caller's spans need not outlive
+  // the future.
+  auto state = std::make_shared<std::promise<std::vector<double>>>();
+  std::future<std::vector<double>> fut = state->get_future();
+  std::vector<double> x_copy(x_phys.begin(), x_phys.end());
+  std::vector<double> h_copy(h.begin(), h.end());
+  std::future<void> done = global_thread_pool().submit(
+      [this, state, caching, key = std::move(key), corner, x = std::move(x_copy),
+       hh = std::move(h_copy)] {
+        try {
+          std::vector<double> m = testbench_->evaluate(x, corner, hh);
+          executed_.fetch_add(1);
+          if (caching) cache_insert(key, m);
+          state->set_value(std::move(m));
+        } catch (...) {
+          state->set_exception(std::current_exception());
+        }
+      });
+  {
+    // Track the queued task so the destructor can drain it; drop entries
+    // that have already finished to keep the list from growing.
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    std::erase_if(pending_, [](std::future<void>& f) {
+      return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    pending_.push_back(std::move(done));
+  }
+  return fut;
+}
+
+EngineStats EvaluationEngine::stats() const {
+  EngineStats s;
+  s.requested = requested_.load();
+  s.executed = executed_.load();
+  s.cache_hits = cache_hits_.load();
+  return s;
+}
+
+void EvaluationEngine::reset_count() {
+  requested_.store(0);
+  executed_.store(0);
+  cache_hits_.store(0);
+}
+
+std::size_t EvaluationEngine::cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return lru_.size();
+}
+
+void EvaluationEngine::clear_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+}  // namespace glova::core

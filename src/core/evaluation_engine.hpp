@@ -1,0 +1,144 @@
+// EvaluationEngine: the only gate through which optimizers reach the
+// testbench.  Every caller — GlovaOptimizer, the Verifier, TuRBO init, the
+// PVTSizing/RobustAnalog baselines, and the benches — submits evaluations
+// here instead of touching the Testbench directly.  The engine provides:
+//
+//   * batched submission over the shared thread pool, honoring a real
+//     parallelism setting (the paper runs N' = 3 samples concurrently during
+//     optimization and "maximum available resources" during verification),
+//   * a bounded, thread-safe memoization cache keyed by (quantized design
+//     vector, corner, mismatch draw), so repeated evaluations of the same
+//     condition are answered without re-simulating.  Counters distinguish
+//     *requested* simulations (the paper's "# Simulation" column, returned
+//     by simulation_count()) from *actually run* ones,
+//   * a modeled runtime (each SPICE run is far more expensive than the
+//     optimizer bookkeeping around it); only ratios matter — Table II
+//     reports *normalized* runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "circuits/testbench.hpp"
+#include "common/thread_pool.hpp"
+#include "pdk/corner.hpp"
+
+namespace glova::core {
+
+struct SimulationCost {
+  /// Modeled cost of one SPICE simulation in arbitrary time units; the
+  /// per-iteration optimizer overhead is a fraction of this.  Only ratios
+  /// matter: Table II reports *normalized* runtime.
+  double per_simulation = 1.0;
+  double per_rl_iteration = 2.0;
+};
+
+struct EngineConfig {
+  /// Maximum simulations in flight for one batch.  0 = use every thread-pool
+  /// worker; 1 = strictly sequential.
+  std::size_t parallelism = 0;
+  /// Batches smaller than this run inline: behavioral evaluations are
+  /// microseconds each, so fan-out only pays off from a few tasks up.
+  std::size_t min_parallel_batch = 8;
+  /// Memoization cache capacity in entries (LRU eviction).  0 disables
+  /// caching entirely.
+  std::size_t cache_capacity = 4096;
+  /// Quantization step applied to design/mismatch coordinates when forming
+  /// cache keys.  Coarse enough to absorb round-trip noise, fine enough that
+  /// distinct mismatch draws never alias.
+  double cache_quantum = 1e-15;
+};
+
+/// Counter snapshot.  requested == cache_hits + executed at any quiescent
+/// point; requested is what simulation_count() reports.
+struct EngineStats {
+  std::uint64_t requested = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class EvaluationEngine {
+ public:
+  explicit EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfig config = {});
+  /// Compatibility constructor: engine defaults with an explicit parallelism.
+  EvaluationEngine(circuits::TestbenchPtr testbench, std::size_t parallelism);
+  /// Blocks until every submit()-queued evaluation has finished: a queued
+  /// task touches the engine's counters and cache, so they must not outlive
+  /// the engine.
+  ~EvaluationEngine();
+
+  /// Evaluate one design under one corner and many mismatch conditions.
+  /// `hs` may contain empty vectors (nominal mismatch).  Results preserve
+  /// order.  Thread-safe.
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_batch(
+      std::span<const double> x_phys, const pdk::PvtCorner& corner,
+      const std::vector<std::vector<double>>& hs);
+
+  /// Single evaluation (counted, cached).
+  [[nodiscard]] std::vector<double> evaluate_one(std::span<const double> x_phys,
+                                                 const pdk::PvtCorner& corner,
+                                                 std::span<const double> h);
+
+  /// Asynchronous single evaluation: a cache hit resolves immediately, a
+  /// miss is queued on the shared thread pool.  Counted like evaluate_one.
+  /// Note: individually submitted evaluations are NOT subject to the
+  /// EngineConfig::parallelism cap — they compete for pool workers like any
+  /// queued task; only evaluate_batch enforces the cap.
+  [[nodiscard]] std::future<std::vector<double>> submit(std::span<const double> x_phys,
+                                                        const pdk::PvtCorner& corner,
+                                                        std::span<const double> h);
+
+  [[nodiscard]] const circuits::Testbench& testbench() const { return *testbench_; }
+  [[nodiscard]] circuits::TestbenchPtr testbench_ptr() const { return testbench_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Requested simulations — the paper's "# Simulation" semantics.  Cache
+  /// hits count: the caller asked for that simulation whether or not the
+  /// engine had to run it.
+  [[nodiscard]] std::uint64_t simulation_count() const { return requested_.load(); }
+  [[nodiscard]] EngineStats stats() const;
+  void reset_count();
+
+  [[nodiscard]] std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  /// Flat integer cache key: corner fields, then quantized x, a separator,
+  /// then quantized h.  Vector equality is exact key equality.
+  using CacheKey = std::vector<std::int64_t>;
+
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept;
+  };
+
+  [[nodiscard]] CacheKey make_key(std::span<const double> x_phys, const pdk::PvtCorner& corner,
+                                  std::span<const double> h) const;
+  [[nodiscard]] bool cache_lookup(const CacheKey& key, std::vector<double>& out);
+  void cache_insert(CacheKey key, const std::vector<double>& metrics);
+  [[nodiscard]] std::size_t effective_parallelism() const;
+
+  circuits::TestbenchPtr testbench_;
+  EngineConfig config_;
+
+  std::atomic<std::uint64_t> requested_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+
+  mutable std::mutex cache_mutex_;
+  /// LRU: most recent at the front.  The map points into the list.
+  std::list<std::pair<CacheKey, std::vector<double>>> lru_;
+  std::unordered_map<CacheKey, decltype(lru_)::iterator, CacheKeyHash> index_;
+
+  /// submit()-queued work still in flight; drained by the destructor.
+  std::mutex pending_mutex_;
+  std::vector<std::future<void>> pending_;
+};
+
+}  // namespace glova::core

@@ -28,7 +28,7 @@ GlovaOptimizer::GlovaOptimizer(circuits::TestbenchPtr testbench, GlovaConfig con
 GlovaResult GlovaOptimizer::run() {
   const auto t0 = Clock::now();
   GlovaResult result;
-  SimulationService service(testbench_);
+  EvaluationEngine service(testbench_, config_.engine);
   const circuits::SizingSpec& sizing = testbench_->sizing();
   const circuits::PerformanceSpec& spec = testbench_->performance();
   const std::size_t p = sizing.dimension();
@@ -197,7 +197,10 @@ GlovaResult GlovaOptimizer::run() {
     result.rl_iterations = iter;
   }
 
-  result.n_simulations = service.simulation_count();
+  const EngineStats eval_stats = service.stats();
+  result.n_simulations = eval_stats.requested;
+  result.n_simulations_executed = eval_stats.executed;
+  result.n_cache_hits = eval_stats.cache_hits;
   result.wall_seconds = seconds_since(t0);
   result.modeled_runtime =
       static_cast<double>(result.n_simulations) * config_.cost.per_simulation +

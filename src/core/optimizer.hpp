@@ -19,7 +19,7 @@
 
 #include "circuits/testbench.hpp"
 #include "core/config.hpp"
-#include "core/simulation.hpp"
+#include "core/evaluation_engine.hpp"
 #include "core/verifier.hpp"
 #include "rl/agent.hpp"
 
@@ -41,6 +41,7 @@ struct GlovaConfig {
   bool use_reordering = true;         ///< ablation "w/o SR"
   std::uint64_t seed = 1;
   SimulationCost cost;
+  EngineConfig engine;                ///< evaluation-stack knobs (parallelism, cache)
 };
 
 /// One row of the per-iteration trace (Fig. 3 reproduction).
@@ -57,7 +58,12 @@ struct IterationTrace {
 struct GlovaResult {
   bool success = false;
   std::size_t rl_iterations = 0;
+  /// Requested simulations — the paper's "# Simulation" column.  Cache hits
+  /// count: the optimizer asked for them whether or not they had to run.
   std::uint64_t n_simulations = 0;
+  /// Simulations the engine actually ran (n_simulations - n_cache_hits).
+  std::uint64_t n_simulations_executed = 0;
+  std::uint64_t n_cache_hits = 0;
   double wall_seconds = 0.0;
   double modeled_runtime = 0.0;     ///< sims * t_sim + iterations * t_iter
   std::uint64_t turbo_evaluations = 0;

@@ -1,56 +1,12 @@
-// SimulationService: the only gate through which optimizers reach the
-// testbench.  It counts simulations (the paper's "# Simulation" column),
-// tracks a modeled runtime (each SPICE run is far more expensive than the
-// optimizer bookkeeping around it), and runs batches in parallel — the paper
-// uses a parallel sample size of 3 during optimization and "maximum
-// available resources" during verification.
+// Compatibility shim: the counting SimulationService grew into the batched,
+// caching EvaluationEngine (see evaluation_engine.hpp).  Existing includes
+// and the old type name keep working.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "circuits/testbench.hpp"
-#include "common/thread_pool.hpp"
-#include "pdk/corner.hpp"
+#include "core/evaluation_engine.hpp"
 
 namespace glova::core {
 
-struct SimulationCost {
-  /// Modeled cost of one SPICE simulation in arbitrary time units; the
-  /// per-iteration optimizer overhead is a fraction of this.  Only ratios
-  /// matter: Table II reports *normalized* runtime.
-  double per_simulation = 1.0;
-  double per_rl_iteration = 2.0;
-};
-
-class SimulationService {
- public:
-  SimulationService(circuits::TestbenchPtr testbench, std::size_t parallelism = 0);
-
-  /// Evaluate one design under one corner and many mismatch conditions.
-  /// `hs` may contain empty vectors (nominal mismatch).  Results preserve
-  /// order.  Thread-safe.
-  [[nodiscard]] std::vector<std::vector<double>> evaluate_batch(
-      std::span<const double> x_phys, const pdk::PvtCorner& corner,
-      const std::vector<std::vector<double>>& hs);
-
-  /// Single evaluation (counted).
-  [[nodiscard]] std::vector<double> evaluate_one(std::span<const double> x_phys,
-                                                 const pdk::PvtCorner& corner,
-                                                 std::span<const double> h);
-
-  [[nodiscard]] const circuits::Testbench& testbench() const { return *testbench_; }
-  [[nodiscard]] circuits::TestbenchPtr testbench_ptr() const { return testbench_; }
-
-  [[nodiscard]] std::uint64_t simulation_count() const { return count_.load(); }
-  void reset_count() { count_.store(0); }
-
- private:
-  circuits::TestbenchPtr testbench_;
-  std::size_t parallelism_;
-  std::atomic<std::uint64_t> count_{0};
-};
+using SimulationService = EvaluationEngine;
 
 }  // namespace glova::core

@@ -11,7 +11,7 @@
 
 namespace glova::core {
 
-Verifier::Verifier(SimulationService& service, OperationalConfig config, VerifierOptions options)
+Verifier::Verifier(EvaluationEngine& service, OperationalConfig config, VerifierOptions options)
     : service_(service), config_(std::move(config)), options_(options) {}
 
 VerificationOutcome Verifier::verify(std::span<const double> x_phys,

@@ -20,7 +20,7 @@
 #include "circuits/testbench.hpp"
 #include "common/rng.hpp"
 #include "core/config.hpp"
-#include "core/simulation.hpp"
+#include "core/evaluation_engine.hpp"
 #include "rl/replay_buffer.hpp"
 
 namespace glova::core {
@@ -52,7 +52,7 @@ struct VerificationOutcome {
 
 class Verifier {
  public:
-  Verifier(SimulationService& service, OperationalConfig config, VerifierOptions options = {});
+  Verifier(EvaluationEngine& service, OperationalConfig config, VerifierOptions options = {});
 
   /// Run Algorithm 2 on a physical design point.
   [[nodiscard]] VerificationOutcome verify(std::span<const double> x_phys,
@@ -63,7 +63,7 @@ class Verifier {
   [[nodiscard]] const VerifierOptions& options() const { return options_; }
 
  private:
-  SimulationService& service_;
+  EvaluationEngine& service_;
   OperationalConfig config_;
   VerifierOptions options_;
 };

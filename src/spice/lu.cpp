@@ -8,6 +8,11 @@ namespace glova::spice {
 
 void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+void DenseMatrix::resize_zero(std::size_t n) {
+  n_ = n;
+  data_.assign(n * n, 0.0);
+}
+
 bool LuSolver::factor(const DenseMatrix& a) {
   const std::size_t n = a.size();
   lu_ = a;
@@ -44,9 +49,15 @@ bool LuSolver::factor(const DenseMatrix& a) {
 }
 
 std::vector<double> LuSolver::solve(std::span<const double> b) const {
+  std::vector<double> x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuSolver::solve_into(std::span<const double> b, std::vector<double>& x) const {
   const std::size_t n = lu_.size();
   if (b.size() != n) throw std::invalid_argument("LuSolver::solve: size mismatch");
-  std::vector<double> x(n);
+  x.resize(n);
   // Forward substitution with permutation.
   for (std::size_t r = 0; r < n; ++r) {
     double sum = b[perm_[r]];
@@ -59,7 +70,6 @@ std::vector<double> LuSolver::solve(std::span<const double> b) const {
     for (std::size_t c = r + 1; c < n; ++c) sum -= lu_.at(r, c) * x[c];
     x[r] = sum / lu_.at(r, r);
   }
-  return x;
 }
 
 }  // namespace glova::spice

@@ -20,6 +20,9 @@ class DenseMatrix {
   [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
 
   void set_zero();
+  /// Resize to n x n and zero.  Reuses existing storage when capacity allows,
+  /// so a workspace matrix is allocation-free across same-size solves.
+  void resize_zero(std::size_t n);
   [[nodiscard]] std::span<double> row(std::size_t r) { return {&data_[r * n_], n_}; }
 
  private:
@@ -36,6 +39,10 @@ class LuSolver {
 
   /// Solve using the last successful factorization.
   [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve into a caller-provided vector (resized to n; reuses capacity so
+  /// repeated solves allocate nothing).  `x` must not alias `b`.
+  void solve_into(std::span<const double> b, std::vector<double>& x) const;
 
  private:
   DenseMatrix lu_;

@@ -99,9 +99,22 @@ bool TransientResult::has_trace(const std::string& name) const {
   return false;
 }
 
-Simulator::Simulator(const Circuit& circuit, SimulatorOptions options)
+void SimulatorWorkspace::prepare(std::size_t n) {
+  g.resize_zero(n);
+  rhs.assign(n, 0.0);
+  x_new.resize(n);
+}
+
+SimulatorWorkspace& thread_local_workspace() {
+  thread_local SimulatorWorkspace workspace;
+  return workspace;
+}
+
+Simulator::Simulator(const Circuit& circuit, SimulatorOptions options,
+                     SimulatorWorkspace* workspace)
     : circuit_(circuit),
       options_(options),
+      workspace_(workspace != nullptr ? workspace : &thread_local_workspace()),
       n_nodes_(circuit.node_count()),
       n_vsrc_(circuit.vsources().size()),
       n_vcvs_(circuit.vcvs().size()) {}
@@ -240,15 +253,15 @@ void Simulator::assemble(const AssemblyInputs& in, DenseMatrix& g, std::vector<d
 bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x,
                              int* iterations_out) const {
   const std::size_t n = unknown_count();
-  DenseMatrix g(n);
-  std::vector<double> rhs(n, 0.0);
-  LuSolver solver;
+  SimulatorWorkspace& ws = *workspace_;
+  ws.prepare(n);
   AssemblyInputs iter_in = in;
   for (int it = 0; it < options_.max_newton_iterations; ++it) {
     iter_in.x_guess = &x;
-    assemble(iter_in, g, rhs);
-    if (!solver.factor(g)) return false;
-    const std::vector<double> x_new = solver.solve(rhs);
+    assemble(iter_in, ws.g, ws.rhs);
+    if (!ws.solver.factor(ws.g)) return false;
+    ws.solver.solve_into(ws.rhs, ws.x_new);
+    const std::vector<double>& x_new = ws.x_new;
     // Damped update: clamp the voltage change per iteration.
     double max_delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -63,9 +63,34 @@ struct SimulatorOptions {
   int source_steps = 10;        ///< source-stepping ramp points for hard OPs
 };
 
+/// Reusable scratch buffers for the Newton loop: the MNA matrix, the RHS,
+/// the solver (with its factorization and permutation storage), and the
+/// iterate produced by each solve.  Every buffer is fully overwritten before
+/// use, so sharing a workspace across solves, timesteps, and even different
+/// circuits never changes results — it only removes the per-solve heap
+/// traffic.  A workspace is single-threaded state: use one per thread.
+struct SimulatorWorkspace {
+  DenseMatrix g;
+  std::vector<double> rhs;
+  std::vector<double> x_new;
+  LuSolver solver;
+
+  /// Size every buffer for an n-unknown system, reusing capacity.
+  void prepare(std::size_t n);
+};
+
+/// The calling thread's shared workspace.  Simulators constructed without an
+/// explicit workspace use this one, so repeated evaluations on a worker
+/// thread (the common testbench pattern) reuse the same buffers.
+[[nodiscard]] SimulatorWorkspace& thread_local_workspace();
+
 class Simulator {
  public:
-  explicit Simulator(const Circuit& circuit, SimulatorOptions options = {});
+  /// `workspace` may outlive-the-call scratch storage; nullptr selects the
+  /// calling thread's shared workspace.  The workspace must not be used by
+  /// two simulators concurrently.
+  explicit Simulator(const Circuit& circuit, SimulatorOptions options = {},
+                     SimulatorWorkspace* workspace = nullptr);
 
   /// DC operating point (capacitors open).
   [[nodiscard]] OpResult operating_point();
@@ -96,6 +121,7 @@ class Simulator {
 
   const Circuit& circuit_;
   SimulatorOptions options_;
+  SimulatorWorkspace* workspace_;
   std::size_t n_nodes_;    ///< including ground
   std::size_t n_vsrc_;
   std::size_t n_vcvs_;

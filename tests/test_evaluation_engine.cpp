@@ -1,0 +1,216 @@
+// Tests for the EvaluationEngine: memoization-cache correctness (hits return
+// identical metrics, distinct mismatch draws never alias), counter semantics
+// (requested == hits + executed == simulation_count()), LRU bounding, the
+// parallelism cap, and the future-based submission path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "circuits/registry.hpp"
+#include "core/evaluation_engine.hpp"
+#include "pdk/variation.hpp"
+
+namespace glova::core {
+namespace {
+
+std::vector<double> midpoint_design(const circuits::Testbench& tb) {
+  std::vector<double> x01(tb.sizing().dimension(), 0.5);
+  return tb.sizing().denormalize(x01);
+}
+
+TEST(EvaluationEngine, CacheHitReturnsIdenticalMetrics) {
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::Sal));
+  const auto x = midpoint_design(engine.testbench());
+  const auto layout = engine.testbench().mismatch_layout(x, false);
+  Rng rng(7);
+  const auto hs = pdk::sample_mismatch_set(layout, 1, rng, pdk::GlobalMode::Zero);
+
+  const auto first = engine.evaluate_one(x, pdk::typical_corner(), hs[0]);
+  const auto second = engine.evaluate_one(x, pdk::typical_corner(), hs[0]);
+  EXPECT_EQ(first, second);  // bit-identical, not re-simulated
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requested, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(EvaluationEngine, DistinctMismatchDrawsDoNotShareCacheEntries) {
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::Sal));
+  const auto x = midpoint_design(engine.testbench());
+  const auto layout = engine.testbench().mismatch_layout(x, false);
+  Rng rng(11);
+  const auto hs = pdk::sample_mismatch_set(layout, 8, rng, pdk::GlobalMode::Zero);
+
+  const auto batch = engine.evaluate_batch(x, pdk::typical_corner(), hs);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requested, 8u);
+  EXPECT_EQ(stats.executed, 8u);  // every draw is distinct: no false sharing
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // Different mismatch conditions really produce different metrics.
+  EXPECT_NE(batch[0], batch[1]);
+
+  // Re-requesting the same draws is now free.
+  const auto again = engine.evaluate_batch(x, pdk::typical_corner(), hs);
+  EXPECT_EQ(batch, again);
+  EXPECT_EQ(engine.stats().executed, 8u);
+  EXPECT_EQ(engine.stats().cache_hits, 8u);
+}
+
+TEST(EvaluationEngine, CountersMatchSimulationCountSemantics) {
+  // simulation_count() keeps the paper's "# Simulation" meaning: every
+  // *requested* evaluation counts, whether the cache answered it or not.
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::Sal));
+  const auto x = midpoint_design(engine.testbench());
+
+  (void)engine.evaluate_one(x, pdk::typical_corner(), {});
+  const std::vector<std::vector<double>> nominal(5);  // five nominal-h repeats
+  (void)engine.evaluate_batch(x, pdk::typical_corner(), nominal);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(engine.simulation_count(), 6u);
+  EXPECT_EQ(stats.requested, engine.simulation_count());
+  EXPECT_EQ(stats.requested, stats.executed + stats.cache_hits);
+  EXPECT_EQ(stats.executed, 1u);  // one real run; five answered from cache
+
+  engine.reset_count();
+  EXPECT_EQ(engine.simulation_count(), 0u);
+  EXPECT_EQ(engine.stats().executed, 0u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST(EvaluationEngine, DisabledCacheAlwaysExecutes) {
+  EngineConfig cfg;
+  cfg.cache_capacity = 0;
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::Fia), cfg);
+  const auto x = midpoint_design(engine.testbench());
+  (void)engine.evaluate_one(x, pdk::typical_corner(), {});
+  (void)engine.evaluate_one(x, pdk::typical_corner(), {});
+  EXPECT_EQ(engine.stats().executed, 2u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(EvaluationEngine, LruEvictionKeepsCacheBounded) {
+  EngineConfig cfg;
+  cfg.cache_capacity = 2;
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::Sal), cfg);
+  const auto x = midpoint_design(engine.testbench());
+  const auto corners = pdk::full_corner_set();
+
+  (void)engine.evaluate_one(x, corners[0], {});
+  (void)engine.evaluate_one(x, corners[1], {});
+  (void)engine.evaluate_one(x, corners[2], {});  // evicts corners[0]
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  (void)engine.evaluate_one(x, corners[0], {});  // must re-run
+  EXPECT_EQ(engine.stats().executed, 4u);
+  (void)engine.evaluate_one(x, corners[2], {});  // still resident
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+}
+
+TEST(EvaluationEngine, SubmitResolvesLikeEvaluateOne) {
+  EvaluationEngine engine(circuits::make_testbench(circuits::Testcase::DramOcsa));
+  const auto x = midpoint_design(engine.testbench());
+  auto fut = engine.submit(x, pdk::typical_corner(), {});
+  const auto async_metrics = fut.get();
+  const auto sync_metrics = engine.evaluate_one(x, pdk::typical_corner(), {});
+  EXPECT_EQ(async_metrics, sync_metrics);
+  EXPECT_EQ(engine.simulation_count(), 2u);
+  EXPECT_EQ(engine.stats().executed, 1u);
+
+  // A cached submit resolves immediately.
+  auto fut2 = engine.submit(x, pdk::typical_corner(), {});
+  EXPECT_EQ(fut2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(fut2.get(), sync_metrics);
+}
+
+TEST(EvaluationEngine, DestructionDrainsPendingSubmits) {
+  // Discarding the future and destroying the engine must not leave a queued
+  // task touching freed state: the destructor drains in-flight submits.
+  const auto tb = circuits::make_testbench(circuits::Testcase::Sal);
+  const auto x = midpoint_design(*tb);
+  for (int round = 0; round < 4; ++round) {
+    EvaluationEngine engine(tb);
+    (void)engine.submit(x, pdk::typical_corner(), {});
+    (void)engine.submit(x, pdk::full_corner_set()[round], {});
+  }  // engine destroyed with results never collected
+  SUCCEED();
+}
+
+/// Testbench that records the maximum number of concurrent evaluations.
+class ConcurrencyProbeBench final : public circuits::Testbench {
+ public:
+  ConcurrencyProbeBench() {
+    sizing_.names = {"x0"};
+    sizing_.lower = {0.0};
+    sizing_.upper = {1.0};
+    performance_.metrics = {
+        circuits::MetricSpec{"m", "u", 1.0, 1.0, circuits::Sense::MinimizeBelow}};
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const circuits::SizingSpec& sizing() const override { return sizing_; }
+  [[nodiscard]] const circuits::PerformanceSpec& performance() const override {
+    return performance_;
+  }
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double>,
+                                                    bool) const override {
+    pdk::MismatchLayout layout;
+    layout.names = {"h0"};
+    layout.local_sigma = {1.0};
+    layout.global_sigma = {0.0};
+    return layout;
+  }
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double>, const pdk::PvtCorner&,
+                                             std::span<const double> h) const override {
+    const int now = in_flight_.fetch_add(1) + 1;
+    int seen = max_in_flight_.load();
+    while (now > seen && !max_in_flight_.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    in_flight_.fetch_sub(1);
+    return {h.empty() ? 0.0 : h[0]};
+  }
+
+  [[nodiscard]] int max_in_flight() const { return max_in_flight_.load(); }
+
+ private:
+  std::string name_ = "concurrency-probe";
+  circuits::SizingSpec sizing_;
+  circuits::PerformanceSpec performance_;
+  mutable std::atomic<int> in_flight_{0};
+  mutable std::atomic<int> max_in_flight_{0};
+};
+
+TEST(EvaluationEngine, ParallelismSettingCapsFanOut) {
+  const auto probe = std::make_shared<ConcurrencyProbeBench>();
+  EngineConfig cfg;
+  cfg.parallelism = 2;
+  cfg.min_parallel_batch = 2;
+  EvaluationEngine engine(probe, cfg);
+
+  // 24 distinct mismatch draws so nothing is answered from the cache.
+  std::vector<std::vector<double>> hs;
+  for (int i = 0; i < 24; ++i) hs.push_back({static_cast<double>(i)});
+  const std::vector<double> x = {0.5};
+  const auto results = engine.evaluate_batch(x, pdk::typical_corner(), hs);
+
+  ASSERT_EQ(results.size(), hs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i) EXPECT_EQ(results[i][0], hs[i][0]);  // order kept
+  EXPECT_LE(probe->max_in_flight(), 2);
+}
+
+TEST(EvaluationEngine, SequentialParallelismNeverUsesThePool) {
+  const auto probe = std::make_shared<ConcurrencyProbeBench>();
+  EvaluationEngine engine(probe, /*parallelism=*/1);
+  std::vector<std::vector<double>> hs;
+  for (int i = 0; i < 20; ++i) hs.push_back({static_cast<double>(i)});
+  (void)engine.evaluate_batch(std::vector<double>{0.5}, pdk::typical_corner(), hs);
+  EXPECT_EQ(probe->max_in_flight(), 1);
+}
+
+}  // namespace
+}  // namespace glova::core

@@ -64,7 +64,7 @@ struct Fixture {
         verifier(service, config, options),
         last_worst(config.corner_count()) {}
 
-  SimulationService service;
+  EvaluationEngine service;
   OperationalConfig config;
   Verifier verifier;
   rl::LastWorstBuffer last_worst;
