@@ -16,6 +16,8 @@
 #include "pdk/variation.hpp"
 #include "rl/ensemble_critic.hpp"
 #include "spice/lu.hpp"
+#include "spice/simulator.hpp"
+#include "spice/warm_start.hpp"
 #include "stats/pearson.hpp"
 
 using namespace glova;
@@ -50,6 +52,10 @@ static void BM_MismatchSample(benchmark::State& state) {
 BENCHMARK(BM_MismatchSample)->Arg(3)->Arg(100)->Arg(1000);
 
 static void BM_SpiceSalTransient(benchmark::State& state) {
+  // The SPICE run path under every SAL evaluation: netlist build, DC op,
+  // 3000-step transient, measurement extraction.  Warm start disabled so
+  // the number is a clean cold-evaluation cost.
+  spice::set_dc_warm_start_enabled(false);
   circuits::StrongArmLatchSpice sal;
   const auto& sz = sal.sizing();
   std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01};
@@ -57,8 +63,56 @@ static void BM_SpiceSalTransient(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sal.evaluate(x, pdk::typical_corner(), {}));
   }
+  spice::set_dc_warm_start_enabled(true);
 }
 BENCHMARK(BM_SpiceSalTransient)->Unit(benchmark::kMillisecond);
+
+static void BM_SpiceAssemblyOnly(benchmark::State& state) {
+  // One Newton iteration's assembly through the compiled stamp plan: memcpy
+  // of the cached static matrix + RHS base, then the MOSFET companion pass.
+  circuits::StrongArmLatchSpice sal;
+  const auto x = sal.sizing().denormalize(
+      std::vector<double>{0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01});
+  const spice::Circuit ckt = sal.build_netlist(x, pdk::typical_corner(), {});
+  spice::StampPlan plan(ckt, {});
+  std::vector<double> x_prev(plan.padded_size(), 0.0);
+  std::vector<double> cap_current(ckt.capacitors().size(), 0.0);
+  spice::AssemblyInputs in;
+  in.mode = spice::AnalysisMode::Transient;
+  in.time = 1e-9;
+  in.dt = 2e-12;
+  in.trapezoidal = true;
+  in.x_prev = &x_prev;
+  in.cap_current_prev = &cap_current;
+  plan.begin_solve(in);
+  std::vector<double> xg(plan.padded_size(), 0.45);
+  plan.load_pinned(xg);
+  spice::LuSolver solver;
+  spice::DenseMatrix& g = solver.matrix(plan.unknown_count());
+  std::vector<double> rhs(plan.unknown_count() + 1, 0.0);
+  for (auto _ : state) {
+    plan.stamp(xg, g, rhs);
+    benchmark::DoNotOptimize(g.data());
+    benchmark::DoNotOptimize(rhs.data());
+  }
+}
+BENCHMARK(BM_SpiceAssemblyOnly);
+
+static void BM_SpiceNewtonOp(benchmark::State& state) {
+  // A full DC Newton solve (assembly + fused LU each iteration) on the SAL
+  // netlist with a warm workspace: cold solves at arg 0, warm-started at 1.
+  circuits::StrongArmLatchSpice sal;
+  const auto x = sal.sizing().denormalize(
+      std::vector<double>{0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01});
+  const spice::Circuit ckt = sal.build_netlist(x, pdk::typical_corner(), {});
+  spice::Simulator sim(ckt);
+  const spice::OpResult seed = sim.operating_point();
+  const spice::OpResult* warm = state.range(0) != 0 ? &seed : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.operating_point(warm));
+  }
+}
+BENCHMARK(BM_SpiceNewtonOp)->Arg(0)->Arg(1);
 
 static void BM_LuSolve(benchmark::State& state) {
   const std::size_t n = state.range(0);

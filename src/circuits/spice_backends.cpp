@@ -6,6 +6,7 @@
 #include "circuits/parasitics.hpp"
 #include "common/units.hpp"
 #include "spice/measure.hpp"
+#include "spice/warm_start.hpp"
 
 namespace glova::circuits {
 
@@ -17,6 +18,9 @@ constexpr double kClkFall = 3.2e-9;
 constexpr double kTStop = 6.0e-9;
 constexpr double kDt = 2.0e-12;
 constexpr double kEdge = 20e-12;
+// Warm-start cache tag for the SAL topology (keys must not collide across
+// testbenches whose design vectors happen to share a shape).
+constexpr std::uint64_t kSalWarmStartTag = 0x5a1;
 }  // namespace
 
 StrongArmLatchSpice::StrongArmLatchSpice() = default;
@@ -99,7 +103,25 @@ std::vector<double> StrongArmLatchSpice::evaluate(std::span<const double> x,
   spec.t_stop = kTStop;
   spec.dt = kDt;
   spec.record = {"out_a", "out_b"};
-  const spice::TransientResult res = sim.transient(spec);
+  // DC warm start: mismatch draws of one (design, corner) share the first
+  // draw's converged operating point as the Newton seed.  The seed only
+  // shortens the Newton trajectory (with a cold fallback on failure), so
+  // metrics agree with cold evaluation to within the solver's vtol.
+  const bool warm = spice::dc_warm_start_enabled();
+  const spice::OpResult* seed = nullptr;
+  spice::DcWarmStartCache::Key key;
+  if (warm) {
+    key = spice::make_dc_key(kSalWarmStartTag, x, corner);
+    seed = spice::thread_local_dc_cache().lookup(key);
+  }
+  const spice::TransientResult res = sim.transient(spec, seed);
+  // Store on a cache miss, and also refresh whenever a cached seed went
+  // unused (the warm attempt failed and the cold fallback converged) so a
+  // stale entry cannot keep charging the failed-warm-attempt tax to every
+  // later draw of this design.
+  if (warm && res.ok && (seed == nullptr || !res.dc_op.warm_started)) {
+    spice::thread_local_dc_cache().store(key, res.dc_op);
+  }
   if (!res.ok) {
     // A non-convergent design is a broken design: report metrics that fail
     // every constraint so the optimizer steers away.

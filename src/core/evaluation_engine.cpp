@@ -3,39 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "common/key_hash.hpp"
+#include "spice/warm_start.hpp"
+
 namespace glova::core {
 
-namespace {
-
-/// FNV-1a over the key words; good enough for a few thousand entries.
-std::size_t fnv1a(const std::vector<std::int64_t>& words) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const std::int64_t w : words) {
-    auto u = static_cast<std::uint64_t>(w);
-    for (int b = 0; b < 8; ++b) {
-      h ^= (u >> (8 * b)) & 0xFFu;
-      h *= 1099511628211ull;
-    }
-  }
-  return static_cast<std::size_t>(h);
-}
-
-std::int64_t quantize(double v, double quantum) {
-  // Saturate instead of invoking UB on overflow; keys only need equality.
-  const double q = v / quantum;
-  if (q >= 9.2e18) return std::numeric_limits<std::int64_t>::max();
-  if (q <= -9.2e18) return std::numeric_limits<std::int64_t>::min();
-  return std::llround(q);
-}
-
-}  // namespace
-
 std::size_t EvaluationEngine::CacheKeyHash::operator()(const CacheKey& key) const noexcept {
-  return fnv1a(key);
+  return key_fnv1a(key);
 }
 
 EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfig config)
@@ -44,6 +21,18 @@ EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfi
   if (config_.cache_quantum <= 0.0) {
     throw std::invalid_argument("EvaluationEngine: cache_quantum must be positive");
   }
+  // The warm-start switch is process-wide (the caches are per worker
+  // thread); the most recently constructed engine's config wins, which
+  // matches the one-engine-per-run usage everywhere in the codebase.
+  spice::set_dc_warm_start_enabled(config_.dc_warm_start);
+  snapshot_warm_baseline();
+}
+
+void EvaluationEngine::snapshot_warm_baseline() {
+  const spice::WarmStartStats warm = spice::warm_start_stats();
+  warm_base_hits_ = warm.hits;
+  warm_base_misses_ = warm.misses;
+  warm_base_stores_ = warm.stores;
 }
 
 EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, std::size_t parallelism)
@@ -71,12 +60,12 @@ EvaluationEngine::CacheKey EvaluationEngine::make_key(std::span<const double> x_
   key.reserve(4 + x_phys.size() + 1 + h.size());
   key.push_back(static_cast<std::int64_t>(corner.process) * 2 +
                 (corner.process_predefined ? 1 : 0));
-  key.push_back(quantize(corner.vdd, config_.cache_quantum));
-  key.push_back(quantize(corner.temp_c, config_.cache_quantum));
+  key.push_back(quantize_for_key(corner.vdd, config_.cache_quantum));
+  key.push_back(quantize_for_key(corner.temp_c, config_.cache_quantum));
   key.push_back(static_cast<std::int64_t>(x_phys.size()));
-  for (const double v : x_phys) key.push_back(quantize(v, config_.cache_quantum));
+  for (const double v : x_phys) key.push_back(quantize_for_key(v, config_.cache_quantum));
   key.push_back(static_cast<std::int64_t>(h.size()));
-  for (const double v : h) key.push_back(quantize(v, config_.cache_quantum));
+  for (const double v : h) key.push_back(quantize_for_key(v, config_.cache_quantum));
   return key;
 }
 
@@ -227,6 +216,12 @@ EngineStats EvaluationEngine::stats() const {
   s.requested = requested_.load();
   s.executed = executed_.load();
   s.cache_hits = cache_hits_.load();
+  const spice::WarmStartStats warm = spice::warm_start_stats();
+  // Saturating delta: a concurrent reset_warm_start_stats() elsewhere must
+  // not wrap the reported counts.
+  s.dc_warm_hits = warm.hits >= warm_base_hits_ ? warm.hits - warm_base_hits_ : 0;
+  s.dc_warm_misses = warm.misses >= warm_base_misses_ ? warm.misses - warm_base_misses_ : 0;
+  s.dc_warm_stores = warm.stores >= warm_base_stores_ ? warm.stores - warm_base_stores_ : 0;
   return s;
 }
 
@@ -234,6 +229,7 @@ void EvaluationEngine::reset_count() {
   requested_.store(0);
   executed_.store(0);
   cache_hits_.store(0);
+  snapshot_warm_baseline();
 }
 
 std::size_t EvaluationEngine::cache_size() const {

@@ -54,14 +54,27 @@ struct EngineConfig {
   /// cache keys.  Coarse enough to absorb round-trip noise, fine enough that
   /// distinct mismatch draws never alias.
   double cache_quantum = 1e-15;
+  /// Enable the SPICE-level DC warm-start cache (converged operating points
+  /// reused as Newton seeds across mismatch draws of one design).  Applied
+  /// to the process-wide spice::set_dc_warm_start_enabled switch at engine
+  /// construction; behavioral testbenches are unaffected.
+  bool dc_warm_start = true;
 };
 
 /// Counter snapshot.  requested == cache_hits + executed at any quiescent
-/// point; requested is what simulation_count() reports.
+/// point; requested is what simulation_count() reports.  The dc_warm_*
+/// counters report SPICE warm-start activity (summed over every worker
+/// thread's cache) since this engine was constructed or reset_count() was
+/// last called, so the whole evaluation funnel reads from one snapshot;
+/// concurrent activity from *other* engines in the same process is still
+/// included, matching the one-engine-per-run usage everywhere here.
 struct EngineStats {
   std::uint64_t requested = 0;
   std::uint64_t executed = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t dc_warm_hits = 0;
+  std::uint64_t dc_warm_misses = 0;
+  std::uint64_t dc_warm_stores = 0;
 };
 
 class EvaluationEngine {
@@ -130,6 +143,12 @@ class EvaluationEngine {
   std::atomic<std::uint64_t> requested_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  /// Process-wide spice warm-start counters at construction / last reset;
+  /// stats() reports deltas against these.
+  std::uint64_t warm_base_hits_ = 0;
+  std::uint64_t warm_base_misses_ = 0;
+  std::uint64_t warm_base_stores_ = 0;
+  void snapshot_warm_baseline();
 
   mutable std::mutex cache_mutex_;
   /// LRU: most recent at the front.  The map points into the list.

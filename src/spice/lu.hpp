@@ -9,25 +9,48 @@
 
 namespace glova::spice {
 
-/// Row-major dense square matrix.
+/// Row-major dense square matrix with a padded row stride.
+///
+/// Rows are stored with stride row_stride(n) — n rounded up to a multiple of
+/// 4 — so the elimination inner loops vectorize cleanly; padded lanes are
+/// kept at exactly 0.0, which leaves the arithmetic on real lanes
+/// bit-identical to the unpadded layout.  One extra trailing element is a
+/// write-only scratch slot (see scratch_index()): compiled stamp plans map
+/// updates whose row or column is the eliminated ground node there, so the
+/// stamping loop needs no per-entry ground branches; the slot is never read
+/// by the solver.
 class DenseMatrix {
  public:
+  /// Row stride used for an n x n matrix: n rounded up to a multiple of 4.
+  [[nodiscard]] static constexpr std::size_t row_stride(std::size_t n) {
+    return (n + 3) & ~static_cast<std::size_t>(3);
+  }
+
   DenseMatrix() = default;
-  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+  explicit DenseMatrix(std::size_t n) { resize_zero(n); }
 
   [[nodiscard]] std::size_t size() const { return n_; }
-  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
-  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * stride_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * stride_ + c]; }
 
   void set_zero();
   /// Resize to n x n and zero.  Reuses existing storage when capacity allows,
   /// so a workspace matrix is allocation-free across same-size solves.
   void resize_zero(std::size_t n);
-  [[nodiscard]] std::span<double> row(std::size_t r) { return {&data_[r * n_], n_}; }
+  [[nodiscard]] std::span<double> row(std::size_t r) { return {&data_[r * stride_], n_}; }
+
+  /// Raw storage (row-major with stride(), scratch slot last).
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::size_t storage_size() const { return n_ * stride_ + 1; }
+  /// Flat index of the write-only scratch slot.
+  [[nodiscard]] std::size_t scratch_index() const { return n_ * stride_; }
 
  private:
   std::size_t n_ = 0;
-  std::vector<double> data_;
+  std::size_t stride_ = 0;
+  std::vector<double> data_ = {0.0};  ///< n * stride + 1; scratch slot at the end
 };
 
 /// Factor A in place (returns false if singular to working precision) and
@@ -36,6 +59,26 @@ class LuSolver {
  public:
   /// Factor a copy of `a`.  Returns false on (numerical) singularity.
   [[nodiscard]] bool factor(const DenseMatrix& a);
+
+  /// The internal factorization buffer, sized for an n-unknown system.
+  /// Callers on the hot path assemble directly into this matrix and then
+  /// call factor_in_place(), skipping the copy factor() makes.
+  [[nodiscard]] DenseMatrix& matrix(std::size_t n);
+
+  /// Factor whatever matrix() currently holds, destroying it.  Returns
+  /// false on (numerical) singularity.
+  [[nodiscard]] bool factor_in_place();
+
+  /// Factor matrix() in place while eliminating `b` alongside it (Gaussian
+  /// elimination on the augmented system), then back-substitute into `x`.
+  /// Arithmetically identical to factor_in_place() + solve_into(b, x) —
+  /// same operations in the same order — but a single pass: the Newton hot
+  /// loop saves the separate forward-substitution sweep and the permutation
+  /// indirection.  `b` is destroyed; `x` is resized to n (capacity reused).
+  /// Unlike factor(), this does NOT leave a solve()-ready factorization
+  /// behind (the L region is clobbered for vectorization); reassemble and
+  /// refactor before any subsequent solve call.
+  [[nodiscard]] bool factor_solve_in_place(std::span<double> b, std::vector<double>& x);
 
   /// Solve using the last successful factorization.
   [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;

@@ -69,12 +69,14 @@ MosLinearization nmos_linearize(const pdk::MosParams& p, double w_over_l, double
 
 /// Full linearization covering both polarities.  PMOS devices are evaluated
 /// as NMOS on mirrored voltages; the mirror flips the current sign while the
-/// chain rule cancels the sign on the derivatives.
-MosLinearization mos_linearize(const Mosfet& m, double vg, double vd, double vs) {
-  if (!m.params.is_pmos) {
-    return nmos_linearize(m.params, m.w_over_l(), vg, vd, vs);
+/// chain rule cancels the sign on the derivatives.  w_over_l is passed in so
+/// the plan can hoist the division out of the Newton loop.
+MosLinearization mos_linearize(const pdk::MosParams& params, double w_over_l, double vg,
+                               double vd, double vs) {
+  if (!params.is_pmos) {
+    return nmos_linearize(params, w_over_l, vg, vd, vs);
   }
-  const MosLinearization mirrored = nmos_linearize(m.params, m.w_over_l(), -vg, -vd, -vs);
+  const MosLinearization mirrored = nmos_linearize(params, w_over_l, -vg, -vd, -vs);
   MosLinearization lin;
   lin.i_ds = -mirrored.i_ds;
   lin.d_vg = mirrored.d_vg;
@@ -83,25 +85,470 @@ MosLinearization mos_linearize(const Mosfet& m, double vg, double vd, double vs)
   return lin;
 }
 
+/// Drain-to-source current only (branch-current recovery at pinned nodes).
+double mos_current(const pdk::MosParams& params, double w_over_l, double vg, double vd,
+                   double vs) {
+  return mos_linearize(params, w_over_l, vg, vd, vs).i_ds;
+}
+
 }  // namespace
 
-const std::vector<double>& TransientResult::trace(const std::string& name) const {
-  for (const Trace& t : traces) {
-    if (t.name == name) return t.values;
+// ---------------------------------------------------------------------------
+// TransientResult
+
+const Trace* TransientResult::find_trace(const std::string& name) const {
+  // Lazily build (and rebuild after appends) the name -> index map; callers
+  // like the measurement layer look traces up once per metric.
+  if (trace_index_.size() != traces.size()) {
+    trace_index_.clear();
+    trace_index_.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      trace_index_.emplace(traces[i].name, i);  // first occurrence wins
+    }
   }
-  throw std::out_of_range("TransientResult::trace: no trace named " + name);
+  const auto it = trace_index_.find(name);
+  return it == trace_index_.end() ? nullptr : &traces[it->second];
+}
+
+const std::vector<double>& TransientResult::trace(const std::string& name) const {
+  const Trace* t = find_trace(name);
+  if (t == nullptr) throw std::out_of_range("TransientResult::trace: no trace named " + name);
+  return t->values;
 }
 
 bool TransientResult::has_trace(const std::string& name) const {
-  for (const Trace& t : traces) {
-    if (t.name == name) return true;
-  }
-  return false;
+  return find_trace(name) != nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// StampPlan
+
+std::size_t StampPlan::mat_slot(NodeId row, NodeId col) const {
+  if (row == Circuit::ground() || col == Circuit::ground()) return scratch_;
+  if (node_pin_[row] != kNoPin || node_pin_[col] != kNoPin) return scratch_;
+  return node_slot_[row] * stride_ + node_slot_[col];
+}
+
+std::size_t StampPlan::rhs_slot(NodeId node) const {
+  if (node == Circuit::ground() || node_pin_[node] != kNoPin) return n_;
+  return node_slot_[node];
+}
+
+void StampPlan::route_static(std::vector<LinearStamp>& out, NodeId row, NodeId col,
+                             double value) {
+  if (row == Circuit::ground() || node_pin_[row] != kNoPin) return;  // row eliminated
+  route_static_row(out, node_slot_[row], col, value);
+}
+
+void StampPlan::route_static_row(std::vector<LinearStamp>& out, std::size_t row_unknown,
+                                 NodeId col, double value) {
+  if (col == Circuit::ground()) return;  // V = 0: no contribution
+  if (node_pin_[col] != kNoPin) {
+    // Known voltage: move `value * V_col` to the right-hand side.
+    pinned_rhs_.push_back({row_unknown, -value, node_pin_[col]});
+    return;
+  }
+  out.push_back({row_unknown * stride_ + node_slot_[col], value});
+}
+
+void StampPlan::append_conductance(NodeId a, NodeId b, double cond) {
+  // Same entry order as the reference two-terminal conductance stamp:
+  // (a,a), (a,b), (b,b), (b,a) — order matters for reproducible accumulation.
+  route_static(pre_cap_, a, a, cond);
+  route_static(pre_cap_, a, b, -cond);
+  route_static(pre_cap_, b, b, cond);
+  route_static(pre_cap_, b, a, -cond);
+}
+
+StampPlan::StampPlan(const Circuit& circuit, const SimulatorOptions& options) {
+  n_nodes_ = circuit.node_count();
+  const std::vector<VoltageSource>& vsrcs = circuit.vsources();
+  const std::size_t n_vsrc = vsrcs.size();
+  const std::size_t n_vcvs = circuit.vcvs().size();
+
+  // --- node classification: ground / pinned-by-source / unknown ---
+  node_slot_.assign(n_nodes_, 0);
+  node_pin_.assign(n_nodes_, kNoPin);
+  vsrc_branch_.assign(n_vsrc, kNoSlot);
+  std::vector<bool> src_pinned(n_vsrc, false);
+  if (options.pin_grounded_sources) {
+    for (std::size_t si = 0; si < n_vsrc; ++si) {
+      const VoltageSource& v = vsrcs[si];
+      NodeId p = Circuit::ground();
+      double sign = 1.0;
+      if (v.pos != Circuit::ground() && v.neg == Circuit::ground()) {
+        p = v.pos;
+      } else if (v.neg != Circuit::ground() && v.pos == Circuit::ground()) {
+        p = v.neg;
+        sign = -1.0;
+      }
+      if (p == Circuit::ground() || node_pin_[p] != kNoPin) continue;
+      node_pin_[p] = pinned_.size();
+      src_pinned[si] = true;
+      pinned_.push_back({si, p, sign, &v.waveform});
+    }
+  }
+  nu_ = 0;
+  for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+    if (node_pin_[nd] == kNoPin) node_slot_[nd] = nu_++;
+  }
+  std::size_t nb_vsrc = 0;
+  for (std::size_t si = 0; si < n_vsrc; ++si) {
+    if (!src_pinned[si]) vsrc_branch_[si] = nu_ + nb_vsrc++;
+  }
+  n_ = nu_ + nb_vsrc + n_vcvs;
+  for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+    if (node_pin_[nd] != kNoPin) node_slot_[nd] = n_ + node_pin_[nd];
+  }
+  node_slot_[Circuit::ground()] = n_ + pinned_.size();  // trailing zero slot
+
+  stride_ = DenseMatrix::row_stride(n_);
+  scratch_ = n_ * stride_;
+  static_g_.assign(n_ * stride_ + 1, 0.0);
+  rhs_base_.assign(n_ + 1, 0.0);
+  pinned_vals_.assign(pinned_.size(), 0.0);
+
+  // gmin to ground keeps cutoff regions non-singular.  It is applied first,
+  // then resistors: the accumulation order into shared slots is kept fixed
+  // so repeated solves are reproducible.
+  for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+    if (node_pin_[nd] != kNoPin) continue;
+    const std::size_t idx = node_slot_[nd];
+    pre_cap_.push_back({idx * stride_ + idx, options.gmin});
+  }
+  for (const Resistor& r : circuit.resistors()) {
+    append_conductance(r.a, r.b, 1.0 / r.ohms);
+  }
+
+  for (const Capacitor& c : circuit.capacitors()) {
+    CapStamp cs;
+    cs.aa = mat_slot(c.a, c.a);
+    cs.ab = mat_slot(c.a, c.b);
+    cs.bb = mat_slot(c.b, c.b);
+    cs.ba = mat_slot(c.b, c.a);
+    cs.rhs_a = rhs_slot(c.a);
+    cs.rhs_b = rhs_slot(c.b);
+    cs.xa = x_slot(c.a);
+    cs.xb = x_slot(c.b);
+    cs.pin_a = (c.a != Circuit::ground()) ? node_pin_[c.a] : kNoPin;
+    cs.pin_b = (c.b != Circuit::ground()) ? node_pin_[c.b] : kNoPin;
+    cs.farads = c.farads;
+    caps_.push_back(cs);
+  }
+
+  for (std::size_t si = 0; si < n_vsrc; ++si) {
+    if (vsrc_branch_[si] == kNoSlot) continue;  // absorbed
+    const VoltageSource& v = vsrcs[si];
+    const std::size_t branch = vsrc_branch_[si];
+    if (v.pos != Circuit::ground() && node_pin_[v.pos] == kNoPin) {
+      post_cap_.push_back({node_slot_[v.pos] * stride_ + branch, 1.0});
+    }
+    route_static_row(post_cap_, branch, v.pos, 1.0);
+    if (v.neg != Circuit::ground() && node_pin_[v.neg] == kNoPin) {
+      post_cap_.push_back({node_slot_[v.neg] * stride_ + branch, -1.0});
+    }
+    route_static_row(post_cap_, branch, v.neg, -1.0);
+    vsrcs_.push_back({branch, &v.waveform});
+  }
+
+  for (const CurrentSource& i : circuit.isources()) {
+    isrcs_.push_back({rhs_slot(i.pos), rhs_slot(i.neg), &i.waveform});
+  }
+
+  const std::vector<Vcvs>& vcvs = circuit.vcvs();
+  for (std::size_t ei = 0; ei < vcvs.size(); ++ei) {
+    const Vcvs& e = vcvs[ei];
+    const std::size_t branch = nu_ + nb_vsrc + ei;
+    if (e.pos != Circuit::ground() && node_pin_[e.pos] == kNoPin) {
+      post_cap_.push_back({node_slot_[e.pos] * stride_ + branch, 1.0});
+    }
+    route_static_row(post_cap_, branch, e.pos, 1.0);
+    if (e.neg != Circuit::ground() && node_pin_[e.neg] == kNoPin) {
+      post_cap_.push_back({node_slot_[e.neg] * stride_ + branch, -1.0});
+    }
+    route_static_row(post_cap_, branch, e.neg, -1.0);
+    route_static_row(post_cap_, branch, e.ctrl_pos, -e.gain);
+    route_static_row(post_cap_, branch, e.ctrl_neg, e.gain);
+  }
+
+  for (const Vccs& gm : circuit.vccs()) {
+    route_static(post_cap_, gm.pos, gm.ctrl_pos, gm.transconductance);
+    route_static(post_cap_, gm.pos, gm.ctrl_neg, -gm.transconductance);
+    route_static(post_cap_, gm.neg, gm.ctrl_pos, -gm.transconductance);
+    route_static(post_cap_, gm.neg, gm.ctrl_neg, gm.transconductance);
+  }
+
+  for (const Mosfet& m : circuit.mosfets()) {
+    MosStamp ms;
+    ms.j_dg = mat_slot(m.drain, m.gate);
+    ms.j_dd = mat_slot(m.drain, m.drain);
+    ms.j_ds = mat_slot(m.drain, m.source);
+    ms.j_sg = mat_slot(m.source, m.gate);
+    ms.j_sd = mat_slot(m.source, m.drain);
+    ms.j_ss = mat_slot(m.source, m.source);
+    ms.rhs_d = rhs_slot(m.drain);
+    ms.rhs_s = rhs_slot(m.source);
+    ms.xg = x_slot(m.gate);
+    ms.xd = x_slot(m.drain);
+    ms.xs = x_slot(m.source);
+    // Masks fold known-voltage terminals out of the companion RHS: for an
+    // unknown terminal the J*v term cancels against the matrix column; for
+    // ground/pinned terminals the matrix column is gone and the J*v value
+    // belongs in i_eq (ground contributes 0 either way).
+    ms.mg = node_is_unknown(m.gate) ? 1.0 : 0.0;
+    ms.md = node_is_unknown(m.drain) ? 1.0 : 0.0;
+    ms.ms = node_is_unknown(m.source) ? 1.0 : 0.0;
+    ms.params = &m.params;
+    ms.w_over_l = m.w_over_l();
+    mosfets_.push_back(ms);
+  }
+
+  build_recovery(circuit, options);
+}
+
+void StampPlan::build_recovery(const Circuit& circuit, const SimulatorOptions& options) {
+  recovery_.resize(pinned_.size());
+  const std::size_t zero_slot = node_slot_[Circuit::ground()];
+  for (std::size_t pi = 0; pi < pinned_.size(); ++pi) {
+    const NodeId p = pinned_[pi].node;
+    std::vector<RecoveryTerm>& terms = recovery_[pi];
+
+    // gmin to ground (matches the gmin the full-branch formulation stamps).
+    {
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::Conductance;
+      t.coeff = options.gmin;
+      t.xa = x_slot(p);
+      t.xb = zero_slot;
+      terms.push_back(t);
+    }
+    for (const Resistor& r : circuit.resistors()) {
+      const double g = 1.0 / r.ohms;
+      if (r.a == p) {
+        RecoveryTerm t;
+        t.kind = RecoveryTerm::Kind::Conductance;
+        t.coeff = g;
+        t.xa = x_slot(r.a);
+        t.xb = x_slot(r.b);
+        terms.push_back(t);
+      }
+      if (r.b == p) {
+        RecoveryTerm t;
+        t.kind = RecoveryTerm::Kind::Conductance;
+        t.coeff = g;
+        t.xa = x_slot(r.b);
+        t.xb = x_slot(r.a);
+        terms.push_back(t);
+      }
+    }
+    const std::vector<Capacitor>& caps = circuit.capacitors();
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      if (caps[ci].a == p || caps[ci].b == p) {
+        RecoveryTerm t;
+        t.kind = RecoveryTerm::Kind::CapCurrent;
+        t.coeff = (caps[ci].a == p ? 1.0 : 0.0) - (caps[ci].b == p ? 1.0 : 0.0);
+        t.index = ci;
+        terms.push_back(t);
+      }
+    }
+    for (const Mosfet& m : circuit.mosfets()) {
+      if (m.drain != p && m.source != p) continue;  // gates draw no current
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::MosChannel;
+      t.coeff = (m.drain == p ? 1.0 : 0.0) - (m.source == p ? 1.0 : 0.0);
+      t.params = &m.params;
+      t.w_over_l = m.w_over_l();
+      t.xg = x_slot(m.gate);
+      t.xd = x_slot(m.drain);
+      t.xs = x_slot(m.source);
+      terms.push_back(t);
+    }
+    for (const CurrentSource& i : circuit.isources()) {
+      if (i.pos != p && i.neg != p) continue;
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::SourceCurrent;
+      t.coeff = (i.pos == p ? 1.0 : 0.0) - (i.neg == p ? 1.0 : 0.0);
+      t.waveform = &i.waveform;
+      terms.push_back(t);
+    }
+    const std::vector<VoltageSource>& vsrcs = circuit.vsources();
+    for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+      if (vsrc_branch_[si] == kNoSlot) continue;  // absorbed (including self)
+      if (vsrcs[si].pos != p && vsrcs[si].neg != p) continue;
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::BranchCurrent;
+      t.coeff = (vsrcs[si].pos == p ? 1.0 : 0.0) - (vsrcs[si].neg == p ? 1.0 : 0.0);
+      t.index = vsrc_branch_[si];
+      terms.push_back(t);
+    }
+    const std::vector<Vcvs>& vcvs = circuit.vcvs();
+    for (std::size_t ei = 0; ei < vcvs.size(); ++ei) {
+      if (vcvs[ei].pos != p && vcvs[ei].neg != p) continue;
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::BranchCurrent;
+      t.coeff = (vcvs[ei].pos == p ? 1.0 : 0.0) - (vcvs[ei].neg == p ? 1.0 : 0.0);
+      t.index = n_ - vcvs.size() + ei;
+      terms.push_back(t);
+    }
+    for (const Vccs& gm : circuit.vccs()) {
+      if (gm.pos != p && gm.neg != p) continue;
+      RecoveryTerm t;
+      t.kind = RecoveryTerm::Kind::Conductance;
+      t.coeff = ((gm.pos == p ? 1.0 : 0.0) - (gm.neg == p ? 1.0 : 0.0)) * gm.transconductance;
+      t.xa = x_slot(gm.ctrl_pos);
+      t.xb = x_slot(gm.ctrl_neg);
+      terms.push_back(t);
+    }
+  }
+}
+
+void StampPlan::begin_solve(const AssemblyInputs& in) {
+  const bool transient = in.mode == AnalysisMode::Transient;
+  if (transient && (in.x_prev == nullptr || in.x_prev->size() != padded_size())) {
+    throw std::logic_error("StampPlan::begin_solve: transient requires a padded x_prev");
+  }
+
+  // Known node voltages for this solve.
+  for (std::size_t pi = 0; pi < pinned_.size(); ++pi) {
+    pinned_vals_[pi] =
+        pinned_[pi].sign * pinned_[pi].waveform->value(in.time) * in.source_scale;
+  }
+
+  // Static matrix: rebuilt only when the (mode, method, dt) key changes —
+  // a handful of times per transient (BE startup -> trapezoidal -> final
+  // partial step), once per operating point.
+  if (!key_.valid || key_.mode != in.mode || key_.trapezoidal != in.trapezoidal ||
+      key_.dt != in.dt) {
+    std::fill(static_g_.begin(), static_g_.end(), 0.0);
+    for (const LinearStamp& s : pre_cap_) static_g_[s.slot] += s.value;
+    if (transient) {
+      for (const CapStamp& c : caps_) {
+        const double geq = (in.trapezoidal ? 2.0 : 1.0) * c.farads / in.dt;
+        static_g_[c.aa] += geq;
+        static_g_[c.ab] -= geq;
+        static_g_[c.bb] += geq;
+        static_g_[c.ba] -= geq;
+      }
+    }
+    // In OP mode capacitors are open circuits: no stamp.
+    for (const LinearStamp& s : post_cap_) static_g_[s.slot] += s.value;
+    static_g_[scratch_] = 0.0;  // scrub scratch garbage from eliminated stamps
+    key_ = {in.mode, in.trapezoidal, in.dt, true};
+  }
+
+  // RHS base: everything that does not depend on the Newton iterate.  Cheap
+  // enough to rebuild per solve (it depends on time, source scale, and the
+  // previous timestep).
+  std::fill(rhs_base_.begin(), rhs_base_.end(), 0.0);
+  double* rb = rhs_base_.data();
+  if (transient) {
+    const std::vector<double>& xp = *in.x_prev;
+    for (std::size_t ci = 0; ci < caps_.size(); ++ci) {
+      const CapStamp& c = caps_[ci];
+      const double geq = (in.trapezoidal ? 2.0 : 1.0) * c.farads / in.dt;
+      const double v_prev = xp[c.xa] - xp[c.xb];
+      if (in.trapezoidal) {
+        // i_{n+1} = (2C/dt)(v_{n+1} - v_n) - i_n
+        const double i_prev = (in.cap_current_prev != nullptr) ? (*in.cap_current_prev)[ci] : 0.0;
+        rb[c.rhs_a] += geq * v_prev + i_prev;
+        rb[c.rhs_b] -= geq * v_prev + i_prev;
+      } else {
+        // Backward Euler: i_{n+1} = (C/dt)(v_{n+1} - v_n)
+        rb[c.rhs_a] += geq * v_prev;
+        rb[c.rhs_b] -= geq * v_prev;
+      }
+      // Known-voltage side of the companion conductance.
+      if (c.pin_b != kNoPin) rb[c.rhs_a] += geq * pinned_vals_[c.pin_b];
+      if (c.pin_a != kNoPin) rb[c.rhs_b] += geq * pinned_vals_[c.pin_a];
+    }
+  }
+  for (const VsrcStamp& v : vsrcs_) {
+    rb[v.branch] += v.waveform->value(in.time) * in.source_scale;
+  }
+  for (const IsrcStamp& i : isrcs_) {
+    const double value = i.waveform->value(in.time) * in.source_scale;
+    rb[i.rhs_pos] -= value;
+    rb[i.rhs_neg] += value;
+  }
+  for (const PinnedRhsStamp& s : pinned_rhs_) {
+    rb[s.rhs_row] += s.coeff * pinned_vals_[s.pin];
+  }
+  rb[n_] = 0.0;  // scrub the RHS scratch slot
+}
+
+void StampPlan::load_pinned(std::vector<double>& x) const {
+  for (std::size_t pi = 0; pi < pinned_.size(); ++pi) x[n_ + pi] = pinned_vals_[pi];
+  x[n_ + pinned_.size()] = 0.0;  // ground slot
+}
+
+void StampPlan::stamp(const std::vector<double>& x, DenseMatrix& g,
+                      std::vector<double>& rhs) const {
+  double* gd = g.data();
+  std::copy(static_g_.begin(), static_g_.end(), gd);
+  std::copy(rhs_base_.begin(), rhs_base_.end(), rhs.begin());
+  double* rd = rhs.data();
+
+  // MOSFETs: companion model around the current Newton iterate.  Eliminated
+  // rows/columns land in the scratch slots, so the loop has no branches
+  // beyond the device-region selection inside the linearization itself.
+  for (const MosStamp& ms : mosfets_) {
+    const double vg = x[ms.xg];
+    const double vd = x[ms.xd];
+    const double vs = x[ms.xs];
+    const MosLinearization lin = mos_linearize(*ms.params, ms.w_over_l, vg, vd, vs);
+    // i(vg, vd, vs) ~ i0 + d_vg*(Vg - vg) + d_vd*(Vd - vd) + d_vs*(Vs - vs);
+    // only unknown-terminal slopes stay on the left-hand side.
+    const double i_eq = lin.i_ds - ms.mg * (lin.d_vg * vg) - ms.md * (lin.d_vd * vd) -
+                        ms.ms * (lin.d_vs * vs);
+    gd[ms.j_dg] += lin.d_vg;  // current i_ds leaves the drain node
+    gd[ms.j_dd] += lin.d_vd;
+    gd[ms.j_ds] += lin.d_vs;
+    rd[ms.rhs_d] -= i_eq;
+    gd[ms.j_sg] -= lin.d_vg;  // and enters the source node
+    gd[ms.j_sd] -= lin.d_vd;
+    gd[ms.j_ss] -= lin.d_vs;
+    rd[ms.rhs_s] += i_eq;
+  }
+}
+
+void StampPlan::vsource_currents(const std::vector<double>& x,
+                                 const std::vector<double>* cap_current, double time,
+                                 double source_scale, std::span<double> out) const {
+  for (std::size_t si = 0; si < vsrc_branch_.size(); ++si) {
+    if (vsrc_branch_[si] != kNoSlot) out[si] = x[vsrc_branch_[si]];
+  }
+  for (std::size_t pi = 0; pi < pinned_.size(); ++pi) {
+    double sum = 0.0;
+    for (const RecoveryTerm& t : recovery_[pi]) {
+      switch (t.kind) {
+        case RecoveryTerm::Kind::Conductance:
+          sum += t.coeff * (x[t.xa] - x[t.xb]);
+          break;
+        case RecoveryTerm::Kind::CapCurrent:
+          if (cap_current != nullptr) sum += t.coeff * (*cap_current)[t.index];
+          break;
+        case RecoveryTerm::Kind::MosChannel:
+          sum += t.coeff * mos_current(*t.params, t.w_over_l, x[t.xg], x[t.xd], x[t.xs]);
+          break;
+        case RecoveryTerm::Kind::SourceCurrent:
+          sum += t.coeff * t.waveform->value(time) * source_scale;
+          break;
+        case RecoveryTerm::Kind::BranchCurrent:
+          sum += t.coeff * x[t.index];
+          break;
+      }
+    }
+    // KCL at the pinned node: the currents out of the node plus the source
+    // branch current (with its incidence sign) sum to zero.
+    out[pinned_[pi].vsource_index] = -pinned_[pi].sign * sum;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimulatorWorkspace
+
 void SimulatorWorkspace::prepare(std::size_t n) {
-  g.resize_zero(n);
-  rhs.assign(n, 0.0);
+  rhs.resize(n + 1);  // contents are fully overwritten by StampPlan::stamp
   x_new.resize(n);
 }
 
@@ -110,193 +557,95 @@ SimulatorWorkspace& thread_local_workspace() {
   return workspace;
 }
 
+// ---------------------------------------------------------------------------
+// Simulator
+
 Simulator::Simulator(const Circuit& circuit, SimulatorOptions options,
                      SimulatorWorkspace* workspace)
     : circuit_(circuit),
       options_(options),
       workspace_(workspace != nullptr ? workspace : &thread_local_workspace()),
+      plan_(circuit, options),
       n_nodes_(circuit.node_count()),
       n_vsrc_(circuit.vsources().size()),
       n_vcvs_(circuit.vcvs().size()) {}
 
-std::size_t Simulator::unknown_count() const { return (n_nodes_ - 1) + n_vsrc_ + n_vcvs_; }
-
-std::size_t Simulator::node_unknown(NodeId node) const { return node - 1; }
-
 double Simulator::voltage_of(const std::vector<double>& x, NodeId node) const {
-  return node == Circuit::ground() ? 0.0 : x[node_unknown(node)];
+  return x[plan_.x_slot(node)];
 }
 
-void Simulator::assemble(const AssemblyInputs& in, DenseMatrix& g, std::vector<double>& rhs) const {
+bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x, int& iterations) {
   const std::size_t n = unknown_count();
-  g.set_zero();
-  std::fill(rhs.begin(), rhs.end(), 0.0);
-  if (rhs.size() != n) throw std::logic_error("assemble: rhs size");
-
-  const auto stamp_conductance = [&](NodeId a, NodeId b, double cond) {
-    if (a != Circuit::ground()) {
-      g.at(node_unknown(a), node_unknown(a)) += cond;
-      if (b != Circuit::ground()) g.at(node_unknown(a), node_unknown(b)) -= cond;
-    }
-    if (b != Circuit::ground()) {
-      g.at(node_unknown(b), node_unknown(b)) += cond;
-      if (a != Circuit::ground()) g.at(node_unknown(b), node_unknown(a)) -= cond;
-    }
-  };
-  const auto stamp_current_into = [&](NodeId node, double current) {
-    if (node != Circuit::ground()) rhs[node_unknown(node)] += current;
-  };
-
-  // gmin to ground keeps cutoff regions non-singular.
-  for (NodeId nd = 1; nd < n_nodes_; ++nd) g.at(node_unknown(nd), node_unknown(nd)) += options_.gmin;
-
-  for (const Resistor& r : circuit_.resistors()) stamp_conductance(r.a, r.b, 1.0 / r.ohms);
-
-  if (in.mode == Mode::Transient) {
-    const std::vector<Capacitor>& caps = circuit_.capacitors();
-    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
-      const Capacitor& c = caps[ci];
-      const double v_prev =
-          (in.x_prev != nullptr)
-              ? voltage_of(*in.x_prev, c.a) - voltage_of(*in.x_prev, c.b)
-              : 0.0;
-      if (in.trapezoidal) {
-        // i_{n+1} = (2C/dt)(v_{n+1} - v_n) - i_n
-        const double geq = 2.0 * c.farads / in.dt;
-        const double i_prev = (in.cap_current_prev != nullptr) ? (*in.cap_current_prev)[ci] : 0.0;
-        stamp_conductance(c.a, c.b, geq);
-        stamp_current_into(c.a, geq * v_prev + i_prev);
-        stamp_current_into(c.b, -(geq * v_prev + i_prev));
-      } else {
-        // Backward Euler: i_{n+1} = (C/dt)(v_{n+1} - v_n)
-        const double geq = c.farads / in.dt;
-        stamp_conductance(c.a, c.b, geq);
-        stamp_current_into(c.a, geq * v_prev);
-        stamp_current_into(c.b, -geq * v_prev);
-      }
-    }
-  }
-  // In OP mode capacitors are open circuits: no stamp.
-
-  const std::vector<VoltageSource>& vsrcs = circuit_.vsources();
-  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
-    const VoltageSource& v = vsrcs[si];
-    const std::size_t branch = (n_nodes_ - 1) + si;
-    const double value = v.waveform.value(in.time) * in.source_scale;
-    if (v.pos != Circuit::ground()) {
-      g.at(node_unknown(v.pos), branch) += 1.0;
-      g.at(branch, node_unknown(v.pos)) += 1.0;
-    }
-    if (v.neg != Circuit::ground()) {
-      g.at(node_unknown(v.neg), branch) -= 1.0;
-      g.at(branch, node_unknown(v.neg)) -= 1.0;
-    }
-    rhs[branch] += value;
-  }
-
-  for (const CurrentSource& i : circuit_.isources()) {
-    const double value = i.waveform.value(in.time) * in.source_scale;
-    stamp_current_into(i.pos, -value);
-    stamp_current_into(i.neg, value);
-  }
-
-  const std::vector<Vcvs>& vcvs = circuit_.vcvs();
-  for (std::size_t ei = 0; ei < vcvs.size(); ++ei) {
-    const Vcvs& e = vcvs[ei];
-    const std::size_t branch = (n_nodes_ - 1) + n_vsrc_ + ei;
-    if (e.pos != Circuit::ground()) {
-      g.at(node_unknown(e.pos), branch) += 1.0;
-      g.at(branch, node_unknown(e.pos)) += 1.0;
-    }
-    if (e.neg != Circuit::ground()) {
-      g.at(node_unknown(e.neg), branch) -= 1.0;
-      g.at(branch, node_unknown(e.neg)) -= 1.0;
-    }
-    if (e.ctrl_pos != Circuit::ground()) g.at(branch, node_unknown(e.ctrl_pos)) -= e.gain;
-    if (e.ctrl_neg != Circuit::ground()) g.at(branch, node_unknown(e.ctrl_neg)) += e.gain;
-  }
-
-  for (const Vccs& gm : circuit_.vccs()) {
-    const auto stamp = [&](NodeId row, NodeId col, double val) {
-      if (row != Circuit::ground() && col != Circuit::ground()) {
-        g.at(node_unknown(row), node_unknown(col)) += val;
-      }
-    };
-    stamp(gm.pos, gm.ctrl_pos, gm.transconductance);
-    stamp(gm.pos, gm.ctrl_neg, -gm.transconductance);
-    stamp(gm.neg, gm.ctrl_pos, -gm.transconductance);
-    stamp(gm.neg, gm.ctrl_neg, gm.transconductance);
-  }
-
-  // MOSFETs: companion model around the current Newton iterate.
-  const std::vector<double>& x_guess = *in.x_guess;
-  for (const Mosfet& m : circuit_.mosfets()) {
-    const double vg = voltage_of(x_guess, m.gate);
-    const double vd = voltage_of(x_guess, m.drain);
-    const double vs = voltage_of(x_guess, m.source);
-    const MosLinearization lin = mos_linearize(m, vg, vd, vs);
-    // i(vg, vd, vs) ~ i0 + d_vg*(Vg - vg) + d_vd*(Vd - vd) + d_vs*(Vs - vs)
-    const double i_eq = lin.i_ds - lin.d_vg * vg - lin.d_vd * vd - lin.d_vs * vs;
-    const auto stamp_row = [&](NodeId row, double sign) {
-      if (row == Circuit::ground()) return;
-      const std::size_t r = node_unknown(row);
-      if (m.gate != Circuit::ground()) g.at(r, node_unknown(m.gate)) += sign * lin.d_vg;
-      if (m.drain != Circuit::ground()) g.at(r, node_unknown(m.drain)) += sign * lin.d_vd;
-      if (m.source != Circuit::ground()) g.at(r, node_unknown(m.source)) += sign * lin.d_vs;
-      rhs[r] -= sign * i_eq;
-    };
-    stamp_row(m.drain, 1.0);   // current i_ds leaves the drain node
-    stamp_row(m.source, -1.0); // and enters the source node
-  }
-}
-
-bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x,
-                             int* iterations_out) const {
-  const std::size_t n = unknown_count();
+  const std::size_t nu = plan_.unknown_node_count();
   SimulatorWorkspace& ws = *workspace_;
   ws.prepare(n);
-  AssemblyInputs iter_in = in;
+  plan_.begin_solve(in);
+  plan_.load_pinned(x);
+  DenseMatrix& g = ws.solver.matrix(n);
   for (int it = 0; it < options_.max_newton_iterations; ++it) {
-    iter_in.x_guess = &x;
-    assemble(iter_in, ws.g, ws.rhs);
-    if (!ws.solver.factor(ws.g)) return false;
-    ws.solver.solve_into(ws.rhs, ws.x_new);
+    plan_.stamp(x, g, ws.rhs);
+    if (!ws.solver.factor_solve_in_place(std::span<double>(ws.rhs.data(), n), ws.x_new)) {
+      iterations += it + 1;
+      return false;
+    }
     const std::vector<double>& x_new = ws.x_new;
-    // Damped update: clamp the voltage change per iteration.
+    // Damped update: clamp the voltage change per iteration (node voltages
+    // only; branch currents move freely, as before).
     double max_delta = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double delta = x_new[i] - x[i];
-      if (i < n_nodes_ - 1) {
-        delta = std::clamp(delta, -options_.max_step_voltage, options_.max_step_voltage);
-        max_delta = std::max(max_delta, std::abs(delta));
-      }
+    for (std::size_t i = 0; i < nu; ++i) {
+      const double delta =
+          std::clamp(x_new[i] - x[i], -options_.max_step_voltage, options_.max_step_voltage);
+      max_delta = std::max(max_delta, std::abs(delta));
       x[i] += delta;
     }
+    for (std::size_t i = nu; i < n; ++i) x[i] = x_new[i];
     if (max_delta < options_.vtol) {
-      if (iterations_out != nullptr) *iterations_out = it + 1;
+      iterations += it + 1;
       return true;
     }
   }
+  iterations += options_.max_newton_iterations;
   return false;
 }
 
-OpResult Simulator::operating_point() {
+OpResult Simulator::operating_point(const OpResult* warm_start) {
   OpResult result;
-  std::vector<double> x(unknown_count(), 0.0);
+  std::vector<double> x(plan_.padded_size(), 0.0);
 
   AssemblyInputs in;
-  in.mode = Mode::Op;
+  in.mode = AnalysisMode::Op;
   in.time = 0.0;
 
   int iterations = 0;
-  bool ok = newton_solve(in, x, &iterations);
+  bool ok = false;
+  bool warm = false;
+  if (warm_start != nullptr && warm_start->converged &&
+      warm_start->node_voltages.size() == n_nodes_ &&
+      warm_start->vsource_currents.size() == n_vsrc_) {
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+      if (plan_.node_is_unknown(nd)) x[plan_.x_slot(nd)] = warm_start->node_voltages[nd];
+    }
+    for (std::size_t si = 0; si < n_vsrc_; ++si) {
+      const std::size_t slot = plan_.vsource_branch_slot(si);
+      if (slot != StampPlan::kNoSlot) x[slot] = warm_start->vsource_currents[si];
+    }
+    // VCVS branch currents are not part of OpResult; they stay seeded at 0.
+    warm = true;
+    ok = newton_solve(in, x, iterations);
+    if (!ok) {
+      // A bad seed must never cost correctness: restart cold.
+      std::fill(x.begin(), x.end(), 0.0);
+      warm = false;
+    }
+  }
+  if (!ok) ok = newton_solve(in, x, iterations);
   if (!ok) {
     // Source stepping: ramp all independent sources from 0 to full value.
     std::fill(x.begin(), x.end(), 0.0);
     ok = true;
     for (int step = 1; step <= options_.source_steps; ++step) {
       in.source_scale = static_cast<double>(step) / options_.source_steps;
-      if (!newton_solve(in, x, &iterations)) {
+      if (!newton_solve(in, x, iterations)) {
         ok = false;
         break;
       }
@@ -306,43 +655,52 @@ OpResult Simulator::operating_point() {
 
   result.converged = ok;
   result.iterations = iterations;
+  result.warm_started = warm;
   if (ok) {
     result.node_voltages.assign(n_nodes_, 0.0);
-    for (NodeId nd = 1; nd < n_nodes_; ++nd) result.node_voltages[nd] = x[node_unknown(nd)];
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) result.node_voltages[nd] = voltage_of(x, nd);
     result.vsource_currents.assign(n_vsrc_, 0.0);
-    for (std::size_t si = 0; si < n_vsrc_; ++si) result.vsource_currents[si] = x[(n_nodes_ - 1) + si];
+    plan_.vsource_currents(x, nullptr, 0.0, 1.0, result.vsource_currents);
   }
   return result;
 }
 
-TransientResult Simulator::transient(const TransientSpec& spec) {
+TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* dc_warm_start) {
   TransientResult result;
   if (spec.dt <= 0.0 || spec.t_stop <= 0.0) {
     result.error = "transient: dt and t_stop must be positive";
     return result;
   }
 
-  // --- initial state ---
-  std::vector<double> x(unknown_count(), 0.0);
+  // --- initial state (padded layout: pinned tail reloaded every solve) ---
+  std::vector<double> x(plan_.padded_size(), 0.0);
   if (spec.use_ic) {
     for (const auto& [name, value] : spec.initial_conditions) {
       const NodeId node = circuit_.find_node(name);
-      if (node != Circuit::ground()) x[node_unknown(node)] = value;
+      if (node != Circuit::ground() && plan_.node_is_unknown(node)) {
+        x[plan_.x_slot(node)] = value;
+      }
     }
     // Also honor capacitor initial voltages for caps to ground.
     for (const Capacitor& c : circuit_.capacitors()) {
-      if (c.initial_voltage && c.b == Circuit::ground() && c.a != Circuit::ground()) {
-        x[node_unknown(c.a)] = *c.initial_voltage;
+      if (c.initial_voltage && c.b == Circuit::ground() && c.a != Circuit::ground() &&
+          plan_.node_is_unknown(c.a)) {
+        x[plan_.x_slot(c.a)] = *c.initial_voltage;
       }
     }
   } else {
-    OpResult op = operating_point();
+    OpResult op = operating_point(dc_warm_start);
     if (!op.converged) {
       result.error = "transient: DC operating point failed to converge";
       return result;
     }
-    for (NodeId nd = 1; nd < n_nodes_; ++nd) x[node_unknown(nd)] = op.node_voltages[nd];
-    for (std::size_t si = 0; si < n_vsrc_; ++si) x[(n_nodes_ - 1) + si] = op.vsource_currents[si];
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) x[plan_.x_slot(nd)] = op.node_voltages[nd];
+    for (std::size_t si = 0; si < n_vsrc_; ++si) {
+      const std::size_t slot = plan_.vsource_branch_slot(si);
+      if (slot != StampPlan::kNoSlot) x[slot] = op.vsource_currents[si];
+    }
+    result.dc_iterations = op.iterations;
+    result.dc_op = std::move(op);
   }
 
   // --- set up recording ---
@@ -358,30 +716,48 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
     result.traces.push_back(Trace{"I(" + v.name + ")", {}});
   }
 
-  const auto record_point = [&](double time, const std::vector<double>& solution) {
+  const std::size_t n_caps = circuit_.capacitors().size();
+  std::vector<double> cap_current(n_caps, 0.0);
+  std::vector<double> vsrc_i(n_vsrc_, 0.0);
+
+  const auto record_point = [&](double time, const std::vector<double>& solution,
+                                bool recover_currents) {
     result.times.push_back(time);
     std::size_t ti = 0;
     for (const NodeId nd : record_nodes) result.traces[ti++].values.push_back(voltage_of(solution, nd));
-    for (std::size_t si = 0; si < n_vsrc_; ++si) {
-      result.traces[ti++].values.push_back(solution[(n_nodes_ - 1) + si]);
+    if (n_vsrc_ > 0) {
+      if (recover_currents) {
+        plan_.vsource_currents(solution, &cap_current, time, 1.0, vsrc_i);
+      } else {
+        std::fill(vsrc_i.begin(), vsrc_i.end(), 0.0);
+      }
+      for (std::size_t si = 0; si < n_vsrc_; ++si) result.traces[ti++].values.push_back(vsrc_i[si]);
     }
   };
 
-  record_point(0.0, x);
+  // With UIC the t = 0 state is the caller's initial guess, not a solved
+  // point: branch currents are zero by definition (the classic full-branch
+  // formulation records exactly that), and the pinned tail of `x` is not
+  // loaded yet, so KCL recovery must not run against it.
+  record_point(0.0, x, /*recover_currents=*/!spec.use_ic);
 
   // --- time stepping ---
-  const std::size_t n_caps = circuit_.capacitors().size();
-  std::vector<double> cap_current(n_caps, 0.0);
   std::vector<double> x_prev = x;
   const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / spec.dt));
 
   for (std::size_t step = 1; step <= n_steps; ++step) {
-    const double t = std::min(spec.t_stop, static_cast<double>(step) * spec.dt);
-    const double dt = t - static_cast<double>(step - 1) * spec.dt > 0.0
-                          ? t - result.times.back()
-                          : spec.dt;
+    // Uniform grid, with the final (possibly partial) step landing exactly
+    // on t_stop.  dt is measured against the previously recorded time, so
+    // it is positive by construction of n_steps; the guard only fires if
+    // rounding made the second-to-last grid point collide with t_stop.
+    const double t_prev = result.times.back();
+    double t = static_cast<double>(step) * spec.dt;
+    if (step == n_steps || t > spec.t_stop) t = spec.t_stop;
+    const double dt = t - t_prev;
+    if (dt <= 0.0) break;
+
     AssemblyInputs in;
-    in.mode = Mode::Transient;
+    in.mode = AnalysisMode::Transient;
     in.time = t;
     in.dt = dt;
     // Backward-Euler startup damps the artificial transient from imperfect
@@ -390,10 +766,13 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
     in.x_prev = &x_prev;
     in.cap_current_prev = &cap_current;
 
-    if (!newton_solve(in, x, nullptr)) {
+    int step_iterations = 0;
+    if (!newton_solve(in, x, step_iterations)) {
+      result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
       result.error = "transient: Newton failed at t = " + std::to_string(t);
       return result;
     }
+    result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
 
     // Update per-capacitor branch currents for the trapezoidal companion.
     const std::vector<Capacitor>& caps = circuit_.capacitors();
@@ -408,7 +787,7 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
       }
     }
 
-    record_point(t, x);
+    record_point(t, x, /*recover_currents=*/true);
     x_prev = x;
   }
 

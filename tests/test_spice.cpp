@@ -213,6 +213,141 @@ TEST(Transient, EnergyConservationInRcCharge) {
   EXPECT_NEAR(delivered, 200e-15 * 1.0, 200e-15 * 0.05);
 }
 
+TEST(Transient, FinalStepLandsExactlyOnTStop) {
+  // t_stop is NOT an integer multiple of dt: the final partial step must
+  // land exactly on t_stop with strictly positive dt everywhere.
+  Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add_resistor("R1", out, Circuit::ground(), 1e3);
+  ckt.add_capacitor("C1", out, Circuit::ground(), 1e-12, 1.0);
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 1e-9;
+  spec.dt = 3e-13;
+  spec.use_ic = true;
+  spec.initial_conditions["out"] = 1.0;
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_DOUBLE_EQ(res.times.back(), spec.t_stop);
+  // ceil(1e-9 / 3e-13) = 3334 steps plus the initial point.
+  EXPECT_EQ(res.times.size(), 3335u);
+  for (std::size_t i = 1; i < res.times.size(); ++i) {
+    EXPECT_GT(res.times[i], res.times[i - 1]) << "non-positive dt at step " << i;
+  }
+
+  // Exact-multiple case ends on t_stop too, with no extra step.
+  spec.dt = 1e-12;
+  const TransientResult even = sim.transient(spec);
+  ASSERT_TRUE(even.ok);
+  EXPECT_DOUBLE_EQ(even.times.back(), spec.t_stop);
+  EXPECT_EQ(even.times.size(), 1001u);
+}
+
+TEST(TransientResult, TraceLookupByNameIsRebuiltAfterAppends) {
+  TransientResult r;
+  r.traces.push_back(Trace{"a", {1.0}});
+  r.traces.push_back(Trace{"b", {2.0}});
+  EXPECT_TRUE(r.has_trace("a"));
+  EXPECT_EQ(r.trace("b")[0], 2.0);
+  EXPECT_FALSE(r.has_trace("c"));
+  r.traces.push_back(Trace{"c", {3.0}});  // map must rebuild lazily
+  EXPECT_TRUE(r.has_trace("c"));
+  EXPECT_EQ(r.trace("c")[0], 3.0);
+  EXPECT_THROW((void)r.trace("missing"), std::out_of_range);
+}
+
+TEST(Op, PinnedSourceAbsorptionMatchesFullBranchFormulation) {
+  // The structure-aware plan absorbs grounded ideal sources (5 unknowns on
+  // the SAL netlist instead of 13).  Both formulations solve the same
+  // equations: operating points must agree to solver tolerance.
+  const auto nmos = pdk::mos_params(false, pdk::typical_corner(), 60e-9);
+  const auto pmos = pdk::mos_params(true, pdk::typical_corner(), 60e-9);
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  const auto buf = ckt.node("buf");
+  ckt.add_vsource("VDD", vdd, Circuit::ground(), Waveform::dc(0.9));
+  ckt.add_vsource("VIN", in, Circuit::ground(), Waveform::dc(0.35));
+  ckt.add_mosfet("MN", out, in, Circuit::ground(), nmos, 1e-6, 60e-9);
+  ckt.add_mosfet("MP", out, in, vdd, pmos, 2e-6, 60e-9);
+  ckt.add_resistor("RL", out, buf, 5e3);
+  ckt.add_capacitor("CL", buf, Circuit::ground(), 1e-15);
+
+  SimulatorOptions absorbed;
+  SimulatorOptions full;
+  full.pin_grounded_sources = false;
+  Simulator sim_a(ckt, absorbed);
+  Simulator sim_f(ckt, full);
+  EXPECT_LT(sim_a.plan().unknown_count(), sim_f.plan().unknown_count());
+
+  const OpResult a = sim_a.operating_point();
+  const OpResult f = sim_f.operating_point();
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(f.converged);
+  for (std::size_t nd = 0; nd < a.node_voltages.size(); ++nd) {
+    EXPECT_NEAR(a.node_voltages[nd], f.node_voltages[nd], 1e-6) << "node " << nd;
+  }
+  ASSERT_EQ(a.vsource_currents.size(), f.vsource_currents.size());
+  for (std::size_t si = 0; si < a.vsource_currents.size(); ++si) {
+    EXPECT_NEAR(a.vsource_currents[si], f.vsource_currents[si],
+                std::abs(f.vsource_currents[si]) * 1e-6 + 1e-12)
+        << "source " << si;
+  }
+}
+
+TEST(Transient, PinnedSourceAbsorptionMatchesFullBranchWaveforms) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, Circuit::ground(),
+                  Waveform::pulse(0.0, 1.0, 0.1e-9, 1e-12, 1e-12, 10e-9, 0.0));
+  ckt.add_resistor("R1", in, out, 10e3);
+  ckt.add_capacitor("C1", out, Circuit::ground(), 100e-15);
+  TransientSpec spec;
+  spec.t_stop = 2e-9;
+  spec.dt = 2e-12;
+
+  SimulatorOptions full;
+  full.pin_grounded_sources = false;
+  Simulator sim_a(ckt);
+  Simulator sim_f(ckt, full);
+  const TransientResult a = sim_a.transient(spec);
+  const TransientResult f = sim_f.transient(spec);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(f.ok) << f.error;
+  ASSERT_EQ(a.times.size(), f.times.size());
+  const auto& va = a.trace("out");
+  const auto& vf = f.trace("out");
+  const auto& ia = a.trace("I(V1)");
+  const auto& iff = f.trace("I(V1)");
+  for (std::size_t i = 0; i < va.size(); i += 20) {
+    EXPECT_NEAR(va[i], vf[i], 1e-7) << "t = " << a.times[i];
+    EXPECT_NEAR(ia[i], iff[i], 1e-10) << "t = " << a.times[i];
+  }
+
+  // UIC variant: the t = 0 sample is the caller's initial state, not a
+  // solved point — both formulations must record a zero branch current
+  // there (regression: KCL recovery used to run against the unloaded
+  // pinned tail).
+  spec.use_ic = true;
+  spec.initial_conditions["out"] = 0.5;
+  const TransientResult au = sim_a.transient(spec);
+  const TransientResult fu = sim_f.transient(spec);
+  ASSERT_TRUE(au.ok) << au.error;
+  ASSERT_TRUE(fu.ok) << fu.error;
+  EXPECT_DOUBLE_EQ(au.trace("I(V1)")[0], 0.0);
+  EXPECT_DOUBLE_EQ(fu.trace("I(V1)")[0], 0.0);
+  const auto& vau = au.trace("out");
+  const auto& vfu = fu.trace("out");
+  const auto& iau = au.trace("I(V1)");
+  const auto& ifu = fu.trace("I(V1)");
+  for (std::size_t i = 0; i < vau.size(); i += 20) {
+    EXPECT_NEAR(vau[i], vfu[i], 1e-7) << "t = " << au.times[i];
+    EXPECT_NEAR(iau[i], ifu[i], 1e-10) << "t = " << au.times[i];
+  }
+}
+
 TEST(Measure, CrossingAndIntegral) {
   const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
   const std::vector<double> v = {0.0, 1.0, 0.0, 1.0};

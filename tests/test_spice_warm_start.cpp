@@ -1,0 +1,222 @@
+// DC warm-start tests: the per-thread cache of converged operating points,
+// the iteration-count win from seeding Newton across mismatch draws, and the
+// guarantee that warm starts never move converged solutions beyond vtol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/registry.hpp"
+#include "circuits/spice_backend.hpp"
+#include "common/rng.hpp"
+#include "core/evaluation_engine.hpp"
+#include "pdk/variation.hpp"
+#include "spice/circuit.hpp"
+#include "spice/simulator.hpp"
+#include "spice/warm_start.hpp"
+
+namespace glova::spice {
+namespace {
+
+circuits::StrongArmLatchSpice& sal_testbench() {
+  static circuits::StrongArmLatchSpice sal;
+  return sal;
+}
+
+std::vector<double> sal_sizing() {
+  const std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2,
+                                   0.0, 0.0, 0.0, 0.0, 0.0, 0.05, 0.01};
+  return sal_testbench().sizing().denormalize(x01);
+}
+
+Circuit sal_netlist(std::span<const double> h = {}) {
+  return sal_testbench().build_netlist(sal_sizing(), pdk::typical_corner(), h);
+}
+
+TEST(DcWarmStart, WarmStartedOpTakesStrictlyFewerIterations) {
+  const Circuit ckt = sal_netlist();
+  Simulator sim(ckt);
+  const OpResult cold = sim.operating_point();
+  ASSERT_TRUE(cold.converged);
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_GT(cold.iterations, 1);
+
+  const OpResult warm = sim.operating_point(&cold);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_LT(warm.iterations, cold.iterations);
+
+  // The warm start changes the Newton trajectory, never the solution
+  // (beyond vtol).
+  ASSERT_EQ(warm.node_voltages.size(), cold.node_voltages.size());
+  for (std::size_t nd = 0; nd < cold.node_voltages.size(); ++nd) {
+    EXPECT_NEAR(warm.node_voltages[nd], cold.node_voltages[nd], 10 * SimulatorOptions{}.vtol);
+  }
+}
+
+TEST(DcWarmStart, MismatchDrawSeededFromNominalOpConvergesFaster) {
+  // The realistic reuse pattern: the nominal design's DC op seeds a
+  // *different* circuit instance — a mismatch draw of the same design.
+  Rng rng(7);
+  const auto layout = sal_testbench().mismatch_layout(sal_sizing(), true);
+  const auto hs = pdk::sample_mismatch_set(layout, 1, rng, pdk::GlobalMode::PerSample);
+
+  const Circuit nominal = sal_netlist();
+  const OpResult nominal_op = Simulator(nominal).operating_point();
+  ASSERT_TRUE(nominal_op.converged);
+
+  const Circuit drawn = sal_netlist(hs[0]);
+  Simulator sim(drawn);
+  const OpResult cold = sim.operating_point();
+  const OpResult warm = sim.operating_point(&nominal_op);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  for (std::size_t nd = 0; nd < cold.node_voltages.size(); ++nd) {
+    EXPECT_NEAR(warm.node_voltages[nd], cold.node_voltages[nd], 10 * SimulatorOptions{}.vtol);
+  }
+}
+
+TEST(DcWarmStart, TransientReportsIterationCountersAndDcOp) {
+  const Circuit ckt = sal_netlist();
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 0.4e-9;
+  spec.dt = 2e-12;
+  spec.record = {"out_a", "out_b"};
+
+  const TransientResult cold = sim.transient(spec);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_TRUE(cold.dc_op.converged);
+  EXPECT_GT(cold.dc_iterations, 0);
+  EXPECT_GE(cold.newton_iterations, cold.times.size() - 1);  // >= 1 per step
+
+  const TransientResult warm = sim.transient(spec, &cold.dc_op);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.dc_op.warm_started);
+  EXPECT_LT(warm.dc_iterations, cold.dc_iterations);
+
+  // Same waveforms to within solver tolerance.
+  ASSERT_EQ(warm.times.size(), cold.times.size());
+  const auto& a = cold.trace("out_a");
+  const auto& b = warm.trace("out_a");
+  for (std::size_t i = 0; i < a.size(); i += 25) {
+    EXPECT_NEAR(a[i], b[i], 1e-6);
+  }
+}
+
+TEST(DcWarmStart, BogusWarmStartFallsBackToColdPath) {
+  const Circuit ckt = sal_netlist();
+  Simulator sim(ckt);
+  OpResult bogus;
+  bogus.converged = true;
+  bogus.node_voltages.assign(3, 0.0);  // wrong shape: must be ignored
+  bogus.vsource_currents.assign(1, 0.0);
+  const OpResult op = sim.operating_point(&bogus);
+  ASSERT_TRUE(op.converged);
+  EXPECT_FALSE(op.warm_started);
+}
+
+TEST(DcWarmStart, CacheLruEvictionAndStats) {
+  reset_warm_start_stats();
+  DcWarmStartCache cache(2);
+  OpResult op;
+  op.converged = true;
+  op.node_voltages = {0.0, 1.0};
+  op.vsource_currents = {2.0};
+
+  const auto key = [](std::int64_t v) { return DcWarmStartCache::Key{v}; };
+  EXPECT_EQ(cache.lookup(key(1)), nullptr);
+  cache.store(key(1), op);
+  cache.store(key(2), op);
+  ASSERT_NE(cache.lookup(key(1)), nullptr);  // refreshes 1
+  cache.store(key(3), op);                   // evicts 2 (LRU)
+  EXPECT_EQ(cache.lookup(key(2)), nullptr);
+  ASSERT_NE(cache.lookup(key(3)), nullptr);
+  EXPECT_EQ(cache.lookup(key(3))->vsource_currents[0], 2.0);
+
+  OpResult unconverged;
+  unconverged.converged = false;
+  cache.store(key(9), unconverged);  // not worth caching
+  EXPECT_EQ(cache.lookup(key(9)), nullptr);
+
+  const WarmStartStats stats = warm_start_stats();
+  EXPECT_EQ(stats.stores, 3u);
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.misses, 3u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DcWarmStart, KeyDistinguishesDesignCornerAndTag) {
+  const std::vector<double> x1 = {1e-6, 2e-6};
+  std::vector<double> x2 = x1;
+  x2[1] += 1e-9;
+  const auto k1 = make_dc_key(1, x1, pdk::typical_corner());
+  EXPECT_EQ(k1, make_dc_key(1, x1, pdk::typical_corner()));
+  EXPECT_NE(k1, make_dc_key(2, x1, pdk::typical_corner()));
+  EXPECT_NE(k1, make_dc_key(1, x2, pdk::typical_corner()));
+  pdk::PvtCorner hot = pdk::typical_corner();
+  hot.temp_c += 50.0;
+  EXPECT_NE(k1, make_dc_key(1, x1, hot));
+}
+
+TEST(DcWarmStart, SalEvaluateWarmMatchesColdWithinTolerance) {
+  auto& sal = sal_testbench();
+  const auto x = sal_sizing();
+  Rng rng(11);
+  const auto layout = sal.mismatch_layout(x, true);
+  const auto hs = pdk::sample_mismatch_set(layout, 3, rng, pdk::GlobalMode::PerSample);
+
+  set_dc_warm_start_enabled(false);
+  std::vector<std::vector<double>> cold;
+  for (const auto& h : hs) cold.push_back(sal.evaluate(x, pdk::typical_corner(), h));
+
+  thread_local_dc_cache().clear();
+  reset_warm_start_stats();
+  set_dc_warm_start_enabled(true);
+  std::vector<std::vector<double>> warm;
+  for (const auto& h : hs) warm.push_back(sal.evaluate(x, pdk::typical_corner(), h));
+  set_dc_warm_start_enabled(true);  // leave the default in place
+
+  const WarmStartStats stats = warm_start_stats();
+  EXPECT_EQ(stats.misses, 1u);  // first draw seeds the cache
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 2u);    // subsequent draws of the same design hit
+
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    ASSERT_EQ(warm[i].size(), cold[i].size());
+    for (std::size_t mi = 0; mi < cold[i].size(); ++mi) {
+      EXPECT_NEAR(warm[i][mi], cold[i][mi], std::abs(cold[i][mi]) * 1e-6)
+          << "draw " << i << " metric " << mi;
+    }
+  }
+}
+
+TEST(DcWarmStart, EngineSurfacesWarmStartCounters) {
+  thread_local_dc_cache().clear();
+  reset_warm_start_stats();
+
+  core::EngineConfig cfg;
+  cfg.parallelism = 1;
+  cfg.min_parallel_batch = 1000;  // keep everything inline on this thread
+  core::EvaluationEngine engine(
+      circuits::make_testbench(circuits::Testcase::Sal, circuits::Backend::Spice), cfg);
+  const auto& sz = engine.testbench().sizing();
+  std::vector<double> x01(sz.dimension(), 0.4);
+  const auto x = sz.denormalize(x01);
+  Rng rng(3);
+  const auto layout = engine.testbench().mismatch_layout(x, false);
+  const auto hs = pdk::sample_mismatch_set(layout, 3, rng, pdk::GlobalMode::Zero);
+  (void)engine.evaluate_batch(x, pdk::typical_corner(), hs);
+
+  const core::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requested, 3u);
+  EXPECT_EQ(stats.dc_warm_stores, 1u);
+  EXPECT_EQ(stats.dc_warm_hits + stats.dc_warm_misses, 3u);
+  EXPECT_GE(stats.dc_warm_hits, 2u);
+}
+
+}  // namespace
+}  // namespace glova::spice
