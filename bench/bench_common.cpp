@@ -38,37 +38,18 @@ CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod
   double sum_runtime = 0.0;
   double sum_wall = 0.0;
 
+  core::RunSpec spec;
+  spec.testcase = testcase;
+  spec.algorithm = method;
+  spec.method = verif;
+  spec.max_iterations = options.max_iterations;
+  spec.use_ensemble_critic = options.use_ensemble_critic;
+  spec.use_mu_sigma = options.use_mu_sigma;
+  spec.use_reordering = options.use_reordering;
+
   for (std::size_t seed = 1; seed <= options.seeds; ++seed) {
-    core::GlovaResult res;
-    switch (method) {
-      case Method::Glova: {
-        core::GlovaConfig cfg;
-        cfg.method = verif;
-        cfg.seed = seed;
-        cfg.max_iterations = options.max_iterations;
-        cfg.use_ensemble_critic = options.use_ensemble_critic;
-        cfg.use_mu_sigma = options.use_mu_sigma;
-        cfg.use_reordering = options.use_reordering;
-        res = core::GlovaOptimizer(testbench, cfg).run();
-        break;
-      }
-      case Method::PvtSizing: {
-        baselines::PvtSizingConfig cfg;
-        cfg.method = verif;
-        cfg.seed = seed;
-        cfg.max_iterations = options.max_iterations;
-        res = baselines::PvtSizingOptimizer(testbench, cfg).run();
-        break;
-      }
-      case Method::RobustAnalog: {
-        baselines::RobustAnalogConfig cfg;
-        cfg.method = verif;
-        cfg.seed = seed;
-        cfg.max_iterations = options.max_iterations;
-        res = baselines::RobustAnalogOptimizer(testbench, cfg).run();
-        break;
-      }
-    }
+    spec.seed = seed;
+    const core::GlovaResult res = core::make_optimizer(spec, testbench)->run();
     if (res.success) {
       ++successes;
       // Paper footnote: cells with < 100 % success average successful runs.
@@ -111,7 +92,7 @@ void print_table2_block(circuits::Testcase testcase,
   const auto row = [&](const char* label, auto paper_of, auto ours_of) {
     printf("%s\n", label);
     for (std::size_t mi = 0; mi < 3; ++mi) {
-      printf("  %-12s |", to_string(methods[mi]));
+      printf("  %-12s |", bench::to_string(methods[mi]));
       for (std::size_t vi = 0; vi < verifs.size(); ++vi) {
         printf(" %-11.6g %-12.6g |", paper_of(mi, vi), ours_of(mi, vi));
       }

@@ -11,14 +11,13 @@
 #include <string>
 #include <vector>
 
-#include "baselines/pvtsizing.hpp"
-#include "baselines/robustanalog.hpp"
 #include "circuits/registry.hpp"
-#include "core/optimizer.hpp"
+#include "core/run_spec.hpp"
 
 namespace glova::bench {
 
-enum class Method { Glova, PvtSizing, RobustAnalog };
+/// Table II row labels for core::Algorithm ("Ours" for GLOVA).
+using Method = core::Algorithm;
 
 [[nodiscard]] const char* to_string(Method m);
 

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "circuits/testbench.hpp"
-#include "core/optimizer.hpp"
+#include "core/run_spec.hpp"
 #include "pdk/mos_params.hpp"
 
 namespace {
@@ -79,11 +79,12 @@ int main() {
   using namespace glova;
   const auto bench = std::make_shared<CommonSourceAmp>();
 
-  core::GlovaConfig config;
-  config.method = core::VerifMethod::C_MCL;
-  config.seed = 1;
-  core::GlovaOptimizer optimizer(bench, config);
-  const auto result = optimizer.run();
+  // The testbench overload of make_optimizer runs GLOVA's whole machinery on
+  // a circuit the registry has never heard of.
+  core::RunSpec spec;
+  spec.method = core::VerifMethod::C_MCL;
+  spec.seed = 1;
+  const auto result = core::make_optimizer(spec, bench)->run();
 
   printf("custom circuit '%s'\n", bench->name().c_str());
   printf("success=%s iterations=%zu simulations=%llu\n", result.success ? "yes" : "no",

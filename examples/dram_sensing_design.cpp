@@ -8,19 +8,19 @@
 #include <cstdio>
 
 #include "circuits/registry.hpp"
-#include "core/optimizer.hpp"
 #include "core/reward.hpp"
+#include "core/run_spec.hpp"
 #include "pdk/variation.hpp"
 
 int main() {
   using namespace glova;
   const auto bench = circuits::make_testbench(circuits::Testcase::DramOcsa);
 
-  core::GlovaConfig config;
-  config.method = core::VerifMethod::C_MCGL;
-  config.seed = 3;
-  core::GlovaOptimizer optimizer(bench, config);
-  const auto result = optimizer.run();
+  core::RunSpec spec;
+  spec.testcase = circuits::Testcase::DramOcsa;
+  spec.method = core::VerifMethod::C_MCGL;
+  spec.seed = 3;
+  const auto result = core::make_optimizer(spec, bench)->run();
   printf("optimization: success=%s iterations=%zu simulations=%llu\n",
          result.success ? "yes" : "no", result.rl_iterations,
          static_cast<unsigned long long>(result.n_simulations));

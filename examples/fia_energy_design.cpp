@@ -1,29 +1,44 @@
 // Floating inverter amplifier: energy/noise tradeoff exploration.
 //
-// First sizes the FIA with GLOVA under corner + local MC, then sweeps the
-// reservoir capacitor around the verified value to show the energy/noise
-// tradeoff the optimizer navigated (bigger reservoir = longer integration =
-// more gain and lower input-referred error, but linearly more energy).
+// First sizes the FIA with GLOVA under corner + local MC — driving the
+// session step by step from the outside, the way a scheduler or service
+// would — then sweeps the reservoir capacitor around the verified value to
+// show the energy/noise tradeoff the optimizer navigated (bigger reservoir =
+// longer integration = more gain and lower input-referred error, but
+// linearly more energy).
 #include <cstdio>
 
 #include "circuits/fia.hpp"
 #include "circuits/registry.hpp"
-#include "core/optimizer.hpp"
+#include "core/run_spec.hpp"
 
 int main() {
   using namespace glova;
-  const auto bench = circuits::make_testbench(circuits::Testcase::Fia);
 
-  core::GlovaConfig config;
-  config.method = core::VerifMethod::C_MCL;
-  config.seed = 8;
-  core::GlovaOptimizer optimizer(bench, config);
-  const auto result = optimizer.run();
+  core::RunSpec spec;
+  spec.testcase = circuits::Testcase::Fia;
+  spec.method = core::VerifMethod::C_MCL;
+  spec.seed = 8;
+  const std::unique_ptr<core::Optimizer> optimizer = core::make_optimizer(spec);
+
+  // External control loop: one step() = one RL iteration.  The session can
+  // be paused, observed, or cancelled between any two steps; run() is just
+  // this loop without the progress printout.
+  std::size_t steps = 0;
+  while (!optimizer->done()) {
+    optimizer->step();
+    if (++steps % 10 == 0) {
+      printf("  ... %zu iterations, %llu simulations so far\n", steps,
+             static_cast<unsigned long long>(optimizer->engine()->simulation_count()));
+    }
+  }
+  const core::GlovaResult& result = optimizer->result();
   printf("optimization: success=%s iterations=%zu simulations=%llu\n",
          result.success ? "yes" : "no", result.rl_iterations,
          static_cast<unsigned long long>(result.n_simulations));
   if (!result.success) return 1;
 
+  const auto bench = circuits::make_testbench(circuits::Testcase::Fia);
   auto x = result.x_phys_final;
   printf("\nverified design: W_n=%.3gu W_p=%.3gu L_n=%.3gu L_p=%.3gu C_res=%.3gf C_load=%.3gf\n",
          x[circuits::FiaSizing::kWn] * 1e6, x[circuits::FiaSizing::kWp] * 1e6,

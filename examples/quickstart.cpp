@@ -3,28 +3,35 @@
 //
 //   $ ./quickstart
 //
-// Walks through the whole public API surface: pick a testcase, pick a
-// verification method, run the GLOVA optimizer, inspect the result.
+// Walks through the whole public API surface: describe the run as a
+// core::RunSpec, build a session with core::make_optimizer, run it, inspect
+// the result.
 #include <cstdio>
 
 #include "circuits/registry.hpp"
-#include "core/optimizer.hpp"
+#include "core/run_spec.hpp"
 
 int main() {
   using namespace glova;
 
-  // 1. A testbench: the StrongARM latch with the fast behavioral evaluator.
-  const circuits::TestbenchPtr bench = circuits::make_testbench(circuits::Testcase::Sal);
+  // 1. A run description: the StrongARM latch with the fast behavioral
+  //    evaluator, corner verification (30 PVT conditions), defaults from the
+  //    paper (beta1 = -3, beta2 = 4, batch 10, ensemble 5).
+  core::RunSpec spec;
+  spec.testcase = circuits::Testcase::Sal;
+  spec.algorithm = core::Algorithm::Glova;
+  spec.method = core::VerifMethod::C;
+  spec.seed = 2025;
 
-  // 2. A configuration: corner verification (30 PVT conditions), defaults
-  //    from the paper (beta1 = -3, beta2 = 4, batch 10, ensemble 5).
-  core::GlovaConfig config;
-  config.method = core::VerifMethod::C;
-  config.seed = 2025;
+  // 2. A session.  make_optimizer validates the spec (try backend = Spice on
+  //    FIA: the error lists the runnable combinations) and wires the
+  //    algorithm; the spec round-trips through text for queues and logs.
+  printf("spec: %s\n\n", spec.to_string().c_str());
+  const std::unique_ptr<core::Optimizer> optimizer = core::make_optimizer(spec);
 
-  // 3. Run.
-  core::GlovaOptimizer optimizer(bench, config);
-  const core::GlovaResult result = optimizer.run();
+  // 3. Run.  run() is a thin loop over step(); drive step() yourself for
+  //    incremental control (see fia_energy_design.cpp).
+  const core::GlovaResult result = optimizer->run();
 
   // 4. Inspect.
   printf("success      : %s\n", result.success ? "yes" : "no");
@@ -33,6 +40,7 @@ int main() {
          static_cast<unsigned long long>(result.n_simulations),
          static_cast<unsigned long long>(result.turbo_evaluations));
   if (result.success) {
+    const circuits::TestbenchPtr bench = circuits::make_testbench(spec.testcase, spec.backend);
     printf("\nverified sizing (physical units):\n");
     const auto& sizing = bench->sizing();
     for (std::size_t i = 0; i < sizing.dimension(); ++i) {

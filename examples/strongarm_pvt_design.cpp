@@ -3,24 +3,24 @@
 // Runs the same circuit through all three regimes of Table I — corner only,
 // corner + local MC, corner + global-local MC — and shows how the cost of
 // robustness grows while the verified design drifts toward larger devices
-// and a more conservative capacitor budget.
+// and a more conservative capacitor budget.  One RunSpec, three methods:
+// the spec is the only thing that changes between regimes.
 #include <cstdio>
 
 #include "circuits/registry.hpp"
-#include "core/optimizer.hpp"
+#include "core/run_spec.hpp"
 
 int main() {
   using namespace glova;
-  const auto bench = circuits::make_testbench(circuits::Testcase::Sal);
 
   printf("%-10s %-8s %-12s %-12s %-10s\n", "verif", "success", "iterations", "simulations",
          "W_in (um)");
   for (const auto method : core::all_verif_methods()) {
-    core::GlovaConfig config;
-    config.method = method;
-    config.seed = 11;
-    core::GlovaOptimizer optimizer(bench, config);
-    const auto result = optimizer.run();
+    core::RunSpec spec;
+    spec.testcase = circuits::Testcase::Sal;
+    spec.method = method;
+    spec.seed = 11;
+    const auto result = core::make_optimizer(spec)->run();
     printf("%-10s %-8s %-12zu %-12llu %-10.3f\n", core::to_string(method),
            result.success ? "yes" : "no", result.rl_iterations,
            static_cast<unsigned long long>(result.n_simulations),

@@ -1,8 +1,8 @@
 #include "baselines/pvtsizing.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
+#include <utility>
 
 #include "core/reward.hpp"
 #include "core/verifier.hpp"
@@ -14,24 +14,47 @@ namespace glova::baselines {
 
 using core::kSuccessReward;
 
+struct PvtSizingOptimizer::Session {
+  core::EvaluationEngine service;
+  Rng rng;
+  Rng mc_rng{0};
+  std::unique_ptr<rl::RiskSensitiveAgent> agent;
+  rl::WorstCaseReplayBuffer buffer;
+  rl::LastWorstBuffer last_worst;
+  std::unique_ptr<core::Verifier> verifier;
+  std::vector<double> x_last;
+  std::size_t iter = 0;
+
+  Session(circuits::TestbenchPtr testbench, const PvtSizingConfig& config,
+          std::size_t corner_count)
+      : service(std::move(testbench), config.engine),
+        rng(config.seed),
+        last_worst(corner_count) {}
+};
+
 PvtSizingOptimizer::PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizingConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
       op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
 
-core::GlovaResult PvtSizingOptimizer::run() {
-  const auto t0 = std::chrono::steady_clock::now();
-  core::GlovaResult result;
-  core::EvaluationEngine service(testbench_, config_.engine);
+PvtSizingOptimizer::~PvtSizingOptimizer() = default;
+
+const core::EvaluationEngine* PvtSizingOptimizer::engine_ptr() const {
+  return s_ ? &s_->service : nullptr;
+}
+
+void PvtSizingOptimizer::do_start() {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  core::EvaluationEngine& service = s.service;
   const circuits::SizingSpec& sizing = testbench_->sizing();
   const circuits::PerformanceSpec& spec = testbench_->performance();
   const std::size_t p = sizing.dimension();
-  Rng rng(config_.seed);
 
   // --- TuRBO initial sampling at the typical condition (shared with GLOVA).
   opt::TurboConfig turbo_cfg;
   turbo_cfg.n_init = std::max<std::size_t>(8, p);
-  opt::Turbo turbo(p, turbo_cfg, rng.split(0x7B0));
+  opt::Turbo turbo(p, turbo_cfg, s.rng.split(0x7B0));
   const pdk::PvtCorner typical = pdk::typical_corner();
   const std::size_t turbo_min = std::min<std::size_t>(turbo_cfg.n_init + 4, config_.turbo_budget);
   while (service.simulation_count() < config_.turbo_budget) {
@@ -44,7 +67,7 @@ core::GlovaResult PvtSizingOptimizer::run() {
     turbo.tell(points, values);
     if (turbo.best_value() >= kSuccessReward && service.simulation_count() >= turbo_min) break;
   }
-  result.turbo_evaluations = service.simulation_count();
+  result_.turbo_evaluations = service.simulation_count();
 
   // --- risk-neutral agent: single critic, beta1 = 0.
   rl::AgentConfig agent_cfg;
@@ -53,83 +76,79 @@ core::GlovaResult PvtSizingOptimizer::run() {
   agent_cfg.critic.hidden = config_.hidden;
   agent_cfg.hidden = config_.hidden;
   agent_cfg.batch_size = config_.batch_size;
-  rl::RiskSensitiveAgent agent(p, agent_cfg, rng.split(0xA6E7));
-
-  rl::WorstCaseReplayBuffer buffer;
-  rl::LastWorstBuffer last_worst(op_config_.corner_count());
-
-  const auto sample_conditions = [&](std::span<const double> x_phys, std::size_t n,
-                                     Rng& stream) -> std::vector<std::vector<double>> {
-    if (!op_config_.has_mismatch()) return std::vector<std::vector<double>>(n);
-    const auto layout = testbench_->mismatch_layout(x_phys, op_config_.global_mismatch);
-    return pdk::sample_mismatch_set(layout, n, stream, op_config_.sampling_mode());
-  };
-  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
-    double worst = std::numeric_limits<double>::max();
-    for (const auto& m : metrics) worst = std::min(worst, core::reward_from_metrics(spec, m));
-    return worst;
-  };
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
 
   // Verification without the mu-sigma gate or reordering.
   core::VerifierOptions vopts;
   vopts.use_mu_sigma = false;
   vopts.use_reordering = false;
-  core::Verifier verifier(service, op_config_, vopts);
+  s.verifier = std::make_unique<core::Verifier>(service, op_config_, vopts);
 
-  std::vector<double> x_last = turbo.best_point();
-  if (x_last.empty()) x_last = rng.uniform_vector(p, 0.0, 1.0);
-  buffer.add(x_last, 0.0);
-  Rng mc_rng = rng.split(0x3C3C);
-  result.termination = "iteration-cap";
+  s.x_last = turbo.best_point();
+  if (s.x_last.empty()) s.x_last = s.rng.uniform_vector(p, 0.0, 1.0);
+  s.buffer.add(s.x_last, 0.0);
+  s.mc_rng = s.rng.split(0x3C3C);
+  result_.termination = "iteration-cap";
+}
 
-  for (std::size_t iter = 1; iter <= config_.max_iterations; ++iter) {
-    std::vector<double> x_new = agent.propose(x_last);
-    const auto x_phys = sizing.denormalize(x_new);
+bool PvtSizingOptimizer::do_step() {
+  Session& s = *s_;
+  if (s.iter >= config_.max_iterations) return false;
+  const std::size_t iter = ++s.iter;
+  core::EvaluationEngine& service = s.service;
+  const circuits::SizingSpec& sizing = testbench_->sizing();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
 
-    // Batch sampling: every corner, every iteration.
-    double r_worst = std::numeric_limits<double>::max();
-    for (std::size_t j = 0; j < op_config_.corner_count(); ++j) {
-      const auto hs = sample_conditions(x_phys, op_config_.n_opt, mc_rng);
-      const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[j], hs);
-      const double w = worst_reward_of(metrics);
-      last_worst.update(j, w);
-      r_worst = std::min(r_worst, w);
-    }
+  std::vector<double> x_new = s.agent->propose(s.x_last);
+  const auto x_phys = sizing.denormalize(x_new);
 
-    if (r_worst == kSuccessReward) {
-      const core::VerificationOutcome outcome = verifier.verify(x_phys, last_worst, mc_rng);
-      for (const auto& [j, w] : outcome.corner_worst_rewards) {
-        last_worst.update(j, w);
-        r_worst = std::min(r_worst, w);
-      }
-      if (outcome.passed) {
-        result.success = true;
-        result.rl_iterations = iter;
-        result.x01_final = x_new;
-        result.x_phys_final = x_phys;
-        result.termination = "verified";
-        break;
-      }
-    }
-
-    buffer.add(x_new, r_worst);
-    (void)agent.update(buffer);  // standard DDPG: one update per environment step
-    x_last = std::move(x_new);
-    if (const auto best = buffer.best(); best && r_worst < best->reward - 0.05) {
-      x_last = best->x01;
-    }
-    result.rl_iterations = iter;
+  // Batch sampling: every corner, every iteration.
+  double r_worst = std::numeric_limits<double>::max();
+  for (std::size_t j = 0; j < op_config_.corner_count(); ++j) {
+    const auto hs = op_config_.sample_conditions(*testbench_, x_phys, op_config_.n_opt, s.mc_rng);
+    const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[j], hs);
+    const double w = core::worst_reward_of(spec, metrics);
+    s.last_worst.update(j, w);
+    r_worst = std::min(r_worst, w);
   }
 
-  const core::EngineStats eval_stats = service.stats();
-  result.n_simulations = eval_stats.requested;
-  result.n_simulations_executed = eval_stats.executed;
-  result.n_cache_hits = eval_stats.cache_hits;
-  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  result.modeled_runtime =
-      static_cast<double>(result.n_simulations) * config_.cost.per_simulation +
-      static_cast<double>(result.rl_iterations) * config_.cost.per_rl_iteration;
-  return result;
+  core::IterationTrace trace;
+  trace.iteration = iter;
+  trace.reward_worst = r_worst;
+  const rl::EnsembleCritic::Bound bound = s.agent->critic().bound(x_new);
+  trace.critic_mean = bound.mean;
+  trace.critic_bound = bound.risk_adjusted;
+  trace.mu_sigma_pass = r_worst == kSuccessReward;  // hard gate: no mu-sigma
+
+  if (r_worst == kSuccessReward) {
+    trace.attempted_verification = true;
+    const core::VerificationOutcome outcome = s.verifier->verify(x_phys, s.last_worst, s.mc_rng);
+    for (const auto& [j, w] : outcome.corner_worst_rewards) {
+      s.last_worst.update(j, w);
+      r_worst = std::min(r_worst, w);
+    }
+    if (outcome.passed) {
+      result_.success = true;
+      result_.rl_iterations = iter;
+      result_.x01_final = x_new;
+      result_.x_phys_final = x_phys;
+      result_.termination = "verified";
+      trace.sims_total = service.simulation_count();
+      result_.trace.push_back(trace);
+      return false;
+    }
+  }
+
+  s.buffer.add(x_new, r_worst);
+  (void)s.agent->update(s.buffer);  // standard DDPG: one update per environment step
+  trace.sims_total = service.simulation_count();
+  result_.trace.push_back(trace);
+  s.x_last = std::move(x_new);
+  if (const auto best = s.buffer.best(); best && r_worst < best->reward - 0.05) {
+    s.x_last = best->x01;
+  }
+  result_.rl_iterations = iter;
+  return iter < config_.max_iterations;
 }
 
 }  // namespace glova::baselines

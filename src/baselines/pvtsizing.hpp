@@ -10,7 +10,12 @@
 //   - verification: a full k x N sweep with neither the mu-sigma gate nor
 //     simulation reordering (it still aborts at the first failing run).
 // Shared with GLOVA: TuRBO initial sampling at the typical condition.
+//
+// Like every optimizer here, it is a step-driven core::Optimizer session:
+// one step() = one RL iteration, observable/cancelable from outside.
 #pragma once
+
+#include <memory>
 
 #include "circuits/testbench.hpp"
 #include "core/optimizer.hpp"
@@ -29,16 +34,26 @@ struct PvtSizingConfig {
   core::EngineConfig engine;
 };
 
-class PvtSizingOptimizer {
+class PvtSizingOptimizer final : public core::Optimizer {
  public:
   PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizingConfig config);
+  ~PvtSizingOptimizer() override;
 
-  [[nodiscard]] core::GlovaResult run();
+  [[nodiscard]] const char* algorithm_name() const override { return "PVTSizing"; }
+
+ protected:
+  void do_start() override;
+  bool do_step() override;
+  [[nodiscard]] const core::EvaluationEngine* engine_ptr() const override;
+  [[nodiscard]] const core::SimulationCost& cost() const override { return config_.cost; }
 
  private:
+  struct Session;
+
   circuits::TestbenchPtr testbench_;
   PvtSizingConfig config_;
   core::OperationalConfig op_config_;
+  std::unique_ptr<Session> s_;
 };
 
 }  // namespace glova::baselines

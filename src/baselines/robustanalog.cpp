@@ -1,8 +1,8 @@
 #include "baselines/robustanalog.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
+#include <utility>
 
 #include "core/reward.hpp"
 #include "core/verifier.hpp"
@@ -14,41 +14,85 @@ namespace glova::baselines {
 
 using core::kSuccessReward;
 
+struct RobustAnalogOptimizer::Session {
+  core::EvaluationEngine service;
+  Rng rng;
+  Rng mc_rng{0};
+  rl::LastWorstBuffer last_worst;
+  std::vector<std::size_t> dominant;
+  std::unique_ptr<rl::RiskSensitiveAgent> agent;
+  rl::WorstCaseReplayBuffer buffer;
+  std::unique_ptr<core::Verifier> verifier;
+  std::vector<double> x_last;
+  std::size_t iter = 0;
+
+  Session(circuits::TestbenchPtr testbench, const RobustAnalogConfig& config,
+          std::size_t corner_count)
+      : service(std::move(testbench), config.engine),
+        rng(config.seed),
+        last_worst(corner_count) {}
+};
+
 RobustAnalogOptimizer::RobustAnalogOptimizer(circuits::TestbenchPtr testbench,
                                              RobustAnalogConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
       op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
 
-core::GlovaResult RobustAnalogOptimizer::run() {
-  const auto t0 = std::chrono::steady_clock::now();
-  core::GlovaResult result;
-  core::EvaluationEngine service(testbench_, config_.engine);
+RobustAnalogOptimizer::~RobustAnalogOptimizer() = default;
+
+const core::EvaluationEngine* RobustAnalogOptimizer::engine_ptr() const {
+  return s_ ? &s_->service : nullptr;
+}
+
+void RobustAnalogOptimizer::recluster(std::span<const double> x01) {
+  Session& s = *s_;
+  const circuits::SizingSpec& sizing = testbench_->sizing();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
+  const std::size_t k = op_config_.corner_count();
+  const auto x = sizing.denormalize(x01);
+  std::vector<std::vector<double>> signatures(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto hs = op_config_.sample_conditions(*testbench_, x, op_config_.n_opt, s.mc_rng);
+    const auto metrics = s.service.evaluate_batch(x, op_config_.corners[j], hs);
+    s.last_worst.update(j, core::worst_reward_of(spec, metrics));
+    // Signature: mean normalized margins across the sampled conditions.
+    std::vector<double> mean_margins(spec.count(), 0.0);
+    for (const auto& m : metrics) {
+      const auto f = core::margins(spec, m);
+      for (std::size_t i = 0; i < f.size(); ++i) mean_margins[i] += f[i] / metrics.size();
+    }
+    signatures[j] = std::move(mean_margins);
+  }
+  const std::size_t n_clusters = std::min(config_.clusters, k);
+  Rng cluster_rng = s.rng.split(0xC1);  // deterministic given the seed
+  const opt::KMeansResult clusters = opt::kmeans(signatures, n_clusters, cluster_rng);
+  s.dominant.assign(n_clusters, 0);
+  std::vector<double> worst(n_clusters, std::numeric_limits<double>::max());
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t c = clusters.assignment[j];
+    if (s.last_worst.reward(j) < worst[c]) {
+      worst[c] = s.last_worst.reward(j);
+      s.dominant[c] = j;
+    }
+  }
+}
+
+void RobustAnalogOptimizer::do_start() {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  core::EvaluationEngine& service = s.service;
   const circuits::SizingSpec& sizing = testbench_->sizing();
   const circuits::PerformanceSpec& spec = testbench_->performance();
   const std::size_t p = sizing.dimension();
-  const std::size_t k = op_config_.corner_count();
-  Rng rng(config_.seed);
-
-  const auto sample_conditions = [&](std::span<const double> x_phys, std::size_t n,
-                                     Rng& stream) -> std::vector<std::vector<double>> {
-    if (!op_config_.has_mismatch()) return std::vector<std::vector<double>>(n);
-    const auto layout = testbench_->mismatch_layout(x_phys, op_config_.global_mismatch);
-    return pdk::sample_mismatch_set(layout, n, stream, op_config_.sampling_mode());
-  };
-  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
-    double worst = std::numeric_limits<double>::max();
-    for (const auto& m : metrics) worst = std::min(worst, core::reward_from_metrics(spec, m));
-    return worst;
-  };
 
   // --- random initial sampling (no TuRBO: the limitation [9] pointed out).
-  Rng mc_rng = rng.split(0x3C3C);
+  s.mc_rng = s.rng.split(0x3C3C);
   std::vector<double> x_best;
   double best_reward = -std::numeric_limits<double>::max();
   const pdk::PvtCorner typical = pdk::typical_corner();
-  for (std::size_t s = 0; s < config_.random_init_samples; ++s) {
-    const auto x01 = rng.uniform_vector(p, 0.0, 1.0);
+  for (std::size_t i = 0; i < config_.random_init_samples; ++i) {
+    const auto x01 = s.rng.uniform_vector(p, 0.0, 1.0);
     const auto x = sizing.denormalize(x01);
     const double r = core::reward_from_metrics(spec, service.evaluate_one(x, typical, {}));
     if (r > best_reward) {
@@ -56,40 +100,10 @@ core::GlovaResult RobustAnalogOptimizer::run() {
       x_best = x01;
     }
   }
-  result.turbo_evaluations = service.simulation_count();  // init cost (random here)
+  result_.turbo_evaluations = service.simulation_count();  // init cost (random here)
 
   // --- corner signatures of the incumbent -> k-means -> dominant corners.
-  rl::LastWorstBuffer last_worst(k);
-  std::vector<std::size_t> dominant;
-  const auto recluster = [&](std::span<const double> x01) {
-    const auto x = sizing.denormalize(x01);
-    std::vector<std::vector<double>> signatures(k);
-    for (std::size_t j = 0; j < k; ++j) {
-      const auto hs = sample_conditions(x, op_config_.n_opt, mc_rng);
-      const auto metrics = service.evaluate_batch(x, op_config_.corners[j], hs);
-      last_worst.update(j, worst_reward_of(metrics));
-      // Signature: mean normalized margins across the sampled conditions.
-      std::vector<double> mean_margins(spec.count(), 0.0);
-      for (const auto& m : metrics) {
-        const auto f = core::margins(spec, m);
-        for (std::size_t i = 0; i < f.size(); ++i) mean_margins[i] += f[i] / metrics.size();
-      }
-      signatures[j] = std::move(mean_margins);
-    }
-    const std::size_t n_clusters = std::min(config_.clusters, k);
-    Rng cluster_rng = rng.split(0xC1); // deterministic given the seed
-    const opt::KMeansResult clusters = opt::kmeans(signatures, n_clusters, cluster_rng);
-    dominant.assign(n_clusters, 0);
-    std::vector<double> worst(n_clusters, std::numeric_limits<double>::max());
-    for (std::size_t j = 0; j < k; ++j) {
-      const std::size_t c = clusters.assignment[j];
-      if (last_worst.reward(j) < worst[c]) {
-        worst[c] = last_worst.reward(j);
-        dominant[c] = j;
-      }
-    }
-  };
-  if (x_best.empty()) x_best = rng.uniform_vector(p, 0.0, 1.0);
+  if (x_best.empty()) x_best = s.rng.uniform_vector(p, 0.0, 1.0);
   recluster(x_best);
 
   // --- risk-neutral multi-task agent (shared actor/critic over tasks).
@@ -99,68 +113,78 @@ core::GlovaResult RobustAnalogOptimizer::run() {
   agent_cfg.critic.hidden = config_.hidden;
   agent_cfg.hidden = config_.hidden;
   agent_cfg.batch_size = config_.batch_size;
-  rl::RiskSensitiveAgent agent(p, agent_cfg, rng.split(0xA6E7));
-  rl::WorstCaseReplayBuffer buffer;
-  buffer.add(x_best, best_reward);
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
+  s.buffer.add(x_best, best_reward);
 
   core::VerifierOptions vopts;
   vopts.use_mu_sigma = false;
   vopts.use_reordering = false;
-  core::Verifier verifier(service, op_config_, vopts);
+  s.verifier = std::make_unique<core::Verifier>(service, op_config_, vopts);
 
-  std::vector<double> x_last = x_best;
-  result.termination = "iteration-cap";
+  s.x_last = std::move(x_best);
+  result_.termination = "iteration-cap";
+}
 
-  for (std::size_t iter = 1; iter <= config_.max_iterations; ++iter) {
-    std::vector<double> x_new = agent.propose(x_last);
-    const auto x_phys = sizing.denormalize(x_new);
+bool RobustAnalogOptimizer::do_step() {
+  Session& s = *s_;
+  if (s.iter >= config_.max_iterations) return false;
+  const std::size_t iter = ++s.iter;
+  core::EvaluationEngine& service = s.service;
+  const circuits::SizingSpec& sizing = testbench_->sizing();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
 
-    // Simulate only the dominant corner of each cluster.
-    double r_worst = std::numeric_limits<double>::max();
-    for (const std::size_t j : dominant) {
-      const auto hs = sample_conditions(x_phys, op_config_.n_opt, mc_rng);
-      const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[j], hs);
-      const double w = worst_reward_of(metrics);
-      last_worst.update(j, w);
-      r_worst = std::min(r_worst, w);
-    }
+  std::vector<double> x_new = s.agent->propose(s.x_last);
+  const auto x_phys = sizing.denormalize(x_new);
 
-    if (r_worst == kSuccessReward) {
-      const core::VerificationOutcome outcome = verifier.verify(x_phys, last_worst, mc_rng);
-      for (const auto& [j, w] : outcome.corner_worst_rewards) {
-        last_worst.update(j, w);
-        r_worst = std::min(r_worst, w);
-      }
-      if (outcome.passed) {
-        result.success = true;
-        result.rl_iterations = iter;
-        result.x01_final = x_new;
-        result.x_phys_final = x_phys;
-        result.termination = "verified";
-        break;
-      }
-    }
-
-    buffer.add(x_new, r_worst);
-    (void)agent.update(buffer);  // standard DDPG: one update per environment step
-    // RobustAnalog follows the plain DDPG chain: no re-anchoring onto the
-    // best-known design (one of the stability gaps the later works close).
-    x_last = std::move(x_new);
-    if (iter % config_.recluster_interval == 0) {
-      recluster(buffer.best() ? buffer.best()->x01 : x_last);
-    }
-    result.rl_iterations = iter;
+  // Simulate only the dominant corner of each cluster.
+  double r_worst = std::numeric_limits<double>::max();
+  for (const std::size_t j : s.dominant) {
+    const auto hs = op_config_.sample_conditions(*testbench_, x_phys, op_config_.n_opt, s.mc_rng);
+    const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[j], hs);
+    const double w = core::worst_reward_of(spec, metrics);
+    s.last_worst.update(j, w);
+    r_worst = std::min(r_worst, w);
   }
 
-  const core::EngineStats eval_stats = service.stats();
-  result.n_simulations = eval_stats.requested;
-  result.n_simulations_executed = eval_stats.executed;
-  result.n_cache_hits = eval_stats.cache_hits;
-  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  result.modeled_runtime =
-      static_cast<double>(result.n_simulations) * config_.cost.per_simulation +
-      static_cast<double>(result.rl_iterations) * config_.cost.per_rl_iteration;
-  return result;
+  core::IterationTrace trace;
+  trace.iteration = iter;
+  trace.reward_worst = r_worst;
+  const rl::EnsembleCritic::Bound bound = s.agent->critic().bound(x_new);
+  trace.critic_mean = bound.mean;
+  trace.critic_bound = bound.risk_adjusted;
+  trace.mu_sigma_pass = r_worst == kSuccessReward;  // hard gate: no mu-sigma
+
+  if (r_worst == kSuccessReward) {
+    trace.attempted_verification = true;
+    const core::VerificationOutcome outcome = s.verifier->verify(x_phys, s.last_worst, s.mc_rng);
+    for (const auto& [j, w] : outcome.corner_worst_rewards) {
+      s.last_worst.update(j, w);
+      r_worst = std::min(r_worst, w);
+    }
+    if (outcome.passed) {
+      result_.success = true;
+      result_.rl_iterations = iter;
+      result_.x01_final = x_new;
+      result_.x_phys_final = x_phys;
+      result_.termination = "verified";
+      trace.sims_total = service.simulation_count();
+      result_.trace.push_back(trace);
+      return false;
+    }
+  }
+
+  s.buffer.add(x_new, r_worst);
+  (void)s.agent->update(s.buffer);  // standard DDPG: one update per environment step
+  trace.sims_total = service.simulation_count();
+  result_.trace.push_back(trace);
+  // RobustAnalog follows the plain DDPG chain: no re-anchoring onto the
+  // best-known design (one of the stability gaps the later works close).
+  s.x_last = std::move(x_new);
+  if (iter % config_.recluster_interval == 0) {
+    recluster(s.buffer.best() ? s.buffer.best()->x01 : s.x_last);
+  }
+  result_.rl_iterations = iter;
+  return iter < config_.max_iterations;
 }
 
 }  // namespace glova::baselines

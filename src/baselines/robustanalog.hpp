@@ -9,7 +9,13 @@
 //     each cluster, which is what gets simulated each iteration,
 //   - periodic re-clustering (full corner sweeps on the incumbent design),
 //   - risk-neutral critic; verification without mu-sigma or reordering.
+//
+// Like every optimizer here, it is a step-driven core::Optimizer session:
+// one step() = one RL iteration, observable/cancelable from outside.
 #pragma once
+
+#include <memory>
+#include <span>
 
 #include "circuits/testbench.hpp"
 #include "core/optimizer.hpp"
@@ -30,16 +36,29 @@ struct RobustAnalogConfig {
   core::EngineConfig engine;
 };
 
-class RobustAnalogOptimizer {
+class RobustAnalogOptimizer final : public core::Optimizer {
  public:
   RobustAnalogOptimizer(circuits::TestbenchPtr testbench, RobustAnalogConfig config);
+  ~RobustAnalogOptimizer() override;
 
-  [[nodiscard]] core::GlovaResult run();
+  [[nodiscard]] const char* algorithm_name() const override { return "RobustAnalog"; }
+
+ protected:
+  void do_start() override;
+  bool do_step() override;
+  [[nodiscard]] const core::EvaluationEngine* engine_ptr() const override;
+  [[nodiscard]] const core::SimulationCost& cost() const override { return config_.cost; }
 
  private:
+  struct Session;
+
+  /// Corner sweep of the incumbent -> k-means -> dominant corner per cluster.
+  void recluster(std::span<const double> x01);
+
   circuits::TestbenchPtr testbench_;
   RobustAnalogConfig config_;
   core::OperationalConfig op_config_;
+  std::unique_ptr<Session> s_;
 };
 
 }  // namespace glova::baselines

@@ -2,12 +2,20 @@
 
 #include <stdexcept>
 
+#include "common/text.hpp"
+
 #include "circuits/dram_ocsa.hpp"
 #include "circuits/fia.hpp"
 #include "circuits/spice_backend.hpp"
 #include "circuits/strongarm.hpp"
 
 namespace glova::circuits {
+
+namespace {
+
+std::vector<Backend> all_backends() { return {Backend::Behavioral, Backend::Spice}; }
+
+}  // namespace
 
 const char* to_string(Testcase testcase) {
   switch (testcase) {
@@ -18,8 +26,61 @@ const char* to_string(Testcase testcase) {
   return "?";
 }
 
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Behavioral: return "behavioral";
+    case Backend::Spice: return "spice";
+  }
+  return "?";
+}
+
+std::optional<Testcase> testcase_from_string(std::string_view name) {
+  const std::string n = to_lower(name);
+  for (const Testcase tc : all_testcases()) {
+    if (n == to_lower(to_string(tc))) return tc;
+  }
+  if (n == "dram" || n == "ocsa") return Testcase::DramOcsa;
+  return std::nullopt;
+}
+
+std::optional<Backend> backend_from_string(std::string_view name) {
+  const std::string n = to_lower(name);
+  for (const Backend b : all_backends()) {
+    if (n == to_lower(to_string(b))) return b;
+  }
+  return std::nullopt;
+}
+
 std::vector<Testcase> all_testcases() {
   return {Testcase::Sal, Testcase::Fia, Testcase::DramOcsa};
+}
+
+bool is_available(Testcase testcase, Backend backend) {
+  if (backend == Backend::Behavioral) return true;
+  // Only the StrongARM latch has a SPICE-netlist backend so far (ROADMAP:
+  // FIA and DRAM OCSA netlists are an open item).
+  return testcase == Testcase::Sal;
+}
+
+std::vector<Backend> available_backends(Testcase testcase) {
+  std::vector<Backend> out;
+  for (const Backend b : all_backends()) {
+    if (is_available(testcase, b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::string supported_combinations() {
+  std::string out;
+  for (const Testcase tc : all_testcases()) {
+    for (const Backend b : available_backends(tc)) {
+      if (!out.empty()) out += ", ";
+      out += to_string(tc);
+      out += '/';
+      out += to_string(b);
+    }
+  }
+  return out;
 }
 
 TestbenchPtr make_testbench(Testcase testcase, Backend backend) {
@@ -33,7 +94,9 @@ TestbenchPtr make_testbench(Testcase testcase, Backend backend) {
   if (backend == Backend::Spice && testcase == Testcase::Sal) {
     return std::make_shared<StrongArmLatchSpice>();
   }
-  throw std::invalid_argument("make_testbench: no SPICE backend for this testcase yet");
+  throw std::invalid_argument(std::string("make_testbench: no ") + to_string(backend) +
+                              " backend for testcase " + to_string(testcase) +
+                              "; available combinations: " + supported_combinations());
 }
 
 }  // namespace glova::circuits

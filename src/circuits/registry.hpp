@@ -4,9 +4,16 @@
 // thousands of MC samples are routine).  Backend::Spice builds and runs a
 // transistor-level netlist through the in-repo MNA engine — slower, used by
 // tests and examples to validate the behavioral models' trends.
+//
+// The capability queries (available_backends / is_available) are the
+// control-plane side of the factory: core::RunSpec validation and service
+// frontends enumerate runnable (testcase, backend) combinations through them
+// instead of probing make_testbench for exceptions.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuits/testbench.hpp"
@@ -17,12 +24,28 @@ enum class Testcase { Sal, Fia, DramOcsa };
 enum class Backend { Behavioral, Spice };
 
 [[nodiscard]] const char* to_string(Testcase testcase);
+[[nodiscard]] const char* to_string(Backend backend);
+
+/// Inverse of to_string (case-insensitive; Testcase also accepts the
+/// common aliases "dram" and "ocsa").  nullopt for unknown names.
+[[nodiscard]] std::optional<Testcase> testcase_from_string(std::string_view name);
+[[nodiscard]] std::optional<Backend> backend_from_string(std::string_view name);
 
 /// All testcases in paper order (Table II columns).
 [[nodiscard]] std::vector<Testcase> all_testcases();
 
-/// Construct a testbench.  Throws std::invalid_argument for combinations
-/// that are not available.
+/// Backends make_testbench can actually construct for this testcase.
+[[nodiscard]] std::vector<Backend> available_backends(Testcase testcase);
+
+/// True when make_testbench(testcase, backend) will succeed.
+[[nodiscard]] bool is_available(Testcase testcase, Backend backend);
+
+/// Human-readable list of every runnable combination, e.g.
+/// "SAL/behavioral, SAL/spice, FIA/behavioral, OCSA+SH/behavioral".
+[[nodiscard]] std::string supported_combinations();
+
+/// Construct a testbench.  Throws std::invalid_argument (listing the
+/// supported combinations) for combinations that are not available.
 [[nodiscard]] TestbenchPtr make_testbench(Testcase testcase, Backend backend = Backend::Behavioral);
 
 }  // namespace glova::circuits

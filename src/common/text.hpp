@@ -1,0 +1,20 @@
+// Small shared string utilities.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace glova {
+
+/// ASCII lowercase copy (used for case-insensitive name matching in the
+/// registry, config/run-spec parsing, and the SPICE netlist parser).
+[[nodiscard]] inline std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace glova

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include "common/text.hpp"
+
 namespace glova::core {
 
 const char* to_string(VerifMethod method) {
@@ -9,6 +11,14 @@ const char* to_string(VerifMethod method) {
     case VerifMethod::C_MCGL: return "C-MC_G-L";
   }
   return "?";
+}
+
+std::optional<VerifMethod> verif_method_from_string(std::string_view name) {
+  const std::string n = to_lower(name);
+  for (const VerifMethod m : all_verif_methods()) {
+    if (n == to_lower(to_string(m))) return m;
+  }
+  return std::nullopt;
 }
 
 std::vector<VerifMethod> all_verif_methods() {
@@ -24,6 +34,14 @@ pdk::GlobalMode OperationalConfig::sampling_mode() const {
   // verification will see, and the gate passes designs that cannot verify.
   // See DESIGN.md, interpretation choices.
   return global_mismatch ? pdk::GlobalMode::PerSample : pdk::GlobalMode::Zero;
+}
+
+std::vector<std::vector<double>> OperationalConfig::sample_conditions(
+    const circuits::Testbench& testbench, std::span<const double> x_phys, std::size_t n,
+    Rng& rng) const {
+  if (!has_mismatch()) return std::vector<std::vector<double>>(n);
+  const pdk::MismatchLayout layout = testbench.mismatch_layout(x_phys, global_mismatch);
+  return pdk::sample_mismatch_set(layout, n, rng, sampling_mode());
 }
 
 pdk::GlobalMode OperationalConfig::verification_sampling_mode() const {

@@ -9,9 +9,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "circuits/testbench.hpp"
+#include "common/rng.hpp"
 #include "pdk/corner.hpp"
 #include "pdk/variation.hpp"
 
@@ -20,6 +25,9 @@ namespace glova::core {
 enum class VerifMethod { C, C_MCL, C_MCGL };
 
 [[nodiscard]] const char* to_string(VerifMethod method);
+
+/// Inverse of to_string (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<VerifMethod> verif_method_from_string(std::string_view name);
 
 /// All methods in Table I / Table II column order.
 [[nodiscard]] std::vector<VerifMethod> all_verif_methods();
@@ -52,6 +60,13 @@ struct OperationalConfig {
 
   /// True when mismatch conditions exist at all (C has none).
   [[nodiscard]] bool has_mismatch() const { return local_mismatch || global_mismatch; }
+
+  /// N' optimization-phase mismatch conditions for one design (Eq. 3 under
+  /// sampling_mode(); n empty vectors — nominal — when the method has no
+  /// mismatch).  Shared by every optimizer's step.
+  [[nodiscard]] std::vector<std::vector<double>> sample_conditions(
+      const circuits::Testbench& testbench, std::span<const double> x_phys, std::size_t n,
+      Rng& rng) const;
 
   /// Standard configuration for a verification method.
   /// `n_opt_samples` is the paper's optimization-phase sample size (3).

@@ -21,11 +21,30 @@ EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfi
   if (config_.cache_quantum <= 0.0) {
     throw std::invalid_argument("EvaluationEngine: cache_quantum must be positive");
   }
+  if (config_.parallelism > 0) {
+    slots_ = std::make_unique<std::counting_semaphore<>>(
+        static_cast<std::ptrdiff_t>(config_.parallelism));
+  }
   // The warm-start switch is process-wide (the caches are per worker
   // thread); the most recently constructed engine's config wins, which
   // matches the one-engine-per-run usage everywhere in the codebase.
   spice::set_dc_warm_start_enabled(config_.dc_warm_start);
   snapshot_warm_baseline();
+}
+
+std::vector<double> EvaluationEngine::evaluate_with_slot(std::span<const double> x_phys,
+                                                         const pdk::PvtCorner& corner,
+                                                         std::span<const double> h) {
+  if (!slots_) return testbench_->evaluate(x_phys, corner, h);
+  slots_->acquire();
+  try {
+    std::vector<double> metrics = testbench_->evaluate(x_phys, corner, h);
+    slots_->release();
+    return metrics;
+  } catch (...) {
+    slots_->release();
+    throw;
+  }
 }
 
 void EvaluationEngine::snapshot_warm_baseline() {
@@ -129,7 +148,7 @@ std::vector<std::vector<double>> EvaluationEngine::evaluate_batch(
 
   const auto run_one = [&](std::size_t mi) {
     const std::size_t i = miss_indices[mi];
-    results[i] = testbench_->evaluate(x_phys, corner, hs[i]);
+    results[i] = evaluate_with_slot(x_phys, corner, hs[i]);
     // Counted after the run so a throwing evaluation keeps the invariant
     // requested == cache_hits + executed (+ failures, which propagate).
     executed_.fetch_add(1);
@@ -159,7 +178,7 @@ std::vector<double> EvaluationEngine::evaluate_one(std::span<const double> x_phy
       return metrics;
     }
   }
-  metrics = testbench_->evaluate(x_phys, corner, h);
+  metrics = evaluate_with_slot(x_phys, corner, h);
   executed_.fetch_add(1);
   if (caching) cache_insert(std::move(key), metrics);
   return metrics;
@@ -191,7 +210,7 @@ std::future<std::vector<double>> EvaluationEngine::submit(std::span<const double
       [this, state, caching, key = std::move(key), corner, x = std::move(x_copy),
        hh = std::move(h_copy)] {
         try {
-          std::vector<double> m = testbench_->evaluate(x, corner, hh);
+          std::vector<double> m = evaluate_with_slot(x, corner, hh);
           executed_.fetch_add(1);
           if (caching) cache_insert(key, m);
           state->set_value(std::move(m));

@@ -20,7 +20,9 @@
 #include <cstdint>
 #include <future>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <semaphore>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -38,6 +40,8 @@ struct SimulationCost {
   /// matter: Table II reports *normalized* runtime.
   double per_simulation = 1.0;
   double per_rl_iteration = 2.0;
+
+  friend bool operator==(const SimulationCost&, const SimulationCost&) = default;
 };
 
 struct EngineConfig {
@@ -59,6 +63,8 @@ struct EngineConfig {
   /// to the process-wide spice::set_dc_warm_start_enabled switch at engine
   /// construction; behavioral testbenches are unaffected.
   bool dc_warm_start = true;
+
+  friend bool operator==(const EngineConfig&, const EngineConfig&) = default;
 };
 
 /// Counter snapshot.  requested == cache_hits + executed at any quiescent
@@ -101,9 +107,10 @@ class EvaluationEngine {
 
   /// Asynchronous single evaluation: a cache hit resolves immediately, a
   /// miss is queued on the shared thread pool.  Counted like evaluate_one.
-  /// Note: individually submitted evaluations are NOT subject to the
-  /// EngineConfig::parallelism cap — they compete for pool workers like any
-  /// queued task; only evaluate_batch enforces the cap.
+  /// Individually submitted evaluations honor EngineConfig::parallelism:
+  /// every execution path (submit, evaluate_one, evaluate_batch) acquires a
+  /// slot from one shared counting semaphore, so the combined in-flight
+  /// simulation count of this engine never exceeds the cap.
   [[nodiscard]] std::future<std::vector<double>> submit(std::span<const double> x_phys,
                                                         const pdk::PvtCorner& corner,
                                                         std::span<const double> h);
@@ -136,9 +143,18 @@ class EvaluationEngine {
   [[nodiscard]] bool cache_lookup(const CacheKey& key, std::vector<double>& out);
   void cache_insert(CacheKey key, const std::vector<double>& metrics);
   [[nodiscard]] std::size_t effective_parallelism() const;
+  /// Run one evaluation while holding a parallelism slot (no-op when the
+  /// engine is uncapped).  Never held across anything that could block on
+  /// another slot, so slot-holders always make progress.
+  [[nodiscard]] std::vector<double> evaluate_with_slot(std::span<const double> x_phys,
+                                                       const pdk::PvtCorner& corner,
+                                                       std::span<const double> h);
 
   circuits::TestbenchPtr testbench_;
   EngineConfig config_;
+  /// Shared in-flight cap for every execution path; null when
+  /// config_.parallelism == 0 (uncapped: the pool size is the only bound).
+  std::unique_ptr<std::counting_semaphore<>> slots_;
 
   std::atomic<std::uint64_t> requested_{0};
   std::atomic<std::uint64_t> executed_{0};

@@ -1,8 +1,8 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
+#include <utility>
 
 #include "common/log.hpp"
 #include "core/mu_sigma.hpp"
@@ -12,33 +12,47 @@
 
 namespace glova::core {
 
-namespace {
-using Clock = std::chrono::steady_clock;
+struct GlovaOptimizer::Session {
+  EvaluationEngine service;
+  Rng rng;
+  Rng mc_rng{0};
+  rl::WorstCaseReplayBuffer buffer;
+  rl::LastWorstBuffer last_worst;
+  std::unique_ptr<rl::RiskSensitiveAgent> agent;
+  std::unique_ptr<Verifier> verifier;
+  std::vector<double> x_last;
+  std::size_t iter = 0;
 
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-}  // namespace
+  Session(circuits::TestbenchPtr testbench, const GlovaConfig& config, std::size_t corner_count)
+      : service(std::move(testbench), config.engine),
+        rng(config.seed),
+        last_worst(corner_count) {}
+};
 
 GlovaOptimizer::GlovaOptimizer(circuits::TestbenchPtr testbench, GlovaConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
       op_config_(OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
 
-GlovaResult GlovaOptimizer::run() {
-  const auto t0 = Clock::now();
-  GlovaResult result;
-  EvaluationEngine service(testbench_, config_.engine);
+GlovaOptimizer::~GlovaOptimizer() = default;
+
+const EvaluationEngine* GlovaOptimizer::engine_ptr() const {
+  return s_ ? &s_->service : nullptr;
+}
+
+void GlovaOptimizer::do_start() {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  EvaluationEngine& service = s.service;
   const circuits::SizingSpec& sizing = testbench_->sizing();
-  const circuits::PerformanceSpec& spec = testbench_->performance();
   const std::size_t p = sizing.dimension();
-  Rng rng(config_.seed);
 
   // ---------------- Step 0: TuRBO initial sampling (typical condition) ----
   opt::TurboConfig turbo_cfg;
   turbo_cfg.n_init = std::max<std::size_t>(8, p);
-  opt::Turbo turbo(p, turbo_cfg, rng.split(0x7B0));
+  opt::Turbo turbo(p, turbo_cfg, s.rng.split(0x7B0));
   const pdk::PvtCorner typical = pdk::typical_corner();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
   // Always collect at least the warmup set: even when the first sample is
   // already typical-feasible, the replay buffer needs a diverse initial
   // dataset for the critic.
@@ -54,54 +68,39 @@ GlovaResult GlovaOptimizer::run() {
     turbo.tell(points, values);
     if (turbo.best_value() >= kSuccessReward && service.simulation_count() >= turbo_min) break;
   }
-  result.turbo_evaluations = service.simulation_count();
+  result_.turbo_evaluations = service.simulation_count();
   log_info("GLOVA init: TuRBO best reward ", turbo.best_value(), " after ",
-           result.turbo_evaluations, " typical-condition simulations");
+           result_.turbo_evaluations, " typical-condition simulations");
 
   // ---------------- Initial dataset: simulate across all corners ----------
-  rl::WorstCaseReplayBuffer buffer;
-  rl::LastWorstBuffer last_worst(op_config_.corner_count());
-
-  const auto sample_conditions = [&](std::span<const double> x_phys, std::size_t n,
-                                     Rng& stream) -> std::vector<std::vector<double>> {
-    if (!op_config_.has_mismatch()) return std::vector<std::vector<double>>(n);
-    const auto layout = testbench_->mismatch_layout(x_phys, op_config_.global_mismatch);
-    return pdk::sample_mismatch_set(layout, n, stream, op_config_.sampling_mode());
-  };
-  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
-    double worst = std::numeric_limits<double>::max();
-    for (const auto& m : metrics) worst = std::min(worst, reward_from_metrics(spec, m));
-    return worst;
-  };
-
   std::vector<double> x_best = turbo.best_point();
-  if (x_best.empty()) x_best = rng.uniform_vector(p, 0.0, 1.0);
+  if (x_best.empty()) x_best = s.rng.uniform_vector(p, 0.0, 1.0);
   {
     // The best initial design is simulated under every PVT corner; its worst
     // rewards initialize the last-worst-case buffer and the replay buffer.
     const auto x = sizing.denormalize(x_best);
-    Rng stream = rng.split(0x1717);
+    Rng stream = s.rng.split(0x1717);
     double overall_worst = std::numeric_limits<double>::max();
     for (std::size_t j = 0; j < op_config_.corner_count(); ++j) {
-      const auto hs = sample_conditions(x, op_config_.n_opt, stream);
+      const auto hs = op_config_.sample_conditions(*testbench_, x, op_config_.n_opt, stream);
       const auto metrics = service.evaluate_batch(x, op_config_.corners[j], hs);
-      const double w = worst_reward_of(metrics);
-      last_worst.update(j, w);
+      const double w = worst_reward_of(spec, metrics);
+      s.last_worst.update(j, w);
       overall_worst = std::min(overall_worst, w);
     }
-    buffer.add(x_best, overall_worst);
+    s.buffer.add(x_best, overall_worst);
   }
   {
     // A few more TuRBO designs, evaluated at the current worst corner only,
     // densify the initial dataset cheaply.
-    Rng stream = rng.split(0x1718);
-    const std::size_t worst_j = last_worst.worst_corner();
+    Rng stream = s.rng.split(0x1718);
+    const std::size_t worst_j = s.last_worst.worst_corner();
     for (const auto& x01 : turbo.top_points(config_.init_buffer_seeds + 1)) {
       if (x01 == x_best) continue;
       const auto x = sizing.denormalize(x01);
-      const auto hs = sample_conditions(x, op_config_.n_opt, stream);
+      const auto hs = op_config_.sample_conditions(*testbench_, x, op_config_.n_opt, stream);
       const auto metrics = service.evaluate_batch(x, op_config_.corners[worst_j], hs);
-      buffer.add(x01, worst_reward_of(metrics));
+      s.buffer.add(x01, worst_reward_of(spec, metrics));
     }
   }
 
@@ -112,100 +111,98 @@ GlovaResult GlovaOptimizer::run() {
   agent_cfg.critic.hidden = config_.hidden;
   agent_cfg.hidden = config_.hidden;
   agent_cfg.batch_size = config_.batch_size;
-  rl::RiskSensitiveAgent agent(p, agent_cfg, rng.split(0xA6E7));
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
 
   VerifierOptions verif_opts;
   verif_opts.beta2 = config_.beta2;
   verif_opts.use_mu_sigma = config_.use_mu_sigma;
   verif_opts.use_reordering = config_.use_reordering;
-  Verifier verifier(service, op_config_, verif_opts);
+  s.verifier = std::make_unique<Verifier>(service, op_config_, verif_opts);
 
   // Warm up the agent on the initial dataset.
-  for (int i = 0; i < 100; ++i) (void)agent.update(buffer);
+  for (int i = 0; i < 100; ++i) (void)s.agent->update(s.buffer);
 
-  // ---------------- Main loop (Fig. 2 steps 1-6) ---------------------------
-  std::vector<double> x_last = x_best;
-  Rng mc_rng = rng.split(0x3C3C);
-  result.termination = "iteration-cap";
+  s.x_last = std::move(x_best);
+  s.mc_rng = s.rng.split(0x3C3C);
+  result_.termination = "iteration-cap";
+}
 
-  for (std::size_t iter = 1; iter <= config_.max_iterations; ++iter) {
-    // (1) new design from the actor, screened by the ensemble bound (Eq. 6).
-    std::vector<double> x_new = agent.propose_screened(x_last, 8);
-    const auto x_phys = sizing.denormalize(x_new);
+// One iteration of the main loop (Fig. 2 steps 1-6).
+bool GlovaOptimizer::do_step() {
+  Session& s = *s_;
+  if (s.iter >= config_.max_iterations) return false;
+  const std::size_t iter = ++s.iter;
+  EvaluationEngine& service = s.service;
+  const circuits::SizingSpec& sizing = testbench_->sizing();
+  const circuits::PerformanceSpec& spec = testbench_->performance();
 
-    // (2) worst corner + N' mismatch conditions via Eq. (3).
-    const std::size_t worst_j = last_worst.worst_corner();
-    const auto hs = sample_conditions(x_phys, op_config_.n_opt, mc_rng);
+  // (1) new design from the actor, screened by the ensemble bound (Eq. 6).
+  std::vector<double> x_new = s.agent->propose_screened(s.x_last, 8);
+  const auto x_phys = sizing.denormalize(x_new);
 
-    // (3) simulate under the sampled conditions.
-    const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[worst_j], hs);
-    const double r_worst = worst_reward_of(metrics);
-    last_worst.update(worst_j, r_worst);
+  // (2) worst corner + N' mismatch conditions via Eq. (3).
+  const std::size_t worst_j = s.last_worst.worst_corner();
+  const auto hs = op_config_.sample_conditions(*testbench_, x_phys, op_config_.n_opt, s.mc_rng);
 
-    // (4) mu-sigma gate: is full verification worthwhile?
-    const MuSigmaResult ms = mu_sigma_evaluate(spec, metrics, config_.beta2);
-    const bool gate = config_.use_mu_sigma ? ms.pass : (r_worst == kSuccessReward);
+  // (3) simulate under the sampled conditions.
+  const auto metrics = service.evaluate_batch(x_phys, op_config_.corners[worst_j], hs);
+  const double r_worst = worst_reward_of(spec, metrics);
+  s.last_worst.update(worst_j, r_worst);
 
-    IterationTrace trace;
-    trace.iteration = iter;
-    trace.reward_worst = r_worst;
-    const rl::EnsembleCritic::Bound bound = agent.critic().bound(x_new);
-    trace.critic_mean = bound.mean;
-    trace.critic_bound = bound.risk_adjusted;
-    trace.mu_sigma_pass = gate;
+  // (4) mu-sigma gate: is full verification worthwhile?
+  const MuSigmaResult ms = mu_sigma_evaluate(spec, metrics, config_.beta2);
+  const bool gate = config_.use_mu_sigma ? ms.pass : (r_worst == kSuccessReward);
 
-    double r_store = r_worst;
-    if (gate) {
-      // (5) full verification with reordered PVT conditions.
-      trace.attempted_verification = true;
-      CornerPresample reuse;
-      reuse.corner_index = worst_j;
-      reuse.hs = hs;
-      reuse.metrics = metrics;
-      const VerificationOutcome outcome = verifier.verify(x_phys, last_worst, mc_rng, &reuse);
-      for (const auto& [j, w] : outcome.corner_worst_rewards) {
-        last_worst.update(j, w);
-        r_store = std::min(r_store, w);  // verification failures are the most
-                                         // informative worst-case rewards
-      }
-      if (outcome.passed) {
-        result.success = true;
-        result.rl_iterations = iter;
-        result.x01_final = x_new;
-        result.x_phys_final = x_phys;
-        result.termination = "verified";
-        trace.sims_total = service.simulation_count();
-        result.trace.push_back(trace);
-        break;
-      }
+  IterationTrace trace;
+  trace.iteration = iter;
+  trace.reward_worst = r_worst;
+  const rl::EnsembleCritic::Bound bound = s.agent->critic().bound(x_new);
+  trace.critic_mean = bound.mean;
+  trace.critic_bound = bound.risk_adjusted;
+  trace.mu_sigma_pass = gate;
+
+  double r_store = r_worst;
+  if (gate) {
+    // (5) full verification with reordered PVT conditions.
+    trace.attempted_verification = true;
+    CornerPresample reuse;
+    reuse.corner_index = worst_j;
+    reuse.hs = hs;
+    reuse.metrics = metrics;
+    const VerificationOutcome outcome = s.verifier->verify(x_phys, s.last_worst, s.mc_rng, &reuse);
+    for (const auto& [j, w] : outcome.corner_worst_rewards) {
+      s.last_worst.update(j, w);
+      r_store = std::min(r_store, w);  // verification failures are the most
+                                       // informative worst-case rewards
     }
-
-    // (6) store the worst reward; update the agent.  Several gradient
-    // rounds per environment step: network updates cost microseconds next
-    // to a SPICE run, and Algorithm 1 does not couple the two one-to-one.
-    buffer.add(x_new, r_store);
-    for (int e = 0; e < 3; ++e) (void)agent.update(buffer);
-    trace.sims_total = service.simulation_count();
-    result.trace.push_back(trace);
-    x_last = std::move(x_new);
-    // Re-anchor the actor input on the best-known design when the current
-    // chain has drifted into a clearly worse region; the actor chain (paper
-    // step 1) otherwise has no way back after a streak of bad proposals.
-    if (const auto best = buffer.best(); best && r_store < best->reward - 0.05) {
-      x_last = best->x01;
+    if (outcome.passed) {
+      result_.success = true;
+      result_.rl_iterations = iter;
+      result_.x01_final = x_new;
+      result_.x_phys_final = x_phys;
+      result_.termination = "verified";
+      trace.sims_total = service.simulation_count();
+      result_.trace.push_back(trace);
+      return false;
     }
-    result.rl_iterations = iter;
   }
 
-  const EngineStats eval_stats = service.stats();
-  result.n_simulations = eval_stats.requested;
-  result.n_simulations_executed = eval_stats.executed;
-  result.n_cache_hits = eval_stats.cache_hits;
-  result.wall_seconds = seconds_since(t0);
-  result.modeled_runtime =
-      static_cast<double>(result.n_simulations) * config_.cost.per_simulation +
-      static_cast<double>(result.rl_iterations) * config_.cost.per_rl_iteration;
-  return result;
+  // (6) store the worst reward; update the agent.  Several gradient
+  // rounds per environment step: network updates cost microseconds next
+  // to a SPICE run, and Algorithm 1 does not couple the two one-to-one.
+  s.buffer.add(x_new, r_store);
+  for (int e = 0; e < 3; ++e) (void)s.agent->update(s.buffer);
+  trace.sims_total = service.simulation_count();
+  result_.trace.push_back(trace);
+  s.x_last = std::move(x_new);
+  // Re-anchor the actor input on the best-known design when the current
+  // chain has drifted into a clearly worse region; the actor chain (paper
+  // step 1) otherwise has no way back after a streak of bad proposals.
+  if (const auto best = s.buffer.best(); best && r_store < best->reward - 0.05) {
+    s.x_last = best->x01;
+  }
+  result_.rl_iterations = iter;
+  return iter < config_.max_iterations;
 }
 
 }  // namespace glova::core

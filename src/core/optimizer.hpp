@@ -11,15 +11,23 @@
 //      terminates the framework.
 //   6. Otherwise the worst reward is stored in the replay buffer and the
 //      risk-sensitive agent is updated (Algorithm 1).
+//
+// The loop is a step-driven session: each core::Optimizer::step() performs
+// one Fig. 2 iteration (the first also runs step 0 + the initial dataset),
+// so callers can interleave, observe, budget, or cancel without forking the
+// algorithm.  run() remains the thin to-termination loop.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "circuits/testbench.hpp"
 #include "core/config.hpp"
 #include "core/evaluation_engine.hpp"
+#include "core/optimizer_base.hpp"
 #include "core/verifier.hpp"
 #include "rl/agent.hpp"
 
@@ -44,48 +52,29 @@ struct GlovaConfig {
   EngineConfig engine;                ///< evaluation-stack knobs (parallelism, cache)
 };
 
-/// One row of the per-iteration trace (Fig. 3 reproduction).
-struct IterationTrace {
-  std::size_t iteration = 0;
-  double reward_worst = 0.0;        ///< sampled worst-case reward of x_new
-  double critic_mean = 0.0;         ///< E[Q_i(x_new)]
-  double critic_bound = 0.0;        ///< E + beta1 * sigma (Eq. 6)
-  bool mu_sigma_pass = false;       ///< step-4 gate outcome
-  bool attempted_verification = false;
-  std::uint64_t sims_total = 0;     ///< cumulative simulations
-};
-
-struct GlovaResult {
-  bool success = false;
-  std::size_t rl_iterations = 0;
-  /// Requested simulations — the paper's "# Simulation" column.  Cache hits
-  /// count: the optimizer asked for them whether or not they had to run.
-  std::uint64_t n_simulations = 0;
-  /// Simulations the engine actually ran (n_simulations - n_cache_hits).
-  std::uint64_t n_simulations_executed = 0;
-  std::uint64_t n_cache_hits = 0;
-  double wall_seconds = 0.0;
-  double modeled_runtime = 0.0;     ///< sims * t_sim + iterations * t_iter
-  std::uint64_t turbo_evaluations = 0;
-  std::vector<double> x01_final;    ///< verified design (normalized), if any
-  std::vector<double> x_phys_final; ///< verified design (physical units)
-  std::vector<IterationTrace> trace;
-  std::string termination;          ///< "verified" / "iteration-cap" / ...
-};
-
-class GlovaOptimizer {
+class GlovaOptimizer final : public Optimizer {
  public:
   GlovaOptimizer(circuits::TestbenchPtr testbench, GlovaConfig config);
-
-  /// Run the full workflow to termination.
-  [[nodiscard]] GlovaResult run();
+  ~GlovaOptimizer() override;
 
   [[nodiscard]] const OperationalConfig& operational_config() const { return op_config_; }
+  [[nodiscard]] const char* algorithm_name() const override { return "GLOVA"; }
+
+ protected:
+  void do_start() override;
+  bool do_step() override;
+  [[nodiscard]] const EvaluationEngine* engine_ptr() const override;
+  [[nodiscard]] const SimulationCost& cost() const override { return config_.cost; }
 
  private:
+  /// Per-run state hoisted from the legacy run() stack (engine, RNG streams,
+  /// TuRBO-seeded buffers, agent, verifier); created lazily on first step.
+  struct Session;
+
   circuits::TestbenchPtr testbench_;
   GlovaConfig config_;
   OperationalConfig op_config_;
+  std::unique_ptr<Session> s_;
 };
 
 }  // namespace glova::core

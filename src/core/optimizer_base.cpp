@@ -1,0 +1,161 @@
+#include "core/optimizer_base.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace glova::core {
+
+const char* RunBudget::exceeded_by(std::uint64_t simulations, std::size_t iterations,
+                                   double wall_seconds) const {
+  if (max_simulations != 0 && simulations >= max_simulations) return "simulation-budget";
+  if (max_iterations != 0 && iterations >= max_iterations) return "iteration-budget";
+  if (max_wall_seconds > 0.0 && wall_seconds >= max_wall_seconds) return "wall-clock-budget";
+  return nullptr;
+}
+
+double Optimizer::elapsed_seconds() const {
+  if (!started_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+bool Optimizer::step() {
+  if (finished_) return false;
+  if (cancel_requested_) {  // cancelled between steps, before this call
+    result_.termination = cancel_reason_;
+    finish();
+    return false;
+  }
+  // RAII so an exception escaping do_start()/do_step() (e.g. a failing
+  // testbench evaluation) still clears the flag: a subsequent cancel() can
+  // then finalize the session instead of deferring forever.
+  struct StepScope {
+    bool& flag;
+    explicit StepScope(bool& f) : flag(f) { flag = true; }
+    ~StepScope() { flag = false; }
+  } scope(in_step_);
+  if (!started_) {
+    t0_ = std::chrono::steady_clock::now();
+    do_start();
+    // Marked only after do_start() succeeds: if initialization throws, a
+    // retrying step() must run it again from scratch (do_start builds a
+    // fresh Session) instead of stepping a half-built one.
+    started_ = true;
+    for (const auto& obs : observers_) obs->on_start(*this);
+  }
+  const bool more = do_step();
+  if (!observers_.empty() && !result_.trace.empty()) {
+    const EvaluationEngine* eng = engine_ptr();
+    const EngineStats stats = eng ? eng->stats() : EngineStats{};
+    for (const auto& obs : observers_) obs->on_iteration(*this, result_.trace.back(), stats);
+  }
+  if (more && !cancel_requested_) {
+    const EvaluationEngine* eng = engine_ptr();
+    const std::uint64_t sims = eng ? eng->simulation_count() : 0;
+    if (const char* reason =
+            budget_.exceeded_by(sims, result_.rl_iterations, elapsed_seconds())) {
+      cancel(reason);
+    }
+  }
+  if (!more) {
+    finish();  // natural termination: the algorithm set its own reason
+  } else if (cancel_requested_) {
+    result_.termination = cancel_reason_;
+    finish();
+  }
+  return true;
+}
+
+void Optimizer::cancel(std::string reason) {
+  if (finished_) return;
+  cancel_requested_ = true;
+  cancel_reason_ = reason.empty() ? "cancelled" : std::move(reason);
+  if (!in_step_) {
+    result_.termination = cancel_reason_;
+    finish();
+  }
+}
+
+void Optimizer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (const EvaluationEngine* eng = engine_ptr()) {
+    const EngineStats stats = eng->stats();
+    result_.engine_stats = stats;
+    result_.n_simulations = stats.requested;
+    result_.n_simulations_executed = stats.executed;
+    result_.n_cache_hits = stats.cache_hits;
+  }
+  result_.wall_seconds = elapsed_seconds();
+  result_.modeled_runtime =
+      static_cast<double>(result_.n_simulations) * cost().per_simulation +
+      static_cast<double>(result_.rl_iterations) * cost().per_rl_iteration;
+  do_finalize(result_);
+  for (const auto& obs : observers_) obs->on_finish(*this, result_);
+}
+
+const GlovaResult& Optimizer::result() const {
+  if (!finished_) {
+    throw std::logic_error(
+        "Optimizer::result(): session still running; drive step() until done() or cancel()");
+  }
+  return result_;
+}
+
+GlovaResult Optimizer::run() {
+  while (!finished_) step();
+  return result_;
+}
+
+void Optimizer::add_observer(std::shared_ptr<RunObserver> observer) {
+  if (observer) observers_.push_back(std::move(observer));
+}
+
+// ---------------------------------------------------------------------------
+
+ProgressLogObserver::ProgressLogObserver(std::size_t every)
+    : every_(every == 0 ? 1 : every) {}
+
+void ProgressLogObserver::on_start(Optimizer& session) {
+  log_info(session.algorithm_name(), ": session started");
+}
+
+void ProgressLogObserver::on_iteration(Optimizer& session, const IterationTrace& trace,
+                                       const EngineStats& stats) {
+  if (trace.iteration % every_ != 0) return;
+  log_info(session.algorithm_name(), ": iter ", trace.iteration, " reward_worst ",
+           trace.reward_worst, " sims ", stats.requested, " (", stats.cache_hits,
+           " cache hits)");
+}
+
+void ProgressLogObserver::on_finish(Optimizer& session, const GlovaResult& result) {
+  log_info(session.algorithm_name(), ": finished (", result.termination, ") after ",
+           result.rl_iterations, " iterations, ", result.n_simulations, " simulations");
+}
+
+void BudgetObserver::on_iteration(Optimizer& session, const IterationTrace& trace,
+                                  const EngineStats& stats) {
+  (void)trace;
+  if (const char* reason = budget_.exceeded_by(stats.requested, session.iterations_completed(),
+                                               session.elapsed_seconds())) {
+    session.cancel(reason);
+  }
+}
+
+EarlyStopObserver::EarlyStopObserver(std::size_t patience, double min_improvement)
+    : patience_(patience == 0 ? 1 : patience), min_improvement_(min_improvement) {}
+
+void EarlyStopObserver::on_iteration(Optimizer& session, const IterationTrace& trace,
+                                     const EngineStats& stats) {
+  (void)stats;
+  if (!has_best_ || trace.reward_worst > best_ + min_improvement_) {
+    has_best_ = true;
+    best_ = trace.reward_worst;
+    stalled_ = 0;
+    return;
+  }
+  if (++stalled_ >= patience_) session.cancel("early-stop");
+}
+
+}  // namespace glova::core

@@ -1,6 +1,7 @@
 #include "core/reward.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace glova::core {
@@ -28,6 +29,13 @@ double reward_from_metrics(const circuits::PerformanceSpec& spec,
 
 bool all_constraints_met(const circuits::PerformanceSpec& spec, std::span<const double> metrics) {
   return reward_from_metrics(spec, metrics) == kSuccessReward;
+}
+
+double worst_reward_of(const circuits::PerformanceSpec& spec,
+                       const std::vector<std::vector<double>>& metrics) {
+  double worst = std::numeric_limits<double>::max();
+  for (const auto& m : metrics) worst = std::min(worst, reward_from_metrics(spec, m));
+  return worst;
 }
 
 }  // namespace glova::core

@@ -30,4 +30,9 @@ inline constexpr double kSuccessReward = 0.2;
 [[nodiscard]] bool all_constraints_met(const circuits::PerformanceSpec& spec,
                                        std::span<const double> metrics);
 
+/// Worst (minimum) Eq. (4)/(5) reward across a set of simulated conditions —
+/// the r_worst every optimizer and the verifier fold batches with.
+[[nodiscard]] double worst_reward_of(const circuits::PerformanceSpec& spec,
+                                     const std::vector<std::vector<double>>& metrics);
+
 }  // namespace glova::core

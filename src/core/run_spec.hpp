@@ -1,0 +1,81 @@
+// Declarative run description: everything needed to launch one optimization
+// session, in one validatable, serializable value.
+//
+//   core::RunSpec spec;
+//   spec.testcase = circuits::Testcase::Sal;
+//   spec.algorithm = core::Algorithm::Glova;
+//   spec.method = core::VerifMethod::C_MCL;
+//   spec.budget.max_simulations = 10'000;
+//   auto opt = core::make_optimizer(spec);      // validated + budgeted
+//   while (!opt->done()) opt->step();
+//
+// RunSpec is the control-plane contract: frontends enumerate runnable
+// scenarios via circuits::available_backends, validate() rejects impossible
+// combinations with a message listing the supported ones, and the
+// to_string()/from_string() round-trip gives queue/CLI/log representations
+// one canonical "key=value ..." form.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuits/registry.hpp"
+#include "core/config.hpp"
+#include "core/evaluation_engine.hpp"
+#include "core/optimizer_base.hpp"
+
+namespace glova::core {
+
+enum class Algorithm { Glova, PvtSizing, RobustAnalog };
+
+[[nodiscard]] const char* to_string(Algorithm algorithm);
+[[nodiscard]] std::optional<Algorithm> algorithm_from_string(std::string_view name);
+
+/// All algorithms in Table II row order.
+[[nodiscard]] std::vector<Algorithm> all_algorithms();
+
+struct RunSpec {
+  circuits::Testcase testcase = circuits::Testcase::Sal;
+  circuits::Backend backend = circuits::Backend::Behavioral;
+  Algorithm algorithm = Algorithm::Glova;
+  VerifMethod method = VerifMethod::C;
+  std::uint64_t seed = 1;
+  std::size_t max_iterations = 3000;  ///< the algorithm's own success-rate cap
+  std::size_t n_opt_samples = 3;      ///< N' (paper: parallel sample size 3)
+  /// GLOVA ablation switches (Table III); ignored by the baselines, which
+  /// are inherently "without" all three.
+  bool use_ensemble_critic = true;
+  bool use_mu_sigma = true;
+  bool use_reordering = true;
+  RunBudget budget;      ///< cross-algorithm simulation/iteration/wall limits
+  SimulationCost cost;   ///< modeled-runtime accounting
+  EngineConfig engine;   ///< evaluation-stack knobs (parallelism, cache, ...)
+  bool progress_log = false;  ///< attach a ProgressLogObserver
+
+  /// Throws std::invalid_argument (with the reason and, for backend
+  /// mismatches, the list of supported combinations) when the spec cannot
+  /// be run.
+  void validate() const;
+
+  /// Canonical one-line "key=value key=value ..." form; from_string() parses
+  /// it back losslessly (doubles round-trip via max_digits10).
+  [[nodiscard]] std::string to_string() const;
+  static RunSpec from_string(std::string_view text);  ///< throws on bad input
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
+};
+
+/// Build a ready-to-step session for the spec: validates, constructs the
+/// testbench through the registry, wires the algorithm's config, applies the
+/// budget, and attaches the requested built-in observers.
+[[nodiscard]] std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec);
+
+/// Same, but on a caller-supplied testbench (custom circuits); the spec's
+/// testcase/backend fields are ignored (the registry is not consulted), all
+/// remaining fields are validated as usual.
+[[nodiscard]] std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec,
+                                                        circuits::TestbenchPtr testbench);
+
+}  // namespace glova::core

@@ -34,12 +34,6 @@ VerificationOutcome Verifier::verify(std::span<const double> x_phys,
     return pdk::sample_mismatch_set(layout, n, rng, config_.verification_sampling_mode());
   };
 
-  const auto worst_reward_of = [&](const std::vector<std::vector<double>>& metrics) {
-    double worst = std::numeric_limits<double>::max();
-    for (const auto& m : metrics) worst = std::min(worst, reward_from_metrics(spec, m));
-    return worst;
-  };
-
   // ---------- Phase 1: mu-sigma gate over N' pre-samples per corner ----------
   std::vector<std::size_t> phase1_order;
   if (options_.use_reordering) {
@@ -68,13 +62,14 @@ VerificationOutcome Verifier::verify(std::span<const double> x_phys,
       hs = sample_conditions(n_pre);
       metrics = service_.evaluate_batch(x_phys, config_.corners[j], hs);
     }
-    out.corner_worst_rewards.emplace_back(j, worst_reward_of(metrics));
+    const double corner_worst = worst_reward_of(spec, metrics);
+    out.corner_worst_rewards.emplace_back(j, corner_worst);
 
     const MuSigmaResult ms = mu_sigma_evaluate(spec, metrics, options_.beta2);
     // An actually-failing pre-sample fails verification regardless of the
     // statistical gate; the gate additionally rejects distributions whose
     // mu + beta2*sigma tail crosses a constraint.
-    const bool any_hard_failure = worst_reward_of(metrics) != kSuccessReward;
+    const bool any_hard_failure = corner_worst != kSuccessReward;
     if (any_hard_failure || (options_.use_mu_sigma && !ms.pass)) {
       out.failed_in_phase1 = true;
       return finish(false);
@@ -124,7 +119,7 @@ VerificationOutcome Verifier::verify(std::span<const double> x_phys,
       const std::vector<std::vector<double>> chunk(hs.begin() + static_cast<std::ptrdiff_t>(begin),
                                                    hs.begin() + static_cast<std::ptrdiff_t>(end));
       const auto metrics = service_.evaluate_batch(x_phys, config_.corners[j], chunk);
-      const double w = worst_reward_of(metrics);
+      const double w = worst_reward_of(spec, metrics);
       corner_worst = std::min(corner_worst, w);
       if (w != kSuccessReward) {
         out.corner_worst_rewards.emplace_back(j, corner_worst);

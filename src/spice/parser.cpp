@@ -1,19 +1,15 @@
 #include "spice/parser.hpp"
 
-#include <algorithm>
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "common/text.hpp"
+
 namespace glova::spice {
 
 namespace {
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
 
 /// Split a line into tokens; '(' ')' ',' and '=' become separators so
 /// "PULSE(0 0.9 0 10p)" and "W=1u" tokenize cleanly, but we keep '='
@@ -46,7 +42,7 @@ std::vector<std::string> tokenize(const std::string& line) {
 }  // namespace
 
 double parse_spice_number(const std::string& token) {
-  const std::string t = lower(token);
+  const std::string t = to_lower(token);
   std::size_t pos = 0;
   double value = 0.0;
   try {
@@ -105,13 +101,13 @@ ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corne
 
     std::vector<std::string> tokens = tokenize(line);
     if (tokens.empty()) continue;
-    const std::string head = lower(tokens.front());
+    const std::string head = to_lower(tokens.front());
 
     // Gather key=value parameters from the tail of the token list.
     const auto find_param = [&](const std::string& key) -> std::optional<double> {
-      const std::string k = lower(key);
+      const std::string k = to_lower(key);
       for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
-        if (lower(tokens[i]) == k && tokens[i + 1] == "=") {
+        if (to_lower(tokens[i]) == k && tokens[i + 1] == "=") {
           return parse_spice_number(tokens[i + 2]);
         }
       }
@@ -128,7 +124,7 @@ ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corne
             TransientSpec spec;
             spec.dt = parse_spice_number(tokens[1]);
             spec.t_stop = parse_spice_number(tokens[2]);
-            if (tokens.size() > 3 && lower(tokens[3]) == "uic") spec.use_ic = true;
+            if (tokens.size() > 3 && to_lower(tokens[3]) == "uic") spec.use_ic = true;
             if (out.tran) {
               spec.initial_conditions = out.tran->initial_conditions;
               if (out.tran->use_ic) spec.use_ic = true;
@@ -138,7 +134,7 @@ ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corne
             // .ic V(node)=value ... — after tokenization: "v" "node" "=" "value"
             TransientSpec spec = out.tran.value_or(TransientSpec{});
             for (std::size_t i = 0; i + 3 < tokens.size() + 1;) {
-              if (i + 3 < tokens.size() && lower(tokens[i]) == "v" && tokens[i + 2] == "=") {
+              if (i + 3 < tokens.size() && to_lower(tokens[i]) == "v" && tokens[i + 2] == "=") {
                 spec.initial_conditions[tokens[i + 1]] = parse_spice_number(tokens[i + 3]);
                 i += 4;
               } else {
@@ -171,7 +167,7 @@ ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corne
         case 'i': {
           if (tokens.size() < 4) fail(line_no, "source needs 2 nodes and a value");
           Waveform w = Waveform::dc(0.0);
-          const std::string kind = tokens.size() > 3 ? lower(tokens[3]) : "";
+          const std::string kind = tokens.size() > 3 ? to_lower(tokens[3]) : "";
           if (kind == "pulse") {
             if (tokens.size() < 10) fail(line_no, "PULSE needs 7 values");
             w = Waveform::pulse(parse_spice_number(tokens[4]), parse_spice_number(tokens[5]),
@@ -225,7 +221,7 @@ ParsedNetlist parse_netlist(const std::string& text, const pdk::PvtCorner& corne
           std::string model;
           std::size_t node_count = 0;
           for (std::size_t i = 1; i < tokens.size(); ++i) {
-            const std::string t = lower(tokens[i]);
+            const std::string t = to_lower(tokens[i]);
             if (t == "nmos" || t == "pmos") {
               model = t;
               node_count = i - 1;

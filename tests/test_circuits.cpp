@@ -215,6 +215,52 @@ TEST(Registry, FactoriesAndNames) {
   EXPECT_THROW((void)make_testbench(Testcase::Fia, Backend::Spice), std::invalid_argument);
 }
 
+TEST(Registry, CapabilityQueries) {
+  // Every testcase runs behaviorally; only the SAL has a SPICE netlist.
+  for (const auto tc : all_testcases()) {
+    EXPECT_TRUE(is_available(tc, Backend::Behavioral));
+    const auto backends = available_backends(tc);
+    ASSERT_FALSE(backends.empty());
+    EXPECT_EQ(backends.front(), Backend::Behavioral);
+  }
+  EXPECT_TRUE(is_available(Testcase::Sal, Backend::Spice));
+  EXPECT_FALSE(is_available(Testcase::Fia, Backend::Spice));
+  EXPECT_FALSE(is_available(Testcase::DramOcsa, Backend::Spice));
+  EXPECT_EQ(available_backends(Testcase::Sal).size(), 2u);
+
+  // The capability list and the factory agree: whatever is_available
+  // promises, make_testbench delivers.
+  for (const auto tc : all_testcases()) {
+    for (const Backend b : available_backends(tc)) {
+      EXPECT_NE(make_testbench(tc, b), nullptr);
+    }
+  }
+}
+
+TEST(Registry, UnavailableCombinationErrorListsSupportedOnes) {
+  try {
+    (void)make_testbench(Testcase::DramOcsa, Backend::Spice);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OCSA+SH"), std::string::npos) << what;
+    EXPECT_NE(what.find("SAL/spice"), std::string::npos) << what;
+    EXPECT_NE(what.find("FIA/behavioral"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, NameRoundTrips) {
+  for (const auto tc : all_testcases()) {
+    EXPECT_EQ(testcase_from_string(to_string(tc)), tc);
+  }
+  EXPECT_EQ(testcase_from_string("sal"), Testcase::Sal);
+  EXPECT_EQ(testcase_from_string("dram"), Testcase::DramOcsa);
+  EXPECT_EQ(testcase_from_string("bogus"), std::nullopt);
+  EXPECT_EQ(backend_from_string("SPICE"), Backend::Spice);
+  EXPECT_EQ(backend_from_string("behavioral"), Backend::Behavioral);
+  EXPECT_EQ(backend_from_string("verilog"), std::nullopt);
+}
+
 /// The load-bearing calibration property: a known-good design per circuit
 /// passes heavy verification under every regime, so every Table II cell has
 /// a solution.  (Found by offline search; see DESIGN.md.)

@@ -203,6 +203,47 @@ TEST(EvaluationEngine, ParallelismSettingCapsFanOut) {
   EXPECT_LE(probe->max_in_flight(), 2);
 }
 
+TEST(EvaluationEngine, SubmitHonorsTheParallelismCap) {
+  // Individually submitted evaluations used to bypass EngineConfig::
+  // parallelism entirely (documented gap); they now draw from the same
+  // counting semaphore as evaluate_batch.
+  const auto probe = std::make_shared<ConcurrencyProbeBench>();
+  EngineConfig cfg;
+  cfg.parallelism = 2;
+  EvaluationEngine engine(probe, cfg);
+
+  const std::vector<double> x = {0.5};
+  std::vector<std::future<std::vector<double>>> futures;
+  std::vector<std::vector<double>> hs;
+  for (int i = 0; i < 24; ++i) hs.push_back({static_cast<double>(i)});
+  for (const auto& h : hs) futures.push_back(engine.submit(x, pdk::typical_corner(), h));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get()[0], hs[i][0]);
+  }
+  EXPECT_LE(probe->max_in_flight(), 2);
+  EXPECT_EQ(engine.stats().executed, 24u);
+}
+
+TEST(EvaluationEngine, MixedSubmitAndBatchShareOneCap) {
+  const auto probe = std::make_shared<ConcurrencyProbeBench>();
+  EngineConfig cfg;
+  cfg.parallelism = 3;
+  cfg.min_parallel_batch = 2;
+  EvaluationEngine engine(probe, cfg);
+
+  const std::vector<double> x = {0.5};
+  std::vector<std::future<std::vector<double>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    const std::vector<double> h = {100.0 + i};
+    futures.push_back(engine.submit(x, pdk::typical_corner(), h));
+  }
+  std::vector<std::vector<double>> hs;
+  for (int i = 0; i < 12; ++i) hs.push_back({static_cast<double>(i)});
+  (void)engine.evaluate_batch(x, pdk::typical_corner(), hs);
+  for (auto& f : futures) (void)f.get();
+  EXPECT_LE(probe->max_in_flight(), 3);
+}
+
 TEST(EvaluationEngine, SequentialParallelismNeverUsesThePool) {
   const auto probe = std::make_shared<ConcurrencyProbeBench>();
   EvaluationEngine engine(probe, /*parallelism=*/1);
