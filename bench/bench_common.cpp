@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
 #include "common/log.hpp"
+#include "core/campaign.hpp"
 
 namespace glova::bench {
 
@@ -22,6 +25,14 @@ BenchOptions options_from_env() {
   if (const char* s = std::getenv("GLOVA_BENCH_MAXIT")) {
     opt.max_iterations = std::strtoul(s, nullptr, 10);
   }
+  if (const char* s = std::getenv("GLOVA_BENCH_BACKEND")) {
+    const auto backend = circuits::backend_from_string(s);
+    if (!backend) {
+      fprintf(stderr, "GLOVA_BENCH_BACKEND: unknown backend '%s' (behavioral, spice)\n", s);
+      exit(2);
+    }
+    opt.backend = *backend;
+  }
   if (opt.seeds == 0) opt.seeds = 1;
   return opt;
 }
@@ -29,7 +40,40 @@ BenchOptions options_from_env() {
 CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod verif,
                    const BenchOptions& options) {
   set_log_level(LogLevel::Warn);
-  const auto testbench = circuits::make_testbench(testcase);
+
+  // One cell = one campaign: the sweep expands the seeds, core::Campaign
+  // schedules the sessions over the shared evaluation stack (sharing one
+  // testbench per (testcase, backend), exactly as this harness did by hand
+  // before) and aggregates per-spec results into one table.
+  core::SweepSpec sweep;
+  sweep.base.testcase = testcase;
+  sweep.base.backend = options.backend;
+  sweep.base.algorithm = method;
+  sweep.base.method = verif;
+  sweep.base.max_iterations = options.max_iterations;
+  sweep.base.use_ensemble_critic = options.use_ensemble_critic;
+  sweep.base.use_mu_sigma = options.use_mu_sigma;
+  sweep.base.use_reordering = options.use_reordering;
+  sweep.seeds.reserve(options.seeds);
+  for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) sweep.seeds.push_back(seed);
+
+  // Run the seeds back-to-back (one session finishes before the next
+  // starts): interleaving buys nothing on a single cell, and sequential
+  // scheduling keeps each run's wall_seconds measuring only itself, exactly
+  // as the old hand-rolled loop did.
+  core::CampaignConfig config;
+  config.steps_per_turn = std::numeric_limits<std::size_t>::max();
+  core::Campaign campaign(sweep, config);
+  const core::CampaignResult& table = campaign.run();
+  for (const core::CampaignEntry& entry : table.entries) {
+    // An infrastructure crash must fail the bench loudly (as the old loop's
+    // escaping exception did), not masquerade as a lower success rate.
+    if (entry.state == core::SessionState::Failed) {
+      throw std::runtime_error("run_cell: session '" + entry.spec.to_string() +
+                               "' failed: " + entry.error);
+    }
+  }
+
   CellStats stats;
   stats.runs = options.seeds;
   std::size_t successes = 0;
@@ -37,27 +81,14 @@ CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod
   double sum_sims = 0.0;
   double sum_runtime = 0.0;
   double sum_wall = 0.0;
-
-  core::RunSpec spec;
-  spec.testcase = testcase;
-  spec.algorithm = method;
-  spec.method = verif;
-  spec.max_iterations = options.max_iterations;
-  spec.use_ensemble_critic = options.use_ensemble_critic;
-  spec.use_mu_sigma = options.use_mu_sigma;
-  spec.use_reordering = options.use_reordering;
-
-  for (std::size_t seed = 1; seed <= options.seeds; ++seed) {
-    spec.seed = seed;
-    const core::GlovaResult res = core::make_optimizer(spec, testbench)->run();
-    if (res.success) {
-      ++successes;
-      // Paper footnote: cells with < 100 % success average successful runs.
-      sum_it += static_cast<double>(res.rl_iterations);
-      sum_sims += static_cast<double>(res.n_simulations);
-      sum_runtime += res.modeled_runtime;
-      sum_wall += res.wall_seconds;
-    }
+  for (const core::CampaignEntry& entry : table.entries) {
+    if (entry.state != core::SessionState::Finished || !entry.result.success) continue;
+    ++successes;
+    // Paper footnote: cells with < 100 % success average successful runs.
+    sum_it += static_cast<double>(entry.result.rl_iterations);
+    sum_sims += static_cast<double>(entry.result.n_simulations);
+    sum_runtime += entry.result.modeled_runtime;
+    sum_wall += entry.result.wall_seconds;
   }
   if (successes > 0) {
     stats.mean_iterations = sum_it / static_cast<double>(successes);
@@ -75,8 +106,9 @@ void print_table2_block(circuits::Testcase testcase,
   const auto verifs = core::all_verif_methods();
   const Method methods[] = {Method::Glova, Method::PvtSizing, Method::RobustAnalog};
 
-  printf("Table II block — %s (%zu seeds, iteration cap %zu)\n",
-         circuits::to_string(testcase), options.seeds, options.max_iterations);
+  printf("Table II block — %s on the %s backend (%zu seeds, iteration cap %zu)\n",
+         circuits::to_string(testcase), circuits::to_string(options.backend), options.seeds,
+         options.max_iterations);
   printf("%-14s | %-24s | %-24s | %-24s\n", "", "C", "C-MC_L", "C-MC_G-L");
   printf("%-14s | %-11s %-12s | %-11s %-12s | %-11s %-12s\n", "method", "paper", "ours", "paper",
          "ours", "paper", "ours");

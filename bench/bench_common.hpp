@@ -1,10 +1,13 @@
 // Shared harness for the table/figure reproduction binaries.
 //
 // Each bench prints the paper row ("paper") next to the measured row
-// ("ours") so the shape comparison is immediate.  Seeds and iteration caps
-// are env-tunable:
+// ("ours") so the shape comparison is immediate.  Seeds, iteration caps and
+// the evaluator backend are env-tunable (see docs/reproduce_table2.md):
 //   GLOVA_BENCH_SEEDS   (default 5)   independent runs per cell
 //   GLOVA_BENCH_MAXIT   (default 3000) RL-iteration cap (success-rate cap)
+//   GLOVA_BENCH_BACKEND (default behavioral) evaluator backend; "spice"
+//                       runs the MNA engine (SAL only until the FIA/DRAM
+//                       netlists land — see circuits::available_backends)
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,9 @@ struct CellStats {
 struct BenchOptions {
   std::size_t seeds = 3;
   std::size_t max_iterations = 3000;
+  /// Evaluator backend for every cell (GLOVA_BENCH_BACKEND).  Spice is
+  /// SAL-only for now; run_cell throws for unavailable combinations.
+  circuits::Backend backend = circuits::Backend::Behavioral;
   /// Ablation switches (Table III); default = full GLOVA.
   bool use_ensemble_critic = true;
   bool use_mu_sigma = true;
@@ -42,7 +48,9 @@ struct BenchOptions {
 
 [[nodiscard]] BenchOptions options_from_env();
 
-/// Run one cell: `seeds` runs of `method` on `testcase` under `verif`.
+/// Run one cell: `seeds` runs of `method` on `testcase` under `verif`,
+/// scheduled as one core::Campaign (seed sweep over the shared evaluation
+/// stack; see docs/reproduce_table2.md).
 [[nodiscard]] CellStats run_cell(Method method, circuits::Testcase testcase,
                                  core::VerifMethod verif, const BenchOptions& options);
 

@@ -96,7 +96,8 @@ TestbenchPtr make_testbench(Testcase testcase, Backend backend) {
   }
   throw std::invalid_argument(std::string("make_testbench: no ") + to_string(backend) +
                               " backend for testcase " + to_string(testcase) +
-                              "; available combinations: " + supported_combinations());
+                              "; available combinations: " + supported_combinations() +
+                              " (see docs/run_spec.md for the testcase/backend matrix)");
 }
 
 }  // namespace glova::circuits

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -15,6 +17,16 @@ namespace glova {
   std::transform(out.begin(), out.end(), out.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   return out;
+}
+
+/// Shortest text form that parses back to exactly the same double
+/// (max_digits10).  The one formatter behind every lossless text round-trip
+/// (RunSpec::to_string, campaign checkpoints) — the formats stay mutually
+/// consistent because they share it.
+[[nodiscard]] inline std::string format_double_roundtrip(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10, v);
+  return buf;
 }
 
 }  // namespace glova

@@ -1,0 +1,569 @@
+#include "core/campaign.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/text.hpp"
+
+namespace glova::core {
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+
+std::vector<RunSpec> SweepSpec::expand() const {
+  const auto tcs = testcases.empty() ? std::vector<circuits::Testcase>{base.testcase} : testcases;
+  const auto algos = algorithms.empty() ? std::vector<Algorithm>{base.algorithm} : algorithms;
+  const auto verifs = methods.empty() ? std::vector<VerifMethod>{base.method} : methods;
+  const auto sds = seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+
+  std::vector<RunSpec> out;
+  out.reserve(tcs.size() * algos.size() * verifs.size() * sds.size());
+  for (const auto tc : tcs) {
+    for (const auto algo : algos) {
+      for (const auto verif : verifs) {
+        for (const auto seed : sds) {
+          RunSpec spec = base;
+          spec.testcase = tc;
+          spec.algorithm = algo;
+          spec.method = verif;
+          spec.seed = seed;
+          out.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Result table
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Pending: return "pending";
+    case SessionState::Running: return "running";
+    case SessionState::Finished: return "finished";
+    case SessionState::Failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<SessionState> session_state_from_string(std::string_view name) {
+  for (const SessionState s : {SessionState::Pending, SessionState::Running,
+                               SessionState::Finished, SessionState::Failed}) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const CampaignEntry* CampaignResult::find(const RunSpec& spec) const {
+  for (const CampaignEntry& entry : entries) {
+    if (entry.spec == spec) return &entry;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign internals
+
+/// One scheduled session: the spec, the live optimizer (null once terminal),
+/// and the bookkeeping that becomes a CampaignEntry.
+struct Campaign::Session {
+  RunSpec spec;
+  std::unique_ptr<Optimizer> optimizer;
+  SessionState state = SessionState::Pending;
+  std::size_t steps = 0;
+  GlovaResult result;  ///< copied from the optimizer when it terminates
+  std::string error;
+
+  [[nodiscard]] bool terminal() const {
+    return state == SessionState::Finished || state == SessionState::Failed;
+  }
+};
+
+/// Observer fan-out shared between the campaign and its per-session
+/// forwarders.  shared_ptr-owned so forwarders survive Campaign moves.
+struct Campaign::Hub {
+  std::vector<std::shared_ptr<CampaignObserver>> observers;
+};
+
+/// RunObserver attached to each session that relays per-iteration events to
+/// every campaign observer, tagged with the session's index and spec.
+class Campaign::IterationForwarder final : public RunObserver {
+ public:
+  IterationForwarder(std::shared_ptr<Hub> hub, std::size_t index, RunSpec spec)
+      : hub_(std::move(hub)), index_(index), spec_(std::move(spec)) {}
+
+  void on_iteration(Optimizer&, const IterationTrace& trace, const EngineStats& stats) override {
+    for (const auto& obs : hub_->observers) obs->on_iteration(index_, spec_, trace, stats);
+  }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+  std::size_t index_;
+  RunSpec spec_;
+};
+
+Campaign::Campaign() : hub_(std::make_shared<Hub>()) {}
+
+Campaign::Campaign(std::vector<RunSpec> specs, CampaignConfig config) : Campaign() {
+  config_ = std::move(config);
+  sessions_.reserve(specs.size());
+  for (RunSpec& spec : specs) {
+    Session session;
+    session.spec = std::move(spec);
+    session.optimizer = build_optimizer(session.spec);
+    sessions_.push_back(std::move(session));
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) attach_forwarder(i);
+}
+
+Campaign::Campaign(const SweepSpec& sweep, CampaignConfig config)
+    : Campaign(sweep.expand(), std::move(config)) {}
+
+Campaign::Campaign(Campaign&&) noexcept = default;
+Campaign& Campaign::operator=(Campaign&&) noexcept = default;
+Campaign::~Campaign() = default;
+
+circuits::TestbenchPtr Campaign::testbench_for(const RunSpec& spec) {
+  if (config_.make_testbench) return config_.make_testbench(spec);
+  // Registry default: validate the full spec (including availability), then
+  // share one testbench per (testcase, backend) — testbenches are
+  // stateless-const, so sharing cannot change any session's results.
+  spec.validate();
+  const std::pair<int, int> key{static_cast<int>(spec.testcase), static_cast<int>(spec.backend)};
+  for (const auto& [k, tb] : shared_benches_) {
+    if (k == key) return tb;
+  }
+  auto tb = circuits::make_testbench(spec.testcase, spec.backend);
+  shared_benches_.emplace_back(key, tb);
+  return tb;
+}
+
+std::unique_ptr<Optimizer> Campaign::build_optimizer(const RunSpec& spec) {
+  return make_optimizer(spec, testbench_for(spec));
+}
+
+void Campaign::attach_forwarder(std::size_t index) {
+  sessions_[index].optimizer->add_observer(
+      std::make_shared<IterationForwarder>(hub_, index, sessions_[index].spec));
+}
+
+void Campaign::retire_finished(std::size_t index) {
+  Session& s = sessions_[index];
+  s.state = SessionState::Finished;
+  s.result = s.optimizer->result();
+  s.optimizer.reset();
+  result_valid_ = false;
+  for (const auto& obs : hub_->observers) obs->on_session_finish(index, s.spec, s.result);
+}
+
+void Campaign::retire_failed(std::size_t index, std::string error) {
+  Session& s = sessions_[index];
+  s.state = SessionState::Failed;
+  s.error = std::move(error);
+  // cancel() between steps finalizes immediately with a well-formed partial
+  // result (the session base guarantees this even after a throwing step).
+  s.optimizer->cancel("campaign-session-error");
+  s.result = s.optimizer->result();
+  s.optimizer.reset();
+  result_valid_ = false;
+  for (const auto& obs : hub_->observers) obs->on_session_error(index, s.spec, s.error);
+}
+
+std::size_t Campaign::next_live(std::size_t from) const {
+  const std::size_t n = sessions_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (from + k) % n;
+    if (!sessions_[i].terminal()) return i;
+  }
+  return n;
+}
+
+bool Campaign::step() {
+  if (sessions_.empty()) return false;
+  const std::size_t index = next_live(cursor_);
+  if (index == sessions_.size()) return false;
+  cursor_ = (index + 1) % sessions_.size();
+
+  Session& s = sessions_[index];
+  if (s.state == SessionState::Pending) {
+    for (const auto& obs : hub_->observers) obs->on_session_start(index, s.spec);
+    s.state = SessionState::Running;
+    result_valid_ = false;
+  }
+
+  const std::size_t turn = config_.steps_per_turn == 0 ? 1 : config_.steps_per_turn;
+  for (std::size_t t = 0; t < turn; ++t) {
+    try {
+      if (!s.optimizer->step()) break;
+      ++s.steps;
+      result_valid_ = false;
+    } catch (const std::exception& e) {
+      retire_failed(index, e.what());
+      break;
+    }
+    if (s.optimizer->done()) break;
+  }
+  if (s.state == SessionState::Running && s.optimizer->done()) retire_finished(index);
+
+  enforce_campaign_budget();
+  return true;
+}
+
+void Campaign::enforce_campaign_budget() {
+  if (config_.max_total_simulations == 0) return;
+  if (total_simulations() < config_.max_total_simulations) return;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = sessions_[i];
+    if (s.terminal()) continue;
+    const bool was_pending = s.state == SessionState::Pending;
+    s.optimizer->cancel("campaign-simulation-budget");
+    if (was_pending) {
+      for (const auto& obs : hub_->observers) obs->on_session_start(i, s.spec);
+    }
+    s.state = SessionState::Running;  // retire_finished asserts a live state
+    retire_finished(i);
+  }
+}
+
+const CampaignResult& Campaign::run() {
+  while (step()) {
+  }
+  return result();
+}
+
+bool Campaign::done() const {
+  for (const Session& s : sessions_) {
+    if (!s.terminal()) return false;
+  }
+  return true;
+}
+
+std::size_t Campaign::session_count() const { return sessions_.size(); }
+
+std::size_t Campaign::sessions_remaining() const {
+  std::size_t live = 0;
+  for (const Session& s : sessions_) live += s.terminal() ? 0 : 1;
+  return live;
+}
+
+std::uint64_t Campaign::total_simulations() const {
+  std::uint64_t total = 0;
+  for (const Session& s : sessions_) {
+    if (s.terminal()) {
+      total += s.result.n_simulations;
+    } else if (const EvaluationEngine* engine = s.optimizer->engine()) {
+      total += engine->simulation_count();
+    }
+  }
+  return total;
+}
+
+const CampaignResult& Campaign::result() const {
+  if (!done()) {
+    throw std::logic_error(
+        "Campaign::result(): sessions still live; drive step() until done()");
+  }
+  if (!result_valid_) {
+    result_.entries.clear();
+    result_.entries.reserve(sessions_.size());
+    result_.total_simulations = 0;
+    result_.finished = 0;
+    result_.failed = 0;
+    for (const Session& s : sessions_) {
+      CampaignEntry entry;
+      entry.spec = s.spec;
+      entry.state = s.state;
+      entry.steps = s.steps;
+      entry.result = s.result;
+      entry.error = s.error;
+      result_.entries.push_back(std::move(entry));
+      result_.total_simulations += s.result.n_simulations;
+      result_.finished += s.state == SessionState::Finished ? 1 : 0;
+      result_.failed += s.state == SessionState::Failed ? 1 : 0;
+    }
+    result_valid_ = true;
+  }
+  return result_;
+}
+
+void Campaign::add_observer(std::shared_ptr<CampaignObserver> observer) {
+  if (observer) hub_->observers.push_back(std::move(observer));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format (versioned, line-oriented text; doubles round-trip via
+// max_digits10 like RunSpec).  See docs/architecture.md#checkpoint-format.
+
+namespace {
+
+constexpr const char* kMagic = "glova-campaign";
+constexpr int kFormatVersion = 1;
+
+/// Sanity cap on serialized element counts (sessions, vector lengths, trace
+/// rows).  Real campaigns are orders of magnitude below this; a corrupt
+/// count field must fail as a malformed-checkpoint error, not as a
+/// multi-petabyte allocation.
+constexpr std::size_t kMaxCheckpointCount = 1'000'000;
+
+std::string fmt_double(double v) { return format_double_roundtrip(v); }
+
+[[noreturn]] void bad_checkpoint(const std::string& what) {
+  throw std::runtime_error("Campaign checkpoint: " + what);
+}
+
+/// Read one line and split off its leading keyword; throws when the stream
+/// ends or the keyword differs from `expect`.
+std::string expect_line(std::istream& is, std::string_view expect) {
+  std::string line;
+  if (!std::getline(is, line)) bad_checkpoint("unexpected end of input, expected '" +
+                                              std::string(expect) + "'");
+  const std::size_t space = line.find(' ');
+  const std::string_view keyword =
+      space == std::string::npos ? std::string_view(line)
+                                 : std::string_view(line).substr(0, space);
+  if (keyword != expect) {
+    bad_checkpoint("expected '" + std::string(expect) + "', got '" + line + "'");
+  }
+  return space == std::string::npos ? std::string() : line.substr(space + 1);
+}
+
+std::uint64_t parse_u64_field(const std::string& text, std::string_view what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    bad_checkpoint("invalid integer for " + std::string(what) + ": '" + text + "'");
+  }
+}
+
+/// Newlines would break the line-oriented format; exception texts and
+/// termination reasons are stored with them flattened to spaces.
+std::string one_line(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+void write_vector(std::ostream& os, const char* tag, const std::vector<double>& v) {
+  os << tag << ' ' << v.size();
+  for (const double x : v) os << ' ' << fmt_double(x);
+  os << '\n';
+}
+
+std::vector<double> read_vector(std::istream& is, std::string_view tag) {
+  std::istringstream line(expect_line(is, tag));
+  std::size_t n = 0;
+  if (!(line >> n)) bad_checkpoint("missing count after '" + std::string(tag) + "'");
+  if (n > kMaxCheckpointCount) {
+    bad_checkpoint("implausible '" + std::string(tag) + "' count " + std::to_string(n));
+  }
+  std::vector<double> out(n);
+  for (double& x : out) {
+    if (!(line >> x)) bad_checkpoint("truncated vector '" + std::string(tag) + "'");
+  }
+  return out;
+}
+
+void write_result(std::ostream& os, const GlovaResult& r) {
+  os << "result " << (r.success ? 1 : 0) << ' ' << r.rl_iterations << ' ' << r.n_simulations
+     << ' ' << r.n_simulations_executed << ' ' << r.n_cache_hits << ' ' << r.turbo_evaluations
+     << ' ' << fmt_double(r.wall_seconds) << ' ' << fmt_double(r.modeled_runtime) << '\n';
+  os << "stats " << r.engine_stats.requested << ' ' << r.engine_stats.executed << ' '
+     << r.engine_stats.cache_hits << ' ' << r.engine_stats.dc_warm_hits << ' '
+     << r.engine_stats.dc_warm_misses << ' ' << r.engine_stats.dc_warm_stores << '\n';
+  os << "termination " << one_line(r.termination) << '\n';
+  write_vector(os, "x01", r.x01_final);
+  write_vector(os, "xphys", r.x_phys_final);
+  os << "trace " << r.trace.size() << '\n';
+  for (const IterationTrace& t : r.trace) {
+    os << "t " << t.iteration << ' ' << fmt_double(t.reward_worst) << ' '
+       << fmt_double(t.critic_mean) << ' ' << fmt_double(t.critic_bound) << ' '
+       << (t.mu_sigma_pass ? 1 : 0) << ' ' << (t.attempted_verification ? 1 : 0) << ' '
+       << t.sims_total << '\n';
+  }
+}
+
+GlovaResult read_result(std::istream& is) {
+  GlovaResult r;
+  {
+    std::istringstream line(expect_line(is, "result"));
+    int success = 0;
+    if (!(line >> success >> r.rl_iterations >> r.n_simulations >> r.n_simulations_executed >>
+          r.n_cache_hits >> r.turbo_evaluations >> r.wall_seconds >> r.modeled_runtime)) {
+      bad_checkpoint("malformed 'result' line");
+    }
+    r.success = success != 0;
+  }
+  {
+    std::istringstream line(expect_line(is, "stats"));
+    if (!(line >> r.engine_stats.requested >> r.engine_stats.executed >>
+          r.engine_stats.cache_hits >> r.engine_stats.dc_warm_hits >>
+          r.engine_stats.dc_warm_misses >> r.engine_stats.dc_warm_stores)) {
+      bad_checkpoint("malformed 'stats' line");
+    }
+  }
+  r.termination = expect_line(is, "termination");
+  r.x01_final = read_vector(is, "x01");
+  r.x_phys_final = read_vector(is, "xphys");
+  const std::size_t trace_count = parse_u64_field(expect_line(is, "trace"), "trace count");
+  if (trace_count > kMaxCheckpointCount) {
+    bad_checkpoint("implausible trace count " + std::to_string(trace_count));
+  }
+  r.trace.reserve(trace_count);
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    std::istringstream line(expect_line(is, "t"));
+    IterationTrace t;
+    int mu = 0;
+    int att = 0;
+    if (!(line >> t.iteration >> t.reward_worst >> t.critic_mean >> t.critic_bound >> mu >>
+          att >> t.sims_total)) {
+      bad_checkpoint("malformed trace row");
+    }
+    t.mu_sigma_pass = mu != 0;
+    t.attempted_verification = att != 0;
+    r.trace.push_back(t);
+  }
+  return r;
+}
+
+}  // namespace
+
+void Campaign::save(std::ostream& os) const {
+  os << kMagic << " v" << kFormatVersion << '\n';
+  os << "max_total_simulations " << config_.max_total_simulations << '\n';
+  os << "steps_per_turn " << config_.steps_per_turn << '\n';
+  os << "cursor " << cursor_ << '\n';
+  os << "sessions " << sessions_.size() << '\n';
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const Session& s = sessions_[i];
+    os << "session " << i << '\n';
+    os << "spec " << s.spec.to_string() << '\n';
+    os << "state " << to_string(s.state) << '\n';
+    os << "steps " << s.steps << '\n';
+    if (s.state == SessionState::Failed) os << "error " << one_line(s.error) << '\n';
+    if (s.terminal()) write_result(os, s.result);
+  }
+  os << "end\n";
+  if (!os) bad_checkpoint("write failed");
+}
+
+void Campaign::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) bad_checkpoint("cannot open '" + path + "' for writing");
+  save(os);
+  os.flush();
+  if (!os) bad_checkpoint("write to '" + path + "' failed");
+}
+
+Campaign Campaign::load(std::istream& is,
+                        std::function<circuits::TestbenchPtr(const RunSpec&)> make_testbench) {
+  {
+    std::string magic;
+    std::string version;
+    std::string header;
+    if (!std::getline(is, header)) bad_checkpoint("empty input");
+    std::istringstream line(header);
+    line >> magic >> version;
+    if (magic != kMagic) bad_checkpoint("not a campaign checkpoint (bad magic '" + magic + "')");
+    if (version != "v" + std::to_string(kFormatVersion)) {
+      bad_checkpoint("unsupported format version '" + version + "' (this build reads v" +
+                     std::to_string(kFormatVersion) + ")");
+    }
+  }
+
+  Campaign campaign;
+  campaign.config_.make_testbench = std::move(make_testbench);
+  campaign.config_.max_total_simulations =
+      parse_u64_field(expect_line(is, "max_total_simulations"), "max_total_simulations");
+  campaign.config_.steps_per_turn = static_cast<std::size_t>(
+      parse_u64_field(expect_line(is, "steps_per_turn"), "steps_per_turn"));
+  campaign.cursor_ = static_cast<std::size_t>(parse_u64_field(expect_line(is, "cursor"), "cursor"));
+  const std::size_t count =
+      static_cast<std::size_t>(parse_u64_field(expect_line(is, "sessions"), "sessions"));
+  if (count > kMaxCheckpointCount) {
+    bad_checkpoint("implausible session count " + std::to_string(count));
+  }
+
+  campaign.sessions_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (parse_u64_field(expect_line(is, "session"), "session index") != i) {
+      bad_checkpoint("session records out of order");
+    }
+    Session s;
+    s.spec = RunSpec::from_string(expect_line(is, "spec"));
+    const std::string state_name = expect_line(is, "state");
+    const auto state = session_state_from_string(state_name);
+    if (!state) bad_checkpoint("unknown session state '" + state_name + "'");
+    s.state = *state;
+    s.steps = static_cast<std::size_t>(parse_u64_field(expect_line(is, "steps"), "steps"));
+    if (s.state == SessionState::Failed) s.error = expect_line(is, "error");
+    if (s.terminal()) s.result = read_result(is);
+    campaign.sessions_.push_back(std::move(s));
+  }
+  (void)expect_line(is, "end");
+  if (campaign.cursor_ >= count && count > 0) bad_checkpoint("cursor out of range");
+
+  // Rebuild in-flight sessions by deterministic replay: a fresh session
+  // re-stepped to its recorded count reaches the same state as the one that
+  // was checkpointed (fixed-seed determinism, pinned by the parity tests).
+  // Replay is observer-silent: forwarders attach afterwards (observers added
+  // post-load see only new iterations), and the spec's ProgressLogObserver
+  // is attached after replay too so already-reported iterations do not log
+  // twice.
+  for (std::size_t i = 0; i < campaign.sessions_.size(); ++i) {
+    Session& s = campaign.sessions_[i];
+    if (s.terminal()) continue;
+    RunSpec quiet = s.spec;
+    quiet.progress_log = false;
+    s.optimizer = campaign.build_optimizer(quiet);
+    const std::size_t replay = s.steps;
+    s.steps = 0;
+    for (std::size_t k = 0; k < replay; ++k) {
+      try {
+        if (!s.optimizer->step()) break;
+        ++s.steps;
+      } catch (const std::exception& e) {
+        campaign.retire_failed(i, e.what());
+        break;
+      }
+    }
+    if (s.steps != replay && s.state != SessionState::Failed) {
+      bad_checkpoint("replay of session " + std::to_string(i) + " stopped after " +
+                     std::to_string(s.steps) + " of " + std::to_string(replay) + " steps");
+    }
+    if (!s.terminal() && s.optimizer->done()) {
+      // A replayed session should stop strictly before termination (it was
+      // live at save time); tolerate drift by retiring it cleanly.
+      s.state = SessionState::Running;
+      campaign.retire_finished(i);
+    }
+    if (!s.terminal()) {
+      if (s.spec.progress_log) s.optimizer->add_observer(std::make_shared<ProgressLogObserver>());
+      campaign.attach_forwarder(i);
+    }
+  }
+  return campaign;
+}
+
+Campaign Campaign::load_file(
+    const std::string& path,
+    std::function<circuits::TestbenchPtr(const RunSpec&)> make_testbench) {
+  std::ifstream is(path);
+  if (!is) bad_checkpoint("cannot open '" + path + "' for reading");
+  return load(is, std::move(make_testbench));
+}
+
+}  // namespace glova::core

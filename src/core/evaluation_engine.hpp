@@ -115,18 +115,25 @@ class EvaluationEngine {
                                                         const pdk::PvtCorner& corner,
                                                         std::span<const double> h);
 
+  /// The circuit under evaluation (stateless-const; shared across engines).
   [[nodiscard]] const circuits::Testbench& testbench() const { return *testbench_; }
+  /// Shared ownership of the testbench (e.g. to build a sibling engine).
   [[nodiscard]] circuits::TestbenchPtr testbench_ptr() const { return testbench_; }
+  /// The knobs this engine was constructed with.
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
   /// Requested simulations — the paper's "# Simulation" semantics.  Cache
   /// hits count: the caller asked for that simulation whether or not the
   /// engine had to run it.
   [[nodiscard]] std::uint64_t simulation_count() const { return requested_.load(); }
+  /// Full counter snapshot (requested/executed/cache-hit + dc_warm_*).
   [[nodiscard]] EngineStats stats() const;
+  /// Zero every counter and re-baseline the process-wide warm-start deltas.
   void reset_count();
 
+  /// Current number of memoized evaluations (<= EngineConfig::cache_capacity).
   [[nodiscard]] std::size_t cache_size() const;
+  /// Drop every memoized evaluation (counters are unaffected).
   void clear_cache();
 
  private:

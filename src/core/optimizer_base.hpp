@@ -38,8 +38,8 @@ struct IterationTrace {
 };
 
 struct GlovaResult {
-  bool success = false;
-  std::size_t rl_iterations = 0;
+  bool success = false;             ///< true iff full verification passed
+  std::size_t rl_iterations = 0;    ///< completed main-loop iterations
   /// Requested simulations — the paper's "# Simulation" column.  Cache hits
   /// count: the optimizer asked for them whether or not they had to run.
   std::uint64_t n_simulations = 0;
@@ -50,9 +50,10 @@ struct GlovaResult {
   /// SPICE dc_warm_* counters), identical across GLOVA and both baselines so
   /// Table II comparisons read from one funnel.
   EngineStats engine_stats;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;        ///< measured wall time (timing; excluded
+                                    ///< from bit-identical parity checks)
   double modeled_runtime = 0.0;     ///< sims * t_sim + iterations * t_iter
-  std::uint64_t turbo_evaluations = 0;
+  std::uint64_t turbo_evaluations = 0;  ///< typical-condition init samples
   std::vector<double> x01_final;    ///< verified design (normalized), if any
   std::vector<double> x_phys_final; ///< verified design (physical units)
   std::vector<IterationTrace> trace;

@@ -15,14 +15,12 @@ namespace glova::core {
 
 namespace {
 
-std::string format_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10, v);
-  return buf;
-}
+std::string format_double(double v) { return format_double_roundtrip(v); }
 
 [[noreturn]] void bad_spec(const std::string& what) {
-  throw std::invalid_argument("RunSpec: " + what);
+  // The pointer into docs/ keeps every grammar/validation error self-serve:
+  // the doc lists each key, its type, default, and constraint.
+  throw std::invalid_argument("RunSpec: " + what + " (see docs/run_spec.md)");
 }
 
 std::uint64_t parse_u64(std::string_view key, std::string_view value) {
@@ -99,6 +97,26 @@ void RunSpec::validate() const {
              "; available combinations: " + circuits::supported_combinations());
   }
   validate_scalars(*this);
+}
+
+const std::vector<std::string_view>& run_spec_keys() {
+  // Canonical emission order — keep in lockstep with to_string() below and
+  // the parser in from_string(); tests/test_docs.cpp asserts this list, the
+  // to_string() output, and docs/run_spec.md all agree.
+  static const std::vector<std::string_view> keys = {
+      "testcase",        "backend",
+      "algorithm",       "method",
+      "seed",            "max_iterations",
+      "n_opt_samples",   "use_ensemble_critic",
+      "use_mu_sigma",    "use_reordering",
+      "max_simulations", "budget_iterations",
+      "max_wall_seconds", "cost_per_simulation",
+      "cost_per_rl_iteration", "parallelism",
+      "min_parallel_batch", "cache_capacity",
+      "cache_quantum",   "dc_warm_start",
+      "progress_log",
+  };
+  return keys;
 }
 
 std::string RunSpec::to_string() const {

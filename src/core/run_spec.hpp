@@ -36,12 +36,14 @@ enum class Algorithm { Glova, PvtSizing, RobustAnalog };
 /// All algorithms in Table II row order.
 [[nodiscard]] std::vector<Algorithm> all_algorithms();
 
+/// One declarative run description.  Full key=value grammar, defaults, and
+/// validation rules: docs/run_spec.md.
 struct RunSpec {
-  circuits::Testcase testcase = circuits::Testcase::Sal;
-  circuits::Backend backend = circuits::Backend::Behavioral;
-  Algorithm algorithm = Algorithm::Glova;
-  VerifMethod method = VerifMethod::C;
-  std::uint64_t seed = 1;
+  circuits::Testcase testcase = circuits::Testcase::Sal;      ///< circuit under design
+  circuits::Backend backend = circuits::Backend::Behavioral;  ///< evaluator backend
+  Algorithm algorithm = Algorithm::Glova;                     ///< Table II row
+  VerifMethod method = VerifMethod::C;                        ///< Table I column
+  std::uint64_t seed = 1;  ///< root seed; fixed seeds give bit-identical runs
   std::size_t max_iterations = 3000;  ///< the algorithm's own success-rate cap
   std::size_t n_opt_samples = 3;      ///< N' (paper: parallel sample size 3)
   /// GLOVA ablation switches (Table III); ignored by the baselines, which
@@ -60,12 +62,20 @@ struct RunSpec {
   void validate() const;
 
   /// Canonical one-line "key=value key=value ..." form; from_string() parses
-  /// it back losslessly (doubles round-trip via max_digits10).
+  /// it back losslessly (doubles round-trip via max_digits10).  The grammar,
+  /// every key, defaults, and validation errors are documented in
+  /// docs/run_spec.md.
   [[nodiscard]] std::string to_string() const;
   static RunSpec from_string(std::string_view text);  ///< throws on bad input
 
   friend bool operator==(const RunSpec&, const RunSpec&) = default;
 };
+
+/// Every key emitted by RunSpec::to_string() and accepted by from_string(),
+/// in canonical emission order.  This is the machine-readable index of the
+/// grammar: docs/run_spec.md documents each key, and tests/test_docs.cpp
+/// asserts the doc and this list stay in sync.
+[[nodiscard]] const std::vector<std::string_view>& run_spec_keys();
 
 /// Build a ready-to-step session for the spec: validates, constructs the
 /// testbench through the registry, wires the algorithm's config, applies the
