@@ -6,8 +6,8 @@
 //   GLOVA_BENCH_SEEDS   (default 5)   independent runs per cell
 //   GLOVA_BENCH_MAXIT   (default 3000) RL-iteration cap (success-rate cap)
 //   GLOVA_BENCH_BACKEND (default behavioral) evaluator backend; "spice"
-//                       runs the MNA engine (SAL only until the FIA/DRAM
-//                       netlists land — see circuits::available_backends)
+//                       runs every testcase transistor-level on the MNA
+//                       engine (see circuits::available_backends)
 #pragma once
 
 #include <cstdint>
@@ -37,8 +37,8 @@ struct CellStats {
 struct BenchOptions {
   std::size_t seeds = 3;
   std::size_t max_iterations = 3000;
-  /// Evaluator backend for every cell (GLOVA_BENCH_BACKEND).  Spice is
-  /// SAL-only for now; run_cell throws for unavailable combinations.
+  /// Evaluator backend for every cell (GLOVA_BENCH_BACKEND).  Every
+  /// testcase supports both backends.
   circuits::Backend backend = circuits::Backend::Behavioral;
   /// Ablation switches (Table III); default = full GLOVA.
   bool use_ensemble_critic = true;

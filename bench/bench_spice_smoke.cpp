@@ -1,0 +1,41 @@
+// SPICE-backend smoke: one campaign cell (GLOVA, corners-only verification,
+// one seed) per Table II testcase, every simulation running netlist -> DC
+// operating point -> transient -> measurements on the MNA engine.  CI runs
+// this with GLOVA_BENCH_BACKEND=spice so a netlist regression on any block
+// (a latch that stops deciding, a sense amp that stops resolving, a
+// non-convergent reservoir) fails the pipeline within a few seconds.
+//
+//   GLOVA_BENCH_BACKEND=spice GLOVA_BENCH_SEEDS=1 GLOVA_BENCH_MAXIT=120 \
+//     ./bench_spice_smoke
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace glova;
+  bench::BenchOptions opt = bench::options_from_env();
+  // Smoke defaults: the backend is the point of this binary; keep the cell
+  // small unless the caller asked for more.
+  if (std::getenv("GLOVA_BENCH_BACKEND") == nullptr) opt.backend = circuits::Backend::Spice;
+  if (std::getenv("GLOVA_BENCH_SEEDS") == nullptr) opt.seeds = 1;
+  if (std::getenv("GLOVA_BENCH_MAXIT") == nullptr) opt.max_iterations = 120;
+
+  std::printf("SPICE smoke — one %s-backend campaign cell per testcase "
+              "(GLOVA, C, %zu seed(s), iteration cap %zu)\n",
+              circuits::to_string(opt.backend), opt.seeds, opt.max_iterations);
+  bool all_ran = true;
+  for (const auto tc : circuits::all_testcases()) {
+    const bench::CellStats stats =
+        bench::run_cell(bench::Method::Glova, tc, core::VerifMethod::C, opt);
+    std::printf("  %-8s iterations %-7.4g simulations %-8.5g success %.2f wall %.2fs\n",
+                circuits::to_string(tc), stats.mean_iterations, stats.mean_simulations,
+                stats.success_rate, stats.mean_wall_seconds);
+    if (stats.runs == 0) all_ran = false;
+  }
+  if (!all_ran) {
+    std::fprintf(stderr, "bench_spice_smoke: a cell ran zero sessions\n");
+    return 1;
+  }
+  return 0;
+}

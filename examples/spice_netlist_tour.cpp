@@ -1,5 +1,6 @@
 // Tour of the SPICE engine: parse a text netlist, run a transient, measure;
-// then build the transistor-level StrongARM latch and watch it decide.
+// then build the transistor-level StrongARM latch and watch it decide, and
+// visit the other two Table II netlists (FIA reservoir, DRAM OCSA sensing).
 #include <cstdio>
 
 #include "circuits/spice_backend.hpp"
@@ -58,5 +59,28 @@ C1 out 0 100f
   const auto metrics = sal.evaluate(x, pdk::typical_corner(), {});
   printf("\nextracted: power=%.2f uW, set delay=%.3f ns, reset delay=%.3f ns\n", metrics[0] * 1e6,
          metrics[1] * 1e9, metrics[2] * 1e9);
+
+  // --- 3. the other Table II netlists, one evaluation each ---
+  circuits::FloatingInverterAmplifierSpice fia;
+  const std::vector<double> fia_x01 = {0.15, 0.4, 0.3, 0.2, 0.02, 0.01};
+  const auto fia_x = fia.sizing().denormalize(fia_x01);
+  const auto fia_ckt = fia.build_netlist(fia_x, pdk::typical_corner(), {});
+  const auto fia_m = fia.evaluate(fia_x, pdk::typical_corner(), {});
+  printf("\nFIA netlist: %zu nodes, %zu transistors, floating C_res = %.1f fF\n",
+         fia_ckt.node_count(), fia_ckt.mosfets().size(),
+         fia_x[circuits::FiaSizing::kCRes] * 1e15);
+  printf("extracted: energy=%.3f pJ, input-referred error=%.2f mV\n", fia_m[0] * 1e12,
+         fia_m[1] * 1e3);
+
+  circuits::DramOcsaSubholeSpice dram;
+  const std::vector<double> dram_x01 = {0.7, 0.6, 0.8, 0.3, 0.4, 0.6, 0.8, 0.7, 0.9, 0.2, 0.8,
+                                        0.9};
+  const auto dram_x = dram.sizing().denormalize(dram_x01);
+  const auto dram_ckt = dram.build_netlist(dram_x, pdk::typical_corner(), {}, /*data_one=*/true);
+  const auto dram_m = dram.evaluate(dram_x, pdk::typical_corner(), {});
+  printf("\nDRAM OCSA netlist: %zu nodes, %zu transistors (one transient per polarity)\n",
+         dram_ckt.node_count(), dram_ckt.mosfets().size());
+  printf("extracted: dVD0=%.1f mV, dVD1=%.1f mV, energy=%.2f fJ\n", dram_m[0] * 1e3,
+         dram_m[1] * 1e3, dram_m[2] * 1e15);
   return 0;
 }

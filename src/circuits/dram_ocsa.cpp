@@ -16,8 +16,8 @@ using units::literals::operator""_fJ;
 
 namespace {
 
-constexpr std::size_t kDeviceCount = 9;
-constexpr std::size_t kArrayCoords = 3;  // dVcell, dCs/Cs, dCbl/Cbl
+constexpr std::size_t kDeviceCount = kDramDeviceCount;
+constexpr std::size_t kArrayCoords = kDramArrayCoords;
 
 struct InstanceRole {
   const char* name;
@@ -39,11 +39,28 @@ constexpr InstanceRole kInstances[kDeviceCount] = {
 };
 
 // Mismatch coordinate indices of the array extension.
-constexpr std::size_t kIdxVcell = kDeviceCount * 2;
-constexpr std::size_t kIdxCs = kDeviceCount * 2 + 1;
-constexpr std::size_t kIdxCbl = kDeviceCount * 2 + 2;
+constexpr std::size_t kIdxVcell = kDramIdxVcell;
+constexpr std::size_t kIdxCs = kDramIdxCs;
+constexpr std::size_t kIdxCbl = kDramIdxCbl;
 
 }  // namespace
+
+DramArrayCaps dram_array_caps(const DramConditions& cond, std::span<const double> x,
+                              std::span<const double> h) {
+  if (x.size() != DramSizing::kCount) throw std::invalid_argument("DRAM: bad sizing vector");
+  if (!h.empty() && h.size() != kDramDeviceCount * 2 + kDramArrayCoords) {
+    throw std::invalid_argument("DRAM: bad mismatch vector");
+  }
+  const Parasitics& par = parasitics_28nm();
+  const double dcs = h.empty() ? 0.0 : h[kIdxCs];
+  const double dcbl = h.empty() ? 0.0 : h[kIdxCbl];
+  DramArrayCaps caps;
+  caps.cs = cond.cs * std::max(0.5, 1.0 + dcs);
+  caps.cbl = cond.cbl0 * std::max(0.5, 1.0 + dcbl) +
+             par.c_junction * (x[DramSizing::kWCsel] + x[DramSizing::kWXn] +
+                               x[DramSizing::kWXp] + 2.0 * x[DramSizing::kWOcs]);
+  return caps;
+}
 
 DramOcsaSubhole::DramOcsaSubhole() {
   sizing_.names = {"W_xn", "W_xp", "W_ocs", "W_csel", "W_nsa", "W_psa",
@@ -124,14 +141,9 @@ std::vector<double> DramOcsaSubhole::evaluate(std::span<const double> x,
     return x[role.w_index] / x[role.l_index];
   };
   const double dvcell = h.empty() ? 0.0 : h[kIdxVcell];
-  const double dcs = h.empty() ? 0.0 : h[kIdxCs];
-  const double dcbl = h.empty() ? 0.0 : h[kIdxCbl];
 
   // --- charge sharing: cell onto the (heavily loaded) bitline ---
-  const double cs = cond.cs * std::max(0.5, 1.0 + dcs);
-  const double cbl = cond.cbl0 * std::max(0.5, 1.0 + dcbl) +
-                     par.c_junction * (x[DramSizing::kWCsel] + x[DramSizing::kWXn] +
-                                       x[DramSizing::kWXp] + 2.0 * x[DramSizing::kWOcs]);
+  const auto [cs, cbl] = dram_array_caps(cond, x, h);
   const double ratio = cs / (cs + cbl);
   const double vpre = 0.5 * vdd;
   const double v1 = cond.v1_frac * vdd + dvcell;

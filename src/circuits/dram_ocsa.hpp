@@ -35,6 +35,17 @@ struct DramSizing {
   };
 };
 
+/// Transistor instances in the mismatch layout (cross pair, OC switches,
+/// csel, subhole drivers) and the cell-array coordinate extension.  The
+/// mismatch vector has 2 * kDramDeviceCount + kDramArrayCoords entries;
+/// the array coordinates live at the k*Idx* positions.  Shared by the
+/// behavioral model and the SPICE netlist.
+inline constexpr std::size_t kDramDeviceCount = 9;
+inline constexpr std::size_t kDramArrayCoords = 3;  ///< dVcell, dCs/Cs, dCbl/Cbl
+inline constexpr std::size_t kDramIdxVcell = kDramDeviceCount * 2;
+inline constexpr std::size_t kDramIdxCs = kDramDeviceCount * 2 + 1;
+inline constexpr std::size_t kDramIdxCbl = kDramDeviceCount * 2 + 2;
+
 struct DramConditions {
   double cs = 12e-15;           ///< cell capacitance [F]
   double cbl0 = 25e-15;         ///< bare bitline parasitic [F] (2K-wordline array)
@@ -55,6 +66,18 @@ struct DramConditions {
   double sigma_cbl_local = 0.03;     ///< relative
   double sigma_cbl_global = 0.015;   ///< relative
 };
+
+/// Cell and (per-line) bitline capacitance under the array mismatch
+/// spreads and the design's junction loading — one derivation shared by
+/// the behavioral charge-sharing model, the SPICE netlist construction,
+/// and the SPICE energy accounting.
+struct DramArrayCaps {
+  double cs = 0.0;   ///< cell capacitance [F]
+  double cbl = 0.0;  ///< one bitline's total capacitance [F]
+};
+[[nodiscard]] DramArrayCaps dram_array_caps(const DramConditions& cond,
+                                            std::span<const double> x,
+                                            std::span<const double> h);
 
 class DramOcsaSubhole final : public Testbench {
  public:

@@ -17,7 +17,7 @@ using units::literals::operator""_mV;
 
 namespace {
 
-constexpr std::size_t kDeviceCount = 4;
+constexpr std::size_t kDeviceCount = kFiaDeviceCount;
 
 struct InstanceRole {
   const char* name;
@@ -62,9 +62,14 @@ pdk::MismatchLayout FloatingInverterAmplifier::mismatch_layout(std::span<const d
   return pdk::build_layout(devices(x), pdk::PelgromConstants{}, pdk::GlobalSigmas{}, global_enabled);
 }
 
-std::vector<double> FloatingInverterAmplifier::evaluate(std::span<const double> x,
-                                                        const pdk::PvtCorner& corner,
-                                                        std::span<const double> h) const {
+double FiaAnalysis::noise_given_gain(double g, double latch_sigma) const {
+  const double v_latch = latch_sigma / std::max(g, 0.05);
+  return std::sqrt(vn2_thermal + v_off * v_off + v_latch * v_latch);
+}
+
+FiaAnalysis FloatingInverterAmplifier::analyze(std::span<const double> x,
+                                               const pdk::PvtCorner& corner,
+                                               std::span<const double> h) const {
   if (x.size() != FiaSizing::kCount) throw std::invalid_argument("FIA: bad sizing vector");
   if (!h.empty() && h.size() != kDeviceCount * 2) {
     throw std::invalid_argument("FIA: bad mismatch vector");
@@ -114,23 +119,33 @@ std::vector<double> FloatingInverterAmplifier::evaluate(std::span<const double> 
       (c_res + 2.0 * c_load + c_gate + conditions_.overhead_cap) * vdd * vdd;
 
   // --- input-referred error ("noise" metric) ---
+  FiaAnalysis a;
+  a.i_branch = i_branch;
+  a.gm_eff = gm_eff;
+  a.t_int = t_int;
+  a.c_load = c_load;
+  a.gain = gain;
+  a.energy = energy;
   // integrated thermal noise of the push-pull gm over the window,
-  const double vn2_thermal = 4.0 * kT * par.gamma_noise / std::max(gm_eff * t_int, 1e-18);
+  a.vn2_thermal = 4.0 * kT * par.gamma_noise / std::max(gm_eff * t_int, 1e-18);
   // inverter offset: Vth mismatch of both polarities plus beta imbalance,
-  double v_off = 0.0;
   if (!h.empty()) {
     const double dvth_n = h[2 * 0] - h[2 * 1];
     const double dvth_p = h[2 * 2] - h[2 * 3];
     const double dbeta_n = h[2 * 0 + 1] - h[2 * 1 + 1];
     const double dbeta_p = h[2 * 2 + 1] - h[2 * 3 + 1];
-    v_off = std::abs(dvth_n) * gm_n / gm_eff + std::abs(dvth_p) * gm_p / gm_eff +
-            0.25 * (std::abs(dbeta_n) * vov_n + std::abs(dbeta_p) * vov_p);
+    a.v_off = std::abs(dvth_n) * gm_n / gm_eff + std::abs(dvth_p) * gm_p / gm_eff +
+              0.25 * (std::abs(dbeta_n) * vov_n + std::abs(dbeta_p) * vov_p);
   }
-  // and the following latch's offset attenuated by the FIA gain.
-  const double v_latch = conditions_.latch_sigma / gain;
-  const double noise = std::sqrt(vn2_thermal + v_off * v_off + v_latch * v_latch);
+  return a;
+}
 
-  return {energy, noise};
+std::vector<double> FloatingInverterAmplifier::evaluate(std::span<const double> x,
+                                                        const pdk::PvtCorner& corner,
+                                                        std::span<const double> h) const {
+  const FiaAnalysis a = analyze(x, corner, h);
+  // The latch's offset is attenuated by the FIA gain.
+  return {a.energy, a.noise_given_gain(a.gain, conditions_.latch_sigma)};
 }
 
 }  // namespace glova::circuits

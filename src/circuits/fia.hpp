@@ -23,11 +23,35 @@ struct FiaSizing {
   enum : std::size_t { kWn = 0, kWp, kLn, kLp, kCRes, kCLoad, kCount };
 };
 
+/// Transistor instances in the mismatch layout (two inverters); the
+/// mismatch vector has 2 * kFiaDeviceCount coordinates (dvth, dbeta per
+/// device).  Shared by the behavioral model and the SPICE netlist.
+inline constexpr std::size_t kFiaDeviceCount = 4;
+
 struct FiaConditions {
   double vcm_frac = 0.55;          ///< input common mode as a fraction of vdd
   double reservoir_swing = 0.25;   ///< usable reservoir droop as fraction of vdd
   double latch_sigma = 10e-3;      ///< next-stage latch offset sigma [V]
   double overhead_cap = 2e-15;     ///< routing/clocking overhead [F]
+  double v_probe = 10e-3;          ///< differential probe input for gain measurement [V]
+};
+
+/// Intermediate quantities of the FIA behavioral analysis, exposed so the
+/// SPICE backend can combine the analytic noise decomposition with its own
+/// transient-measured gain and integration window.
+struct FiaAnalysis {
+  double i_branch = 0.0;     ///< per-inverter bias current [A]
+  double gm_eff = 0.0;       ///< push-pull transconductance [S]
+  double t_int = 0.0;        ///< reservoir-limited integration window [s]
+  double c_load = 0.0;       ///< effective single-ended output load [F]
+  double gain = 0.0;         ///< gm_eff * t_int / c_load (floored)
+  double energy = 0.0;       ///< energy per conversion [J]
+  double vn2_thermal = 0.0;  ///< integrated thermal noise power [V^2]
+  double v_off = 0.0;        ///< inverter offset from mismatch [V]
+
+  /// Input-referred error for a given amplifier gain (thermal + offset +
+  /// next-stage latch offset attenuated by the gain).
+  [[nodiscard]] double noise_given_gain(double g, double latch_sigma) const;
 };
 
 class FloatingInverterAmplifier final : public Testbench {
@@ -48,6 +72,12 @@ class FloatingInverterAmplifier final : public Testbench {
 
   /// Device instances (4 transistors: two inverters).
   [[nodiscard]] std::vector<pdk::DeviceGeometry> devices(std::span<const double> x) const;
+
+  /// The full behavioral analysis behind evaluate(): bias, gain, energy, and
+  /// noise components.  evaluate() is {analysis.energy,
+  /// analysis.noise_given_gain(analysis.gain, latch_sigma)}.
+  [[nodiscard]] FiaAnalysis analyze(std::span<const double> x, const pdk::PvtCorner& corner,
+                                    std::span<const double> h) const;
 
   [[nodiscard]] const FiaConditions& conditions() const { return conditions_; }
 

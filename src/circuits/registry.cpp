@@ -56,10 +56,11 @@ std::vector<Testcase> all_testcases() {
 }
 
 bool is_available(Testcase testcase, Backend backend) {
-  if (backend == Backend::Behavioral) return true;
-  // Only the StrongARM latch has a SPICE-netlist backend so far (ROADMAP:
-  // FIA and DRAM OCSA netlists are an open item).
-  return testcase == Testcase::Sal;
+  // Every Table II block runs on both backends: behavioral closed-form
+  // models and transistor-level SPICE netlists through the MNA engine.
+  (void)testcase;
+  (void)backend;
+  return true;
 }
 
 std::vector<Backend> available_backends(Testcase testcase) {
@@ -91,9 +92,15 @@ TestbenchPtr make_testbench(Testcase testcase, Backend backend) {
       case Testcase::DramOcsa: return std::make_shared<DramOcsaSubhole>();
     }
   }
-  if (backend == Backend::Spice && testcase == Testcase::Sal) {
-    return std::make_shared<StrongArmLatchSpice>();
+  if (backend == Backend::Spice) {
+    switch (testcase) {
+      case Testcase::Sal: return std::make_shared<StrongArmLatchSpice>();
+      case Testcase::Fia: return std::make_shared<FloatingInverterAmplifierSpice>();
+      case Testcase::DramOcsa: return std::make_shared<DramOcsaSubholeSpice>();
+    }
   }
+  // Unreachable for the current enums; kept so a future backend that is
+  // registered in the capability tables but not here fails loudly.
   throw std::invalid_argument(std::string("make_testbench: no ") + to_string(backend) +
                               " backend for testcase " + to_string(testcase) +
                               "; available combinations: " + supported_combinations() +

@@ -41,7 +41,7 @@ enum class Backend { Behavioral, Spice };
 [[nodiscard]] bool is_available(Testcase testcase, Backend backend);
 
 /// Human-readable list of every runnable combination, e.g.
-/// "SAL/behavioral, SAL/spice, FIA/behavioral, OCSA+SH/behavioral".
+/// "SAL/behavioral, SAL/spice, FIA/behavioral, FIA/spice, ...".
 [[nodiscard]] std::string supported_combinations();
 
 /// Construct a testbench.  Throws std::invalid_argument (listing the

@@ -51,8 +51,9 @@ spice::Circuit StrongArmLatchSpice::build_netlist(std::span<const double> x,
                   spice::Waveform::pulse(0.0, vdd, kClkRise, kEdge, kEdge, kClkFall - kClkRise,
                                          0.0));
   const double vin = behavioral_.conditions().v_input_diff;
-  ckt.add_vsource("VINP", inp, gnd, spice::Waveform::dc(0.5 * vdd + 0.5 * vin));
-  ckt.add_vsource("VINN", inn, gnd, spice::Waveform::dc(0.5 * vdd - 0.5 * vin));
+  const double vcm = behavioral_.conditions().input_cm_frac * vdd;
+  ckt.add_vsource("VINP", inp, gnd, spice::Waveform::dc(vcm + 0.5 * vin));
+  ckt.add_vsource("VINN", inn, gnd, spice::Waveform::dc(vcm - 0.5 * vin));
 
   // Device instance order matches StrongArmLatch::devices():
   //   0 tail, 1-2 input pair, 3-4 cross NMOS, 5-6 cross PMOS,

@@ -35,6 +35,11 @@ struct SalConditions {
   double clock_hz = 40e6;       ///< evaluation clock
   double v_input_diff = 50e-3;  ///< differential input drive [V]
   double leakage_per_um = 5e-9; ///< off-state leakage [A per um of width]
+  /// Input common mode as a fraction of vdd (SPICE testbench only — the
+  /// behavioral model is CM-agnostic).  Biased high, as usual for an NMOS
+  /// input pair, so the pair still conducts at cold low-voltage corners
+  /// under the Level-1 model's hard sub-Vth cutoff.
+  double input_cm_frac = 0.7;
 };
 
 class StrongArmLatch final : public Testbench {

@@ -90,4 +90,15 @@ double supply_energy(std::span<const double> times, std::span<const double> curr
   return -vdd * integrate(times, currents, t0, t1);
 }
 
+std::vector<double> difference(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("measure: trace size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double capacitor_recharge_energy(double farads, double v_supply, double v_from, double v_to) {
+  return farads * v_supply * std::abs(v_to - v_from);
+}
+
 }  // namespace glova::spice

@@ -4,6 +4,7 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 namespace glova::spice {
 
@@ -33,5 +34,17 @@ enum class CrossDirection { Rising, Falling, Either };
 /// (the source current convention makes delivered energy positive).
 [[nodiscard]] double supply_energy(std::span<const double> times, std::span<const double> currents,
                                    double vdd, double t0, double t1);
+
+/// Elementwise a - b (the differential of a trace pair, e.g. out_a - out_b
+/// or the floating-reservoir rail-to-rail voltage).
+[[nodiscard]] std::vector<double> difference(std::span<const double> a, std::span<const double> b);
+
+/// Energy a rail at `v_supply` spends moving a capacitor between two
+/// measured voltages through a switch: C * v_supply * |v_to - v_from|.
+/// This is the ".measure"-style recharge accounting the dynamic testbenches
+/// (FIA reservoir, DRAM bitline precharge) use to translate transient
+/// droops into per-conversion energy without simulating the recharge phase.
+[[nodiscard]] double capacitor_recharge_energy(double farads, double v_supply, double v_from,
+                                               double v_to);
 
 }  // namespace glova::spice

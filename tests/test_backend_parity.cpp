@@ -1,0 +1,159 @@
+// Behavioral-vs-SPICE parity harness (ISSUE 5 tentpole deliverable).
+//
+// For every Table II testcase this suite evaluates a grid of realistic
+// designs and PVT corners on both evaluator backends and asserts the
+// metrics agree within documented tolerance bands.  The bands pin the
+// *relationship* between the closed-form behavioral models and the
+// transistor-level MNA netlists: they are wide where the models genuinely
+// differ (see below) but tight enough that a broken netlist — a latch that
+// stops deciding, a reservoir that stops drooping, a sense amp that flips
+// the wrong way — lands far outside them.
+//
+// Why the bands are not ±5 %:
+//   * the behavioral models are first-order analytics (square-law/EKV
+//     hand calculations), while the SPICE backend solves the Level-1 MNA
+//     system; absolute delays/energies legitimately differ by factors;
+//   * the Level-1 model cuts off hard below Vth while the behavioral EKV
+//     smoothing keeps subthreshold conduction alive, so slow/low-voltage
+//     corners (SS @ 0.8 V) push ratios outward — most visibly on the FIA
+//     noise metric, whose latch-offset term divides by the measured gain;
+//   * SAL noise and (nominal-mismatch) FIA noise reuse the analytic
+//     budget, so their ratios are pinned near 1 exactly.
+//
+// Recorded ratio ranges (spice / behavioral, over the shared grid in
+// backend_parity_grid.hpp, 2026 toolchain) and the shipped bands with
+// headroom:
+//   SAL   power      0.25..0.39   band [0.1, 0.8]
+//         set delay  0.48..1.90   band [0.25, 4.0]
+//         reset      1.11..2.04   band [0.5, 4.0]
+//         noise      1.00         band [0.99, 1.01]
+//   FIA   energy     0.13..0.56   band [0.06, 1.0]
+//         noise      0.47..5.7    band [0.25, 9.0]
+//   OCSA  dVD0       0.35..1.04   band [0.12, 2.5]
+//         dVD1       0.45..2.16   band [0.2, 3.6]
+//         energy     0.24..1.03   band [0.1, 1.8]
+//
+// Re-recording: if an intentional model/netlist change moves a ratio out
+// of band, rerun this suite — each failure prints the measured ratio —
+// and update the table above plus the bands below together
+// (tools/probe_parity.cpp prints the full ratio grid in one shot).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend_parity_grid.hpp"
+#include "circuits/registry.hpp"
+
+namespace glova {
+namespace {
+
+struct MetricBand {
+  const char* metric;
+  double lo;  ///< min accepted spice/behavioral ratio
+  double hi;  ///< max accepted spice/behavioral ratio
+};
+
+struct ParityBands {
+  circuits::Testcase tc;
+  std::vector<MetricBand> nominal;  ///< bands, nominal mismatch
+  std::vector<MetricBand> drawn;    ///< bands, local-mismatch draws
+};
+
+// The design/corner grid and draw recipe live in backend_parity_grid.hpp
+// (shared with tools/probe_parity.cpp, which regenerates the ratio table).
+const ParityBands kBands[] = {
+    {circuits::Testcase::Sal,
+     {{"power", 0.1, 0.8},
+      {"set_delay", 0.25, 4.0},
+      {"reset_delay", 0.5, 4.0},
+      {"noise", 0.99, 1.01}},
+     {{"power", 0.1, 0.8},
+      {"set_delay", 0.25, 4.0},
+      {"reset_delay", 0.5, 4.0},
+      {"noise", 0.99, 1.01}}},
+    {circuits::Testcase::Fia,
+     {{"energy", 0.06, 1.0}, {"noise", 0.25, 9.0}},
+     {{"energy", 0.06, 1.0}, {"noise", 0.25, 9.0}}},
+    {circuits::Testcase::DramOcsa,
+     {{"dVD0", 0.12, 2.5}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.1, 1.8}},
+     {{"dVD0", 0.12, 2.5}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.1, 1.8}}}};
+
+void check_pair(const circuits::Testbench& beh, const circuits::Testbench& spc,
+                std::span<const double> x, const pdk::PvtCorner& corner,
+                std::span<const double> h, std::span<const MetricBand> bands,
+                const std::string& label) {
+  const auto mb = beh.evaluate(x, corner, h);
+  const auto ms = spc.evaluate(x, corner, h);
+  ASSERT_EQ(mb.size(), bands.size()) << label;
+  ASSERT_EQ(ms.size(), mb.size()) << label;
+  for (std::size_t mi = 0; mi < mb.size(); ++mi) {
+    const std::string where = label + " metric " + bands[mi].metric;
+    ASSERT_TRUE(std::isfinite(mb[mi]) && std::isfinite(ms[mi])) << where;
+    ASSERT_GT(mb[mi], 0.0) << where;
+    ASSERT_GT(ms[mi], 0.0) << where;
+    const double ratio = ms[mi] / mb[mi];
+    EXPECT_GE(ratio, bands[mi].lo) << where << " ratio " << ratio;
+    EXPECT_LE(ratio, bands[mi].hi) << where << " ratio " << ratio;
+  }
+}
+
+class BackendParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendParity, NominalMetricsAgreeWithinBands) {
+  const ParityBands& bands = kBands[GetParam()];
+  const auto beh = circuits::make_testbench(bands.tc, circuits::Backend::Behavioral);
+  const auto spc = circuits::make_testbench(bands.tc, circuits::Backend::Spice);
+  const auto designs = parity_grid::designs_x01(bands.tc);
+  for (std::size_t gi = 0; gi < designs.size(); ++gi) {
+    const auto x = beh->sizing().denormalize(designs[gi]);
+    for (const auto& corner : parity_grid::corners()) {
+      check_pair(*beh, *spc, x, corner, {}, bands.nominal,
+                 std::string(circuits::to_string(bands.tc)) + " design " + std::to_string(gi) +
+                     " corner " + corner.name());
+    }
+  }
+}
+
+TEST_P(BackendParity, LocalMismatchDrawsAgreeWithinBands) {
+  const ParityBands& bands = kBands[GetParam()];
+  const auto beh = circuits::make_testbench(bands.tc, circuits::Backend::Behavioral);
+  const auto spc = circuits::make_testbench(bands.tc, circuits::Backend::Spice);
+  const auto designs = parity_grid::designs_x01(bands.tc);
+  for (std::size_t gi = 0; gi < designs.size(); ++gi) {
+    const auto x = beh->sizing().denormalize(designs[gi]);
+    const auto h = parity_grid::local_draw(*beh, x, gi);
+    for (const auto& corner : parity_grid::corners()) {
+      check_pair(*beh, *spc, x, corner, h, bands.drawn,
+                 std::string(circuits::to_string(bands.tc)) + " design " + std::to_string(gi) +
+                     " corner " + corner.name() + " (drawn)");
+    }
+  }
+}
+
+// Both backends must describe the *same* optimization problem: identical
+// sizing bounds, metric specs, and mismatch-space dimensions.
+TEST_P(BackendParity, SpecsAndMismatchLayoutMatch) {
+  const ParityBands& bands = kBands[GetParam()];
+  const auto beh = circuits::make_testbench(bands.tc, circuits::Backend::Behavioral);
+  const auto spc = circuits::make_testbench(bands.tc, circuits::Backend::Spice);
+  ASSERT_EQ(beh->sizing().dimension(), spc->sizing().dimension());
+  for (std::size_t i = 0; i < beh->sizing().dimension(); ++i) {
+    EXPECT_DOUBLE_EQ(beh->sizing().lower[i], spc->sizing().lower[i]);
+    EXPECT_DOUBLE_EQ(beh->sizing().upper[i], spc->sizing().upper[i]);
+  }
+  ASSERT_EQ(beh->performance().count(), spc->performance().count());
+  for (std::size_t i = 0; i < beh->performance().count(); ++i) {
+    EXPECT_EQ(beh->performance().metrics[i].name, spc->performance().metrics[i].name);
+    EXPECT_DOUBLE_EQ(beh->performance().metrics[i].bound, spc->performance().metrics[i].bound);
+  }
+  const auto x = beh->sizing().denormalize(parity_grid::designs_x01(bands.tc).front());
+  for (const bool global : {false, true}) {
+    EXPECT_EQ(beh->mismatch_layout(x, global).dimension(),
+              spc->mismatch_layout(x, global).dimension());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTestcases, BackendParity, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace glova

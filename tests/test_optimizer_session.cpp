@@ -338,19 +338,19 @@ TEST(RunSpec, FromStringRejectsGarbage) {
   EXPECT_THROW((void)core::RunSpec::from_string("just-a-token"), std::invalid_argument);
 }
 
-TEST(RunSpec, ValidateRejectsUnavailableBackend) {
-  core::RunSpec spec;
-  spec.testcase = circuits::Testcase::Fia;
-  spec.backend = circuits::Backend::Spice;
-  try {
-    spec.validate();
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("FIA"), std::string::npos) << what;
-    EXPECT_NE(what.find("SAL/spice"), std::string::npos) << what;  // lists options
+TEST(RunSpec, ValidateAcceptsEveryRegistryCombination) {
+  // Since ISSUE 5 every (testcase, backend) pair has a registered
+  // testbench, so validate() must accept the full matrix — the capability
+  // tables (circuits::is_available) and validation stay in lockstep.
+  for (const auto tc : circuits::all_testcases()) {
+    for (const auto backend : circuits::available_backends(tc)) {
+      core::RunSpec spec;
+      spec.testcase = tc;
+      spec.backend = backend;
+      EXPECT_NO_THROW(spec.validate())
+          << circuits::to_string(tc) << "/" << circuits::to_string(backend);
+    }
   }
-  EXPECT_THROW((void)core::make_optimizer(spec), std::invalid_argument);
 }
 
 TEST(RunSpec, ValidateRejectsBadScalars) {

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
+#include <vector>
 
 #include "circuits/registry.hpp"
 #include "circuits/spice_backend.hpp"
@@ -63,30 +65,75 @@ TEST(PinnedSeedRegression, SimulationCountsMatchReferenceTable) {
   }
 }
 
-// SPICE metrics at the bench_micro sizing point, recorded on git main before
-// the stamp-plan/warm-start rewrite.  The compiled-plan assembler, the
-// fused LU kernel, and the pinned-source absorption must reproduce them to
-// within Newton's voltage tolerance (measured deviation: ~2e-13 relative).
-// Warm start is disabled so the check is independent of cache state.
-TEST(PinnedSeedRegression, SalSpiceMetricsMatchRecordedBaseline) {
+// SPICE metrics at fixed sizing points, one row per testcase netlist.  The
+// SAL row was recorded on git main before the stamp-plan/warm-start
+// rewrite; the FIA and OCSA+SH rows were recorded when their netlists
+// landed (ISSUE 5).  The compiled-plan assembler, the fused LU kernel, the
+// pinned-source absorption, and the netlist construction itself must
+// reproduce them to within Newton's voltage tolerance (measured deviation:
+// ~2e-13 relative).  Warm start is disabled so the check is independent of
+// cache state.
+//
+// Re-recording (only for an intentional solver/netlist change): run this
+// binary, copy the "actual" values from the failing EXPECT_NEAR output —
+// or print them at max_digits10 with a one-off probe against
+// circuits::make_testbench(tc, Backend::Spice) — into kSpiceBaselines, and
+// note the change in bench/BENCH_spice.json's context.note.
+struct SpiceBaseline {
+  circuits::Testcase testcase;
+  std::vector<double> x01;
+  std::vector<double> metrics;
+};
+
+const SpiceBaseline kSpiceBaselines[] = {
+    {circuits::Testcase::Sal,
+     {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.05, 0.01},
+     {
+         // Re-recorded in ISSUE 5: the testbench input common mode moved to
+         // input_cm_frac * vdd so the input pair conducts at cold
+         // low-voltage corners (see SalConditions).
+         1.17624375354998305e-05,  // power [W]
+         1.59575437209311982e-10,  // set delay [s]
+         1.11650001407885103e-10,  // reset delay [s]
+         9.12987598746986783e-05,  // input noise [V]
+     }},
+    {circuits::Testcase::Fia,
+     {0.05, 0.25, 0.5, 0.3, 0.003, 0.001},
+     {
+         4.80820605355794003e-14,  // energy per conversion [J]
+         8.07426946384900111e-04,  // input-referred noise [V]
+     }},
+    {circuits::Testcase::DramOcsa,
+     {1.0, 1.0, 1.0, 0.0, 0.0, 0.3, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0},
+     {
+         1.13709493220082503e-01,  // dVD0 [V]
+         1.42651524570952482e-01,  // dVD1 [V]
+         1.02392190707012904e-14,  // energy per bit [J]
+     }},
+};
+
+TEST(PinnedSeedRegression, SpiceMetricsMatchRecordedBaselines) {
+  // Evaluate everything first and restore the global warm-start switch
+  // before any assertion can return early, so a failing row cannot leave
+  // warm start disabled for the rest of the binary.
   const bool was_enabled = spice::dc_warm_start_enabled();
   spice::set_dc_warm_start_enabled(false);
-  circuits::StrongArmLatchSpice sal;
-  const std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2,
-                                   0.0, 0.0, 0.0, 0.0, 0.0, 0.05, 0.01};
-  const auto x = sal.sizing().denormalize(x01);
-  const auto m = sal.evaluate(x, pdk::typical_corner(), {});
+  std::vector<std::vector<double>> measured;
+  for (const SpiceBaseline& row : kSpiceBaselines) {
+    const auto tb = circuits::make_testbench(row.testcase, circuits::Backend::Spice);
+    const auto x = tb->sizing().denormalize(row.x01);
+    measured.push_back(tb->evaluate(x, pdk::typical_corner(), {}));
+  }
   spice::set_dc_warm_start_enabled(was_enabled);
 
-  ASSERT_EQ(m.size(), 4u);
-  const double kBaseline[4] = {
-      1.07752996735817896e-05,  // power [W]
-      5.11384451347080707e-10,  // set delay [s]
-      1.11129848615213381e-10,  // reset delay [s]
-      9.12987598746986783e-05,  // input noise [V]
-  };
-  for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_NEAR(m[i], kBaseline[i], std::abs(kBaseline[i]) * 1e-6) << "metric " << i;
+  for (std::size_t ri = 0; ri < std::size(kSpiceBaselines); ++ri) {
+    const SpiceBaseline& row = kSpiceBaselines[ri];
+    const auto& m = measured[ri];
+    ASSERT_EQ(m.size(), row.metrics.size()) << circuits::to_string(row.testcase);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_NEAR(m[i], row.metrics[i], std::abs(row.metrics[i]) * 1e-6)
+          << circuits::to_string(row.testcase) << " metric " << i;
+    }
   }
 }
 

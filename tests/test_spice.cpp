@@ -348,6 +348,106 @@ TEST(Transient, PinnedSourceAbsorptionMatchesFullBranchWaveforms) {
   }
 }
 
+TEST(Transient, FloatingCapacitorHoldsChargeWhenSwitchesOpen) {
+  // The FIA reservoir construct: a capacitor between two internal nodes,
+  // charged through MOSFET switches that then open.  The floating cap must
+  // hold its rail-to-rail voltage (only the load discharges it).
+  const auto nmos = pdk::mos_params(false, pdk::typical_corner(), 30e-9);
+  const auto pmos = pdk::mos_params(true, pdk::typical_corner(), 30e-9);
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto pc = ckt.node("pc");
+  const auto pcb = ckt.node("pcb");
+  const auto top = ckt.node("top");
+  const auto bot = ckt.node("bot");
+  ckt.add_vsource("VDD", vdd, Circuit::ground(), Waveform::dc(0.9));
+  // Switches open at 0.2 ns: pc rises (PMOS off), pcb falls (NMOS off).
+  ckt.add_vsource("VPC", pc, Circuit::ground(),
+                  Waveform::pulse(0.0, 0.9, 0.2e-9, 10e-12, 10e-12, 1.0, 0.0));
+  ckt.add_vsource("VPCB", pcb, Circuit::ground(),
+                  Waveform::pulse(0.9, 0.0, 0.2e-9, 10e-12, 10e-12, 1.0, 0.0));
+  ckt.add_mosfet("Msw_top", top, pc, vdd, pmos, 2e-6, 30e-9);
+  ckt.add_mosfet("Msw_bot", bot, pcb, Circuit::ground(), nmos, 2e-6, 30e-9);
+  ckt.add_capacitor("Cres", top, bot, 100e-15);
+  // A resistive load across the floating cap discharges it slowly.
+  ckt.add_resistor("RL", top, bot, 1e6);  // tau = 100 ns >> sim window
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 2e-9;
+  spec.dt = 2e-12;
+  spec.record = {"top", "bot"};
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& vt = res.trace("top");
+  const auto& vb = res.trace("bot");
+  // Charged to the rails at DC...
+  EXPECT_NEAR(vt.front() - vb.front(), 0.9, 1e-3);
+  // ...and still holding (minus the slow RC droop) after the switches open.
+  const double v_end = vt.back() - vb.back();
+  const double expected = 0.9 * std::exp(-(2e-9 - 0.2e-9) / (1e6 * 100e-15));
+  EXPECT_NEAR(v_end, expected, 0.02);
+}
+
+TEST(Transient, BoostedPassGateSharesChargeBidirectionally) {
+  // The DRAM access construct: a boosted NMOS pass-gate between two caps,
+  // with the *source* side above the drain side (reverse conduction — the
+  // channel-symmetry path of the Level-1 model).
+  const auto nmos = pdk::mos_params(false, pdk::typical_corner(), 50e-9);
+  Circuit ckt;
+  const auto cellv = ckt.node("cellv");
+  const auto wl = ckt.node("wl");
+  const auto wr = ckt.node("wr");
+  const auto bl = ckt.node("bl");
+  const auto blp = ckt.node("blp");
+  const auto peq = ckt.node("peq");
+  const auto cell = ckt.node("cell");
+  // Cell written to 0.8 V, bitline precharged to 0.45 V; both switches
+  // open before the wordline rises at 0.5 ns.
+  ckt.add_vsource("VCELL", cellv, Circuit::ground(), Waveform::dc(0.8));
+  ckt.add_vsource("VBLP", blp, Circuit::ground(), Waveform::dc(0.45));
+  ckt.add_vsource("VWR", wr, Circuit::ground(),
+                  Waveform::pulse(1.35, 0.0, 0.1e-9, 10e-12, 10e-12, 1.0, 0.0));
+  ckt.add_vsource("VPEQ", peq, Circuit::ground(),
+                  Waveform::pulse(1.35, 0.0, 0.1e-9, 10e-12, 10e-12, 1.0, 0.0));
+  ckt.add_vsource("VWL", wl, Circuit::ground(),
+                  Waveform::pulse(0.0, 1.35, 0.5e-9, 50e-12, 50e-12, 1.0, 0.0));
+  ckt.add_mosfet("Mwr", cell, wr, cellv, nmos, 1e-6, 30e-9);
+  ckt.add_mosfet("Mpeq", bl, peq, blp, nmos, 1e-6, 30e-9);
+  ckt.add_mosfet("Macc", bl, wl, cell, nmos, 0.28e-6, 50e-9);
+  ckt.add_capacitor("Cs", cell, Circuit::ground(), 12e-15);
+  ckt.add_capacitor("Cbl", bl, Circuit::ground(), 24e-15);
+  Simulator sim(ckt);
+  TransientSpec spec;
+  spec.t_stop = 3e-9;
+  spec.dt = 2e-12;
+  spec.record = {"cell", "bl"};
+  const TransientResult res = sim.transient(spec);
+  ASSERT_TRUE(res.ok) << res.error;
+  // Charge conservation: 12f * 0.8 + 24f * 0.45 -> 36f * V  =>  V ~ 0.5667.
+  const double v_share = (12e-15 * 0.8 + 24e-15 * 0.45) / 36e-15;
+  EXPECT_NEAR(res.trace("bl").back(), v_share, 0.01);
+  EXPECT_NEAR(res.trace("cell").back(), v_share, 0.01);
+}
+
+TEST(Measure, DifferenceOfTracePair) {
+  const std::vector<double> a = {1.0, 3.0, 5.0};
+  const std::vector<double> b = {0.5, 1.0, 1.5};
+  const auto d = difference(a, b);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 3.5);
+  EXPECT_THROW((void)difference(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Measure, CapacitorRechargeEnergy) {
+  // 100 fF recharged by 0.25 V from a 0.9 V rail: C * Vdd * |dV|.
+  EXPECT_DOUBLE_EQ(capacitor_recharge_energy(100e-15, 0.9, 0.9, 0.65), 100e-15 * 0.9 * 0.25);
+  // Direction-independent magnitude; zero swing costs nothing.
+  EXPECT_DOUBLE_EQ(capacitor_recharge_energy(100e-15, 0.9, 0.65, 0.9),
+                   capacitor_recharge_energy(100e-15, 0.9, 0.9, 0.65));
+  EXPECT_DOUBLE_EQ(capacitor_recharge_energy(100e-15, 0.9, 0.4, 0.4), 0.0);
+}
+
 TEST(Measure, CrossingAndIntegral) {
   const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
   const std::vector<double> v = {0.0, 1.0, 0.0, 1.0};
@@ -422,6 +522,23 @@ TEST(Parser, MalformedLineReportsLineNumber) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
   }
+}
+
+TEST(Parser, MalformedPulseAndMosfetReportErrors) {
+  // A PULSE stimulus with too few values (the clocked-testbench stimulus
+  // shape every SPICE backend uses) must fail, naming the line.
+  try {
+    (void)parse_netlist("VDD vdd 0 0.9\nVCLK clk 0 PULSE(0 0.9 1n)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("PULSE"), std::string::npos) << what;
+  }
+  // A MOSFET without its NMOS/PMOS model card is rejected.
+  EXPECT_THROW((void)parse_netlist("M1 d g 0 W=1u L=30n\n"), std::runtime_error);
+  // A floating capacitor with a malformed value is rejected.
+  EXPECT_THROW((void)parse_netlist("C1 top bot 100q\n"), std::runtime_error);
 }
 
 }  // namespace

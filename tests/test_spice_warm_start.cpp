@@ -194,6 +194,74 @@ TEST(DcWarmStart, SalEvaluateWarmMatchesColdWithinTolerance) {
   }
 }
 
+// Warm-start coverage for the FIA and DRAM OCSA netlists (ISSUE 5): hit
+// counters must rise across mismatch draws of one design, and warm results
+// must match cold results to within the solver's voltage tolerance (the
+// same contract the SAL test above pins — a warm seed only shortens the
+// Newton trajectory, with a cold fallback on failure, so converged metrics
+// can differ from cold ones only below vtol, not bit-for-bit).
+class NewBackendWarmStart : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewBackendWarmStart, HitCountersRiseAndWarmMatchesCold) {
+  const circuits::Testcase tc =
+      GetParam() == 0 ? circuits::Testcase::Fia : circuits::Testcase::DramOcsa;
+  const auto tb = circuits::make_testbench(tc, circuits::Backend::Spice);
+  std::vector<double> x01(tb->sizing().dimension(), 0.45);
+  const auto x = tb->sizing().denormalize(x01);
+  Rng rng(21 + GetParam());
+  const auto layout = tb->mismatch_layout(x, false);
+  const auto hs = pdk::sample_mismatch_set(layout, 3, rng, pdk::GlobalMode::Zero);
+
+  set_dc_warm_start_enabled(false);
+  std::vector<std::vector<double>> cold;
+  for (const auto& h : hs) cold.push_back(tb->evaluate(x, pdk::typical_corner(), h));
+
+  thread_local_dc_cache().clear();
+  reset_warm_start_stats();
+  set_dc_warm_start_enabled(true);
+  std::vector<std::vector<double>> warm;
+  for (const auto& h : hs) warm.push_back(tb->evaluate(x, pdk::typical_corner(), h));
+
+  // The DRAM testbench runs one transient per data polarity (two cache
+  // entries per design); the FIA runs one.
+  const std::uint64_t solves_per_eval = tc == circuits::Testcase::DramOcsa ? 2u : 1u;
+  const WarmStartStats stats = warm_start_stats();
+  EXPECT_EQ(stats.misses, solves_per_eval);          // first draw seeds the cache
+  EXPECT_EQ(stats.stores, solves_per_eval);
+  EXPECT_EQ(stats.hits, 2u * solves_per_eval);       // later draws hit
+
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    ASSERT_EQ(warm[i].size(), cold[i].size());
+    for (std::size_t mi = 0; mi < cold[i].size(); ++mi) {
+      EXPECT_NEAR(warm[i][mi], cold[i][mi], std::abs(cold[i][mi]) * 1e-6)
+          << circuits::to_string(tc) << " draw " << i << " metric " << mi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiaAndDram, NewBackendWarmStart, ::testing::Range(0, 2));
+
+TEST(DcWarmStart, PolaritiesAndTestbenchesDoNotShareSeeds) {
+  // The DRAM data-0/data-1 transients have different operating points and
+  // the three testbenches share design-vector shapes at equal dimensions —
+  // the cache keys must keep all of them apart.  Evaluating each backend
+  // once from a cold cache must only ever miss (no cross-testbench or
+  // cross-polarity hits).
+  thread_local_dc_cache().clear();
+  reset_warm_start_stats();
+  set_dc_warm_start_enabled(true);
+  for (const auto tc : circuits::all_testcases()) {
+    const auto tb = circuits::make_testbench(tc, circuits::Backend::Spice);
+    std::vector<double> x01(tb->sizing().dimension(), 0.45);
+    const auto x = tb->sizing().denormalize(x01);
+    (void)tb->evaluate(x, pdk::typical_corner(), {});
+  }
+  const WarmStartStats stats = warm_start_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 4u);  // SAL + FIA + DRAM data0 + DRAM data1
+  EXPECT_EQ(stats.stores, 4u);
+}
+
 TEST(DcWarmStart, EngineSurfacesWarmStartCounters) {
   thread_local_dc_cache().clear();
   reset_warm_start_stats();
