@@ -33,6 +33,9 @@ BenchOptions options_from_env() {
     }
     opt.backend = *backend;
   }
+  if (const char* s = std::getenv("GLOVA_BENCH_BATCHED")) {
+    opt.batched_draws = s[0] != '\0' && s[0] != '0';
+  }
   if (opt.seeds == 0) opt.seeds = 1;
   return opt;
 }
@@ -54,6 +57,7 @@ CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod
   sweep.base.use_ensemble_critic = options.use_ensemble_critic;
   sweep.base.use_mu_sigma = options.use_mu_sigma;
   sweep.base.use_reordering = options.use_reordering;
+  sweep.base.engine.batched_draws = options.batched_draws;
   sweep.seeds.reserve(options.seeds);
   for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) sweep.seeds.push_back(seed);
 

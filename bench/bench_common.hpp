@@ -8,6 +8,9 @@
 //   GLOVA_BENCH_BACKEND (default behavioral) evaluator backend; "spice"
 //                       runs every testcase transistor-level on the MNA
 //                       engine (see circuits::available_backends)
+//   GLOVA_BENCH_BATCHED (default 0) route mismatch-draw groups through the
+//                       lockstep batched SPICE evaluator
+//                       (RunSpec engine.batched_draws; no-op on behavioral)
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,9 @@ struct BenchOptions {
   /// Evaluator backend for every cell (GLOVA_BENCH_BACKEND).  Every
   /// testcase supports both backends.
   circuits::Backend backend = circuits::Backend::Behavioral;
+  /// Batched mismatch-draw evaluation (GLOVA_BENCH_BATCHED), forwarded to
+  /// RunSpec engine.batched_draws.
+  bool batched_draws = false;
   /// Ablation switches (Table III); default = full GLOVA.
   bool use_ensemble_critic = true;
   bool use_mu_sigma = true;

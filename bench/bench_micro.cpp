@@ -53,9 +53,11 @@ BENCHMARK(BM_MismatchSample)->Arg(3)->Arg(100)->Arg(1000);
 
 static void BM_SpiceSalTransient(benchmark::State& state) {
   // The SPICE run path under every SAL evaluation: netlist build, DC op,
-  // 3000-step transient, measurement extraction.  Warm start disabled so
-  // the number is a clean cold-evaluation cost.
+  // transient, measurement extraction.  Warm start disabled so the number
+  // is a clean cold-evaluation cost.  Arg 0 = fixed 3000-step grid, arg 1 =
+  // LTE-adaptive timestep controller.
   spice::set_dc_warm_start_enabled(false);
+  spice::set_adaptive_timestep_default(state.range(0) != 0);
   circuits::StrongArmLatchSpice sal;
   const auto& sz = sal.sizing();
   std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01};
@@ -63,9 +65,48 @@ static void BM_SpiceSalTransient(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sal.evaluate(x, pdk::typical_corner(), {}));
   }
+  spice::set_adaptive_timestep_default(false);
   spice::set_dc_warm_start_enabled(true);
 }
-BENCHMARK(BM_SpiceSalTransient)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpiceSalTransient)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+static void BM_SpiceBatchedDraws(benchmark::State& state) {
+  // 16 mismatch draws of one SAL (design, corner) cell, the inner loop of a
+  // verification batch.  Arg 0 = sequential per-draw evaluate() on the fixed
+  // grid (the pre-batching path), arg 1 = the lockstep batched evaluator on
+  // the LTE-adaptive union grid — the batched production regime.  Newton
+  // LU-bypass stays off in both legs: measured slower at SAL matrix sizes
+  // (a chord iteration still pays the full companion-model evaluation, and
+  // the O(n^3) refactor it saves is noise at n~20; see BENCH_spice.json).
+  // Warm start on for both, with a per-iteration cache clear so every run
+  // is cold-equivalent.
+  constexpr std::size_t kDraws = 16;
+  const bool batched = state.range(0) != 0;
+  spice::set_adaptive_timestep_default(batched);
+  circuits::StrongArmLatchSpice sal;
+  const auto& sz = sal.sizing();
+  std::vector<double> x01 = {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0, 0, 0, 0, 0, 0.05, 0.01};
+  const auto x = sz.denormalize(x01);
+  const auto layout = sal.mismatch_layout(x, false);
+  Rng rng(9);
+  const auto hs = pdk::sample_mismatch_set(layout, kDraws, rng, pdk::GlobalMode::Zero);
+  for (auto _ : state) {
+    state.PauseTiming();
+    spice::thread_local_dc_cache().clear();
+    state.ResumeTiming();
+    if (batched) {
+      benchmark::DoNotOptimize(sal.evaluate_draws(x, pdk::typical_corner(), hs));
+    } else {
+      for (const auto& h : hs) {
+        benchmark::DoNotOptimize(sal.evaluate(x, pdk::typical_corner(), h));
+      }
+    }
+  }
+  spice::set_adaptive_timestep_default(false);
+  state.counters["draws_per_s"] = benchmark::Counter(
+      static_cast<double>(kDraws) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpiceBatchedDraws)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 static void BM_SpiceAssemblyOnly(benchmark::State& state) {
   // One Newton iteration's assembly through the compiled stamp plan: memcpy
@@ -82,8 +123,8 @@ static void BM_SpiceAssemblyOnly(benchmark::State& state) {
   in.time = 1e-9;
   in.dt = 2e-12;
   in.trapezoidal = true;
-  in.x_prev = &x_prev;
-  in.cap_current_prev = &cap_current;
+  in.x_prev = x_prev;
+  in.cap_current_prev = cap_current;
   plan.begin_solve(in);
   std::vector<double> xg(plan.padded_size(), 0.45);
   plan.load_pinned(xg);

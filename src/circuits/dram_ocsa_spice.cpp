@@ -31,12 +31,14 @@
 #include "circuits/spice_backend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 #include "circuits/parasitics.hpp"
 #include "common/units.hpp"
 #include "pdk/mos_params.hpp"
+#include "spice/batch.hpp"
 #include "spice/measure.hpp"
 #include "spice/warm_start.hpp"
 
@@ -185,6 +187,72 @@ spice::Circuit DramOcsaSubholeSpice::build_netlist(std::span<const double> x,
   return ckt;
 }
 
+namespace {
+spice::TransientSpec dram_transient_spec() {
+  spice::TransientSpec spec;
+  spec.t_stop = kTStop;
+  spec.dt = kDt;
+  spec.record = {"bl", "blb", "cell"};
+  return spec;
+}
+}  // namespace
+
+std::pair<double, double> DramOcsaSubholeSpice::polarity_margin_energy(
+    const spice::TransientResult& res, std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const double> h, bool data_one) const {
+  const DramConditions& cond = behavioral_.conditions();
+  const double vdd = corner.vdd;
+  const double vpre = 0.5 * vdd;
+  const auto [cs, cbl] = dram_array_caps(cond, x, h);
+  const auto& t = res.times;
+
+  // Sensing margin: differential bitline voltage t_overlap after sense
+  // enable, signed so the correct read direction is positive, clamped to
+  // the behavioral regeneration cap and floored when the SA resolves the
+  // wrong way.
+  const std::vector<double> diff = spice::difference(res.trace("bl"), res.trace("blb"));
+  const double sign = data_one ? 1.0 : -1.0;
+  const double signal = sign * spice::value_at(t, diff, kTSense);
+  const double developed = sign * spice::value_at(t, diff, kTSense + cond.t_overlap);
+  double margin = developed;
+  if (signal > 0.0) margin = std::min(margin, (1.0 + cond.gain_cap) * signal);
+
+  // Energy: measured VDD delivery (PSA rail charge + regeneration +
+  // restore-high) plus recharge accounting for the precharge phase this
+  // testbench does not simulate — the vdd/2 rail pulling each split
+  // bitline and the restored cell back to the precharge level.
+  double e_read = std::max(0.0, spice::supply_energy(t, res.trace("I(VDD)"), vdd, 0.0, kTStop));
+  e_read += spice::capacitor_recharge_energy(cbl, vpre, res.trace("bl").back(), vpre);
+  e_read += spice::capacitor_recharge_energy(cbl, vpre, res.trace("blb").back(), vpre);
+  e_read += spice::capacitor_recharge_energy(cs, vpre, res.trace("cell").back(), vpre);
+  return {std::max(1e-6, margin), e_read};
+}
+
+double DramOcsaSubholeSpice::driver_overhead_energy(std::span<const double> x,
+                                                    const pdk::PvtCorner& corner,
+                                                    std::span<const double> h) const {
+  // The shared-driver overhead is an amortized analytic term (gate charge +
+  // enable-ramp crowbar of the 512-way subhole devices, 64 activated bits
+  // per driver pair — the per-SA netlist only carries its 1/512 share).
+  const DramConditions& cond = behavioral_.conditions();
+  const Parasitics& par = parasitics_28nm();
+  const double vdd = corner.vdd;
+  const double temp_k = corner.temp_k();
+  const auto p_nsa = pdk::mos_params(false, corner, x[DramSizing::kLNsa],
+                                     h.empty() ? 0.0 : h[2 * 7], h.empty() ? 0.0 : h[2 * 7 + 1]);
+  const auto p_psa = pdk::mos_params(true, corner, x[DramSizing::kLPsa],
+                                     h.empty() ? 0.0 : h[2 * 8], h.empty() ? 0.0 : h[2 * 8 + 1]);
+  const double i_nsa = pdk::ekv_id(p_nsa, x[DramSizing::kWNsa] / x[DramSizing::kLNsa], vdd,
+                                   0.3 * vdd, temp_k);
+  const double i_psa = pdk::ekv_id(p_psa, x[DramSizing::kWPsa] / x[DramSizing::kLPsa], vdd,
+                                   0.3 * vdd, temp_k);
+  return (par.cox * (x[DramSizing::kWNsa] * x[DramSizing::kLNsa] +
+                     x[DramSizing::kWPsa] * x[DramSizing::kLPsa]) *
+              vdd * vdd +
+          0.01 * (i_nsa + i_psa) * cond.t_ramp * vdd) /
+         cond.n_shared_sa * 64.0;  // 64 activated bits share one driver pair
+}
+
 std::vector<double> DramOcsaSubholeSpice::evaluate(std::span<const double> x,
                                                    const pdk::PvtCorner& corner,
                                                    std::span<const double> h) const {
@@ -192,22 +260,13 @@ std::vector<double> DramOcsaSubholeSpice::evaluate(std::span<const double> x,
   if (!h.empty() && h.size() != kDramDeviceCount * 2 + kDramArrayCoords) {
     throw std::invalid_argument("DRAM spice: bad mismatch vector");
   }
-  const DramConditions& cond = behavioral_.conditions();
-  const double vdd = corner.vdd;
-  const double vpre = 0.5 * vdd;
-  const double temp_k = corner.temp_k();
-  const Parasitics& par = parasitics_28nm();
-  const auto [cs, cbl] = dram_array_caps(cond, x, h);
 
   double dvd[2] = {1e-6, 1e-6};  // [data0, data1]
   double energy_sum = 0.0;
   for (const bool data_one : {false, true}) {
     const spice::Circuit ckt = build_netlist(x, corner, h, data_one);
-    spice::Simulator sim(ckt);
-    spice::TransientSpec spec;
-    spec.t_stop = kTStop;
-    spec.dt = kDt;
-    spec.record = {"bl", "blb", "cell"};
+    spice::Simulator sim(ckt, spice::default_simulator_options());
+    const spice::TransientSpec spec = dram_transient_spec();
 
     const bool warm = spice::dc_warm_start_enabled();
     const spice::OpResult* seed = nullptr;
@@ -225,51 +284,64 @@ std::vector<double> DramOcsaSubholeSpice::evaluate(std::span<const double> x,
       // margins and an enormous energy.
       return {1e-6, 1e-6, 1.0};
     }
-    const auto& t = res.times;
-
-    // Sensing margin: differential bitline voltage t_overlap after sense
-    // enable, signed so the correct read direction is positive, clamped to
-    // the behavioral regeneration cap and floored when the SA resolves the
-    // wrong way.
-    const std::vector<double> diff = spice::difference(res.trace("bl"), res.trace("blb"));
-    const double sign = data_one ? 1.0 : -1.0;
-    const double signal = sign * spice::value_at(t, diff, kTSense);
-    const double developed = sign * spice::value_at(t, diff, kTSense + cond.t_overlap);
-    double margin = developed;
-    if (signal > 0.0) margin = std::min(margin, (1.0 + cond.gain_cap) * signal);
-    dvd[data_one ? 1 : 0] = std::max(1e-6, margin);
-
-    // Energy: measured VDD delivery (PSA rail charge + regeneration +
-    // restore-high) plus recharge accounting for the precharge phase this
-    // testbench does not simulate — the vdd/2 rail pulling each split
-    // bitline and the restored cell back to the precharge level.
-    double e_read = std::max(0.0, spice::supply_energy(t, res.trace("I(VDD)"), vdd, 0.0, kTStop));
-    e_read += spice::capacitor_recharge_energy(cbl, vpre, res.trace("bl").back(), vpre);
-    e_read += spice::capacitor_recharge_energy(cbl, vpre, res.trace("blb").back(), vpre);
-    e_read += spice::capacitor_recharge_energy(cs, vpre, res.trace("cell").back(), vpre);
+    const auto [margin, e_read] = polarity_margin_energy(res, x, corner, h, data_one);
+    dvd[data_one ? 1 : 0] = margin;
     energy_sum += e_read;
   }
 
-  // The shared-driver overhead is an amortized analytic term (gate charge +
-  // enable-ramp crowbar of the 512-way subhole devices, 64 activated bits
-  // per driver pair — the per-SA netlist only carries its 1/512 share).
-  const auto p_nsa = pdk::mos_params(false, corner, x[DramSizing::kLNsa],
-                                     h.empty() ? 0.0 : h[2 * 7], h.empty() ? 0.0 : h[2 * 7 + 1]);
-  const auto p_psa = pdk::mos_params(true, corner, x[DramSizing::kLPsa],
-                                     h.empty() ? 0.0 : h[2 * 8], h.empty() ? 0.0 : h[2 * 8 + 1]);
-  const double i_nsa = pdk::ekv_id(p_nsa, x[DramSizing::kWNsa] / x[DramSizing::kLNsa], vdd,
-                                   0.3 * vdd, temp_k);
-  const double i_psa = pdk::ekv_id(p_psa, x[DramSizing::kWPsa] / x[DramSizing::kLPsa], vdd,
-                                   0.3 * vdd, temp_k);
-  const double e_driver =
-      (par.cox * (x[DramSizing::kWNsa] * x[DramSizing::kLNsa] +
-                  x[DramSizing::kWPsa] * x[DramSizing::kLPsa]) *
-           vdd * vdd +
-       0.01 * (i_nsa + i_psa) * cond.t_ramp * vdd) /
-      cond.n_shared_sa * 64.0;  // 64 activated bits share one driver pair
-
-  const double energy = 0.5 * energy_sum + e_driver;
+  const double energy = 0.5 * energy_sum + driver_overhead_energy(x, corner, h);
   return {dvd[0], dvd[1], energy};
+}
+
+std::vector<std::vector<double>> DramOcsaSubholeSpice::evaluate_draws(
+    std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const std::vector<double>> hs) const {
+  const std::size_t n = hs.size();
+  std::vector<char> failed(n, 0);
+  std::vector<std::array<double, 2>> dvd(n, {1e-6, 1e-6});
+  std::vector<double> energy_sum(n, 0.0);
+
+  // One lockstep batch per data polarity; each polarity keeps its own
+  // warm-start key (the stored level changes the DC operating point).
+  for (const bool data_one : {false, true}) {
+    std::vector<spice::Circuit> lanes;
+    lanes.reserve(n);
+    for (const std::vector<double>& h : hs) lanes.push_back(build_netlist(x, corner, h, data_one));
+    const spice::TransientSpec spec = dram_transient_spec();
+
+    const bool warm = spice::dc_warm_start_enabled();
+    const spice::OpResult* seed = nullptr;
+    spice::DcWarmStartCache::Key key;
+    if (warm) {
+      key = spice::make_dc_key(kDramWarmStartTag[data_one ? 1 : 0], x, corner);
+      seed = spice::thread_local_dc_cache().lookup(key);
+    }
+    spice::BatchSimulator batch(lanes, spice::default_simulator_options());
+    const std::vector<spice::TransientResult> results = batch.transient(spec, seed);
+    if (warm) spice::sync_warm_start_cache(key, seed, results);
+
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!results[l].ok) {
+        failed[l] = 1;
+        continue;
+      }
+      const auto [margin, e_read] = polarity_margin_energy(results[l], x, corner, hs[l], data_one);
+      dvd[l][data_one ? 1 : 0] = margin;
+      energy_sum[l] += e_read;
+    }
+  }
+
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    if (failed[l]) {
+      out.push_back({1e-6, 1e-6, 1.0});
+      continue;
+    }
+    const double energy = 0.5 * energy_sum[l] + driver_overhead_energy(x, corner, hs[l]);
+    out.push_back({dvd[l][0], dvd[l][1], energy});
+  }
+  return out;
 }
 
 }  // namespace glova::circuits

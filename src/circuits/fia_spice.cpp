@@ -26,6 +26,7 @@
 
 #include "circuits/parasitics.hpp"
 #include "common/units.hpp"
+#include "spice/batch.hpp"
 #include "spice/measure.hpp"
 #include "spice/warm_start.hpp"
 
@@ -127,26 +128,30 @@ spice::Circuit FloatingInverterAmplifierSpice::build_netlist(std::span<const dou
   return ckt;
 }
 
-std::vector<double> FloatingInverterAmplifierSpice::evaluate(std::span<const double> x,
-                                                             const pdk::PvtCorner& corner,
-                                                             std::span<const double> h) const {
-  // Nominal-mismatch analysis sets the timebase (every draw of one design
-  // shares it, which keeps the DC warm-start cache coherent); the drawn
-  // analysis provides the noise components for this h.
-  const FiaAnalysis nominal = behavioral_.analyze(x, corner, {});
-  const FiaAnalysis drawn = behavioral_.analyze(x, corner, h);
-  const FiaConditions& cond = behavioral_.conditions();
-  const double vdd = corner.vdd;
-
-  const spice::Circuit ckt = build_netlist(x, corner, h);
-  spice::Simulator sim(ckt);
+namespace {
+/// Transient spec shared by the sequential and batched FIA paths: amplify
+/// well past the nominal integration window so the reservoir droop has fully
+/// developed when energy is measured.  The timebase comes from the
+/// nominal-mismatch analysis, so every draw of one design shares it (which
+/// also keeps the DC warm-start cache coherent).
+spice::TransientSpec fia_transient_spec(double nominal_t_int) {
   spice::TransientSpec spec;
-  // Amplify well past the nominal integration window so the reservoir droop
-  // has fully developed when energy is measured.
-  const double window = std::clamp(4.0 * nominal.t_int, 0.4e-9, 40e-9);
+  const double window = std::clamp(4.0 * nominal_t_int, 0.4e-9, 40e-9);
   spec.t_stop = kHold + window;
   spec.dt = std::clamp(window / 2500.0, 0.5e-12, 16e-12);
   spec.record = {"res_top", "res_bot", "out_a", "out_b"};
+  return spec;
+}
+}  // namespace
+
+std::vector<double> FloatingInverterAmplifierSpice::evaluate(std::span<const double> x,
+                                                             const pdk::PvtCorner& corner,
+                                                             std::span<const double> h) const {
+  const FiaAnalysis nominal = behavioral_.analyze(x, corner, {});
+
+  const spice::Circuit ckt = build_netlist(x, corner, h);
+  spice::Simulator sim(ckt, spice::default_simulator_options());
+  const spice::TransientSpec spec = fia_transient_spec(nominal.t_int);
 
   const bool warm = spice::dc_warm_start_enabled();
   const spice::OpResult* seed = nullptr;
@@ -164,6 +169,47 @@ std::vector<double> FloatingInverterAmplifierSpice::evaluate(std::span<const dou
     // steers away (both metrics are MinimizeBelow).
     return {1.0, 1.0};
   }
+  return metrics_from_transient(res, x, corner, h, spec.t_stop);
+}
+
+std::vector<std::vector<double>> FloatingInverterAmplifierSpice::evaluate_draws(
+    std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const std::vector<double>> hs) const {
+  const FiaAnalysis nominal = behavioral_.analyze(x, corner, {});
+  const spice::TransientSpec spec = fia_transient_spec(nominal.t_int);
+
+  std::vector<spice::Circuit> lanes;
+  lanes.reserve(hs.size());
+  for (const std::vector<double>& h : hs) lanes.push_back(build_netlist(x, corner, h));
+
+  const bool warm = spice::dc_warm_start_enabled();
+  const spice::OpResult* seed = nullptr;
+  spice::DcWarmStartCache::Key key;
+  if (warm) {
+    key = spice::make_dc_key(kFiaWarmStartTag, x, corner);
+    seed = spice::thread_local_dc_cache().lookup(key);
+  }
+  spice::BatchSimulator batch(lanes, spice::default_simulator_options());
+  const std::vector<spice::TransientResult> results = batch.transient(spec, seed);
+  if (warm) spice::sync_warm_start_cache(key, seed, results);
+
+  std::vector<std::vector<double>> out;
+  out.reserve(results.size());
+  for (std::size_t l = 0; l < results.size(); ++l) {
+    out.push_back(results[l].ok
+                      ? metrics_from_transient(results[l], x, corner, hs[l], spec.t_stop)
+                      : std::vector<double>{1.0, 1.0});
+  }
+  return out;
+}
+
+std::vector<double> FloatingInverterAmplifierSpice::metrics_from_transient(
+    const spice::TransientResult& res, std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const double> h, double t_stop) const {
+  // The drawn analysis provides the noise components for this h.
+  const FiaAnalysis drawn = behavioral_.analyze(x, corner, h);
+  const FiaConditions& cond = behavioral_.conditions();
+  const double vdd = corner.vdd;
   const auto& t = res.times;
 
   // Integration window: rail-to-rail reservoir voltage droops by
@@ -171,7 +217,7 @@ std::vector<double> FloatingInverterAmplifierSpice::evaluate(std::span<const dou
   const std::vector<double> rail = spice::difference(res.trace("res_top"), res.trace("res_bot"));
   const auto t_droop = spice::first_crossing(t, rail, (1.0 - cond.reservoir_swing) * vdd,
                                              spice::CrossDirection::Falling, kHold);
-  const double t_int = (t_droop ? *t_droop : spec.t_stop) - kHold;
+  const double t_int = (t_droop ? *t_droop : t_stop) - kHold;
 
   // Gain: differential output developed over the window / probe input.
   // When the reservoir essentially did not droop, the Level-1 inverter was

@@ -19,6 +19,8 @@
 // is usually budgeted by hand.
 #pragma once
 
+#include <utility>
+
 #include "circuits/dram_ocsa.hpp"
 #include "circuits/fia.hpp"
 #include "circuits/strongarm.hpp"
@@ -46,12 +48,27 @@ class StrongArmLatchSpice final : public Testbench {
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h) const override;
 
+  /// Batched draw group: all draws of one (x, corner) march through one
+  /// lockstep spice::BatchSimulator transient with a single warm-start cache
+  /// lookup for the whole group.
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
+      std::span<const double> x, const pdk::PvtCorner& corner,
+      std::span<const std::vector<double>> hs) const override;
+  [[nodiscard]] bool supports_batched_draws() const override { return true; }
+
   /// Build the SAL netlist for inspection (Fig. 4 reproduction).
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h) const;
 
  private:
+  /// Metric extraction from a converged transient (shared by the sequential
+  /// and batched paths so they cannot drift apart).
+  [[nodiscard]] std::vector<double> metrics_from_transient(const spice::TransientResult& res,
+                                                           std::span<const double> x,
+                                                           const pdk::PvtCorner& corner,
+                                                           std::span<const double> h) const;
+
   std::string name_ = "StrongARM latch (SPICE)";
   StrongArmLatch behavioral_;  // reuses specs, layout, and noise budget
 };
@@ -75,12 +92,27 @@ class FloatingInverterAmplifierSpice final : public Testbench {
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h) const override;
 
+  /// Batched draw group through one lockstep spice::BatchSimulator transient
+  /// (the timebase comes from the nominal analysis, so every draw shares it).
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
+      std::span<const double> x, const pdk::PvtCorner& corner,
+      std::span<const std::vector<double>> hs) const override;
+  [[nodiscard]] bool supports_batched_draws() const override { return true; }
+
   /// Build the FIA netlist for inspection (reservoir, switches, inverters).
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h) const;
 
  private:
+  /// Metric extraction from a converged transient (shared by the sequential
+  /// and batched paths so they cannot drift apart).
+  [[nodiscard]] std::vector<double> metrics_from_transient(const spice::TransientResult& res,
+                                                           std::span<const double> x,
+                                                           const pdk::PvtCorner& corner,
+                                                           std::span<const double> h,
+                                                           double t_stop) const;
+
   std::string name_ = "Floating inverter amplifier (SPICE)";
   FloatingInverterAmplifier behavioral_;  // specs, layout, noise decomposition
 };
@@ -104,12 +136,31 @@ class DramOcsaSubholeSpice final : public Testbench {
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h) const override;
 
+  /// Batched draw group: one lockstep spice::BatchSimulator transient per
+  /// data polarity (two total for the whole group), each with a single
+  /// warm-start cache lookup.
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
+      std::span<const double> x, const pdk::PvtCorner& corner,
+      std::span<const std::vector<double>> hs) const override;
+  [[nodiscard]] bool supports_batched_draws() const override { return true; }
+
   /// Build the sensing netlist for one stored data polarity.
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
                                              const pdk::PvtCorner& corner,
                                              std::span<const double> h, bool data_one) const;
 
  private:
+  /// Per-polarity sensing margin and measured read energy from a converged
+  /// transient (shared by the sequential and batched paths).
+  [[nodiscard]] std::pair<double, double> polarity_margin_energy(
+      const spice::TransientResult& res, std::span<const double> x,
+      const pdk::PvtCorner& corner, std::span<const double> h, bool data_one) const;
+
+  /// Amortized analytic shared-driver overhead for one mismatch draw.
+  [[nodiscard]] double driver_overhead_energy(std::span<const double> x,
+                                              const pdk::PvtCorner& corner,
+                                              std::span<const double> h) const;
+
   std::string name_ = "OCSA and SH in DRAM core (SPICE)";
   DramOcsaSubhole behavioral_;  // specs, layout, conditions
 };

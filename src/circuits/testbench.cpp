@@ -52,6 +52,15 @@ double normalized_margin(const MetricSpec& spec, double value) {
   return std::clamp(num / den, -1.0, 1.0);
 }
 
+std::vector<std::vector<double>> Testbench::evaluate_draws(
+    std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const std::vector<double>> hs) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(hs.size());
+  for (const std::vector<double>& h : hs) out.push_back(evaluate(x, corner, h));
+  return out;
+}
+
 double degradation(const MetricSpec& spec, double value) { return -normalized_margin(spec, value); }
 
 }  // namespace glova::circuits

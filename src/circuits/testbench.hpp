@@ -88,6 +88,22 @@ class Testbench {
   [[nodiscard]] virtual std::vector<double> evaluate(std::span<const double> x,
                                                      const pdk::PvtCorner& corner,
                                                      std::span<const double> h) const = 0;
+
+  /// Evaluate a group of mismatch draws of one (x, corner), one metric vector
+  /// per draw, in input order.  The base implementation loops evaluate();
+  /// backends that override supports_batched_draws() march the draws through
+  /// one lockstep batched simulation instead (spice::BatchSimulator), which
+  /// amortizes netlist-independent work and keeps the Newton state of every
+  /// draw hot in cache.  Semantics are identical to the loop: with adaptive
+  /// stepping and Newton bypass off the metrics are bit-identical.
+  [[nodiscard]] virtual std::vector<std::vector<double>> evaluate_draws(
+      std::span<const double> x, const pdk::PvtCorner& corner,
+      std::span<const std::vector<double>> hs) const;
+
+  /// True when evaluate_draws() is a genuine batched implementation rather
+  /// than the sequential fallback loop (the evaluation engine only routes
+  /// draw groups here when this holds).
+  [[nodiscard]] virtual bool supports_batched_draws() const { return false; }
 };
 
 using TestbenchPtr = std::shared_ptr<const Testbench>;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "common/key_hash.hpp"
+#include "spice/counters.hpp"
+#include "spice/simulator.hpp"
 #include "spice/warm_start.hpp"
 
 namespace glova::core {
@@ -27,8 +29,13 @@ EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfi
   }
   // The warm-start switch is process-wide (the caches are per worker
   // thread); the most recently constructed engine's config wins, which
-  // matches the one-engine-per-run usage everywhere in the codebase.
+  // matches the one-engine-per-run usage everywhere in the codebase.  The
+  // adaptive-timestep and Newton-bypass switches follow the same pattern:
+  // they configure spice::default_simulator_options() for every simulation
+  // this engine (or anything sharing the process) runs from here on.
   spice::set_dc_warm_start_enabled(config_.dc_warm_start);
+  spice::set_adaptive_timestep_default(config_.adaptive_timestep);
+  spice::set_newton_bypass_default(config_.newton_bypass);
   snapshot_warm_baseline();
 }
 
@@ -52,6 +59,13 @@ void EvaluationEngine::snapshot_warm_baseline() {
   warm_base_hits_ = warm.hits;
   warm_base_misses_ = warm.misses;
   warm_base_stores_ = warm.stores;
+  const spice::SpiceCounters sc = spice::spice_counters();
+  spice_base_[0] = sc.batch_groups;
+  spice_base_[1] = sc.batch_lanes;
+  spice_base_[2] = sc.bypass_solves;
+  spice_base_[3] = sc.bypass_refactors;
+  spice_base_[4] = sc.steps_accepted;
+  spice_base_[5] = sc.steps_rejected;
 }
 
 EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, std::size_t parallelism)
@@ -145,6 +159,37 @@ std::vector<std::vector<double>> EvaluationEngine::evaluate_batch(
     for (std::size_t i = 0; i < hs.size(); ++i) miss_indices.push_back(i);
   }
   if (miss_indices.empty()) return results;
+
+  // Batched draw-group path: every miss of this call shares (x, corner), so
+  // when the testbench can march draws in lockstep, hand it the whole miss
+  // set at once.  A single parallelism slot covers the group (it occupies
+  // one thread); the memo cache sees each lane's metrics exactly as the
+  // sequential path would have inserted them.
+  if (config_.batched_draws && miss_indices.size() > 1 &&
+      testbench_->supports_batched_draws()) {
+    std::vector<std::vector<double>> miss_hs;
+    miss_hs.reserve(miss_indices.size());
+    for (const std::size_t i : miss_indices) miss_hs.push_back(hs[i]);
+    std::vector<std::vector<double>> group;
+    if (slots_) {
+      slots_->acquire();
+      try {
+        group = testbench_->evaluate_draws(x_phys, corner, miss_hs);
+      } catch (...) {
+        slots_->release();
+        throw;
+      }
+      slots_->release();
+    } else {
+      group = testbench_->evaluate_draws(x_phys, corner, miss_hs);
+    }
+    for (std::size_t mi = 0; mi < miss_indices.size(); ++mi) {
+      results[miss_indices[mi]] = std::move(group[mi]);
+      executed_.fetch_add(1);
+      if (caching) cache_insert(std::move(miss_keys[mi]), results[miss_indices[mi]]);
+    }
+    return results;
+  }
 
   const auto run_one = [&](std::size_t mi) {
     const std::size_t i = miss_indices[mi];
@@ -241,6 +286,16 @@ EngineStats EvaluationEngine::stats() const {
   s.dc_warm_hits = warm.hits >= warm_base_hits_ ? warm.hits - warm_base_hits_ : 0;
   s.dc_warm_misses = warm.misses >= warm_base_misses_ ? warm.misses - warm_base_misses_ : 0;
   s.dc_warm_stores = warm.stores >= warm_base_stores_ ? warm.stores - warm_base_stores_ : 0;
+  const spice::SpiceCounters sc = spice::spice_counters();
+  const auto delta = [](std::uint64_t now, std::uint64_t base) {
+    return now >= base ? now - base : 0;
+  };
+  s.batch_groups = delta(sc.batch_groups, spice_base_[0]);
+  s.batch_lanes = delta(sc.batch_lanes, spice_base_[1]);
+  s.bypass_solves = delta(sc.bypass_solves, spice_base_[2]);
+  s.bypass_refactors = delta(sc.bypass_refactors, spice_base_[3]);
+  s.steps_accepted = delta(sc.steps_accepted, spice_base_[4]);
+  s.steps_rejected = delta(sc.steps_rejected, spice_base_[5]);
   return s;
 }
 

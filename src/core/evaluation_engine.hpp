@@ -63,6 +63,20 @@ struct EngineConfig {
   /// to the process-wide spice::set_dc_warm_start_enabled switch at engine
   /// construction; behavioral testbenches are unaffected.
   bool dc_warm_start = true;
+  /// Route same-(x, corner) mismatch-draw groups through the testbench's
+  /// batched evaluator (spice::BatchSimulator lockstep marching) when it
+  /// supports one.  Cache misses of one evaluate_batch() call become one
+  /// batched group; memoization and DC warm starts compose as usual.  Off by
+  /// default: with adaptive stepping and bypass off the batched metrics are
+  /// bit-identical, but the sequential path stays the reference.
+  bool batched_draws = false;
+  /// LTE-adaptive timestep control in the SPICE transient (process-wide
+  /// spice::set_adaptive_timestep_default, like dc_warm_start).  Changes
+  /// metric values within the controller's truncation-error tolerance.
+  bool adaptive_timestep = false;
+  /// Newton LU-bypass (chord iterations on retained factors, process-wide
+  /// spice::set_newton_bypass_default).  Changes metrics within Newton vtol.
+  bool newton_bypass = false;
 
   friend bool operator==(const EngineConfig&, const EngineConfig&) = default;
 };
@@ -81,6 +95,16 @@ struct EngineStats {
   std::uint64_t dc_warm_hits = 0;
   std::uint64_t dc_warm_misses = 0;
   std::uint64_t dc_warm_stores = 0;
+  /// Simulator-level activity (same delta-vs-snapshot convention as the
+  /// dc_warm_* counters): batched draw groups and their total lanes, chord
+  /// solves vs refactors under Newton bypass, and the adaptive timestep
+  /// controller's accepted/rejected step totals.
+  std::uint64_t batch_groups = 0;
+  std::uint64_t batch_lanes = 0;
+  std::uint64_t bypass_solves = 0;
+  std::uint64_t bypass_refactors = 0;
+  std::uint64_t steps_accepted = 0;
+  std::uint64_t steps_rejected = 0;
 };
 
 class EvaluationEngine {
@@ -171,6 +195,9 @@ class EvaluationEngine {
   std::uint64_t warm_base_hits_ = 0;
   std::uint64_t warm_base_misses_ = 0;
   std::uint64_t warm_base_stores_ = 0;
+  /// Process-wide simulator counters (batch/bypass/adaptive) at the same
+  /// baseline instant.
+  std::uint64_t spice_base_[6] = {0, 0, 0, 0, 0, 0};
   void snapshot_warm_baseline();
 
   mutable std::mutex cache_mutex_;

@@ -114,7 +114,8 @@ const std::vector<std::string_view>& run_spec_keys() {
       "cost_per_rl_iteration", "parallelism",
       "min_parallel_batch", "cache_capacity",
       "cache_quantum",   "dc_warm_start",
-      "progress_log",
+      "batched_draws",   "adaptive_timestep",
+      "newton_bypass",   "progress_log",
   };
   return keys;
 }
@@ -147,6 +148,9 @@ std::string RunSpec::to_string() const {
   kv("cache_capacity", std::to_string(engine.cache_capacity));
   kv("cache_quantum", format_double(engine.cache_quantum));
   kv("dc_warm_start", engine.dc_warm_start ? "1" : "0");
+  kv("batched_draws", engine.batched_draws ? "1" : "0");
+  kv("adaptive_timestep", engine.adaptive_timestep ? "1" : "0");
+  kv("newton_bypass", engine.newton_bypass ? "1" : "0");
   kv("progress_log", progress_log ? "1" : "0");
   return out;
 }
@@ -217,6 +221,12 @@ RunSpec RunSpec::from_string(std::string_view text) {
       spec.engine.cache_quantum = parse_double(key, value);
     } else if (key == "dc_warm_start") {
       spec.engine.dc_warm_start = parse_bool(key, value);
+    } else if (key == "batched_draws") {
+      spec.engine.batched_draws = parse_bool(key, value);
+    } else if (key == "adaptive_timestep") {
+      spec.engine.adaptive_timestep = parse_bool(key, value);
+    } else if (key == "newton_bypass") {
+      spec.engine.newton_bypass = parse_bool(key, value);
     } else if (key == "progress_log") {
       spec.progress_log = parse_bool(key, value);
     } else {

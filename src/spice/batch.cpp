@@ -1,0 +1,670 @@
+#include "spice/batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "spice/counters.hpp"
+#include "spice/mos_model.hpp"
+
+namespace glova::spice {
+
+namespace {
+
+[[noreturn]] void congruence_fail(std::size_t lane, const char* what) {
+  throw std::invalid_argument("BatchSimulator: lane " + std::to_string(lane) +
+                              " is not congruent with lane 0 (" + what + ")");
+}
+
+/// Structural congruence: identical node table and element topology; values
+/// (resistances, capacitances, W/L, model parameters, waveforms) may differ.
+void check_congruent(const Circuit& a, const Circuit& b, std::size_t lane) {
+  if (a.node_count() != b.node_count()) congruence_fail(lane, "node count");
+  for (NodeId nd = 0; nd < a.node_count(); ++nd) {
+    if (a.node_name(nd) != b.node_name(nd)) congruence_fail(lane, "node names");
+  }
+  if (a.resistors().size() != b.resistors().size()) congruence_fail(lane, "resistor count");
+  for (std::size_t i = 0; i < a.resistors().size(); ++i) {
+    if (a.resistors()[i].a != b.resistors()[i].a || a.resistors()[i].b != b.resistors()[i].b) {
+      congruence_fail(lane, "resistor terminals");
+    }
+  }
+  if (a.capacitors().size() != b.capacitors().size()) congruence_fail(lane, "capacitor count");
+  for (std::size_t i = 0; i < a.capacitors().size(); ++i) {
+    if (a.capacitors()[i].a != b.capacitors()[i].a || a.capacitors()[i].b != b.capacitors()[i].b) {
+      congruence_fail(lane, "capacitor terminals");
+    }
+  }
+  if (a.vsources().size() != b.vsources().size()) congruence_fail(lane, "vsource count");
+  for (std::size_t i = 0; i < a.vsources().size(); ++i) {
+    if (a.vsources()[i].pos != b.vsources()[i].pos || a.vsources()[i].neg != b.vsources()[i].neg) {
+      congruence_fail(lane, "vsource terminals");
+    }
+  }
+  if (a.isources().size() != b.isources().size()) congruence_fail(lane, "isource count");
+  for (std::size_t i = 0; i < a.isources().size(); ++i) {
+    if (a.isources()[i].pos != b.isources()[i].pos || a.isources()[i].neg != b.isources()[i].neg) {
+      congruence_fail(lane, "isource terminals");
+    }
+  }
+  if (a.vcvs().size() != b.vcvs().size()) congruence_fail(lane, "vcvs count");
+  for (std::size_t i = 0; i < a.vcvs().size(); ++i) {
+    const Vcvs& ea = a.vcvs()[i];
+    const Vcvs& eb = b.vcvs()[i];
+    if (ea.pos != eb.pos || ea.neg != eb.neg || ea.ctrl_pos != eb.ctrl_pos ||
+        ea.ctrl_neg != eb.ctrl_neg) {
+      congruence_fail(lane, "vcvs terminals");
+    }
+  }
+  if (a.vccs().size() != b.vccs().size()) congruence_fail(lane, "vccs count");
+  for (std::size_t i = 0; i < a.vccs().size(); ++i) {
+    const Vccs& ga = a.vccs()[i];
+    const Vccs& gb = b.vccs()[i];
+    if (ga.pos != gb.pos || ga.neg != gb.neg || ga.ctrl_pos != gb.ctrl_pos ||
+        ga.ctrl_neg != gb.ctrl_neg) {
+      congruence_fail(lane, "vccs terminals");
+    }
+  }
+  if (a.mosfets().size() != b.mosfets().size()) congruence_fail(lane, "mosfet count");
+  for (std::size_t i = 0; i < a.mosfets().size(); ++i) {
+    const Mosfet& ma = a.mosfets()[i];
+    const Mosfet& mb = b.mosfets()[i];
+    if (ma.drain != mb.drain || ma.gate != mb.gate || ma.source != mb.source) {
+      congruence_fail(lane, "mosfet terminals");
+    }
+  }
+}
+
+}  // namespace
+
+void BatchWorkspace::prepare(std::size_t lane_count, std::size_t padded, std::size_t unknowns,
+                             std::size_t cap_count) {
+  lanes = lane_count;
+  x_stride = (padded + 7) & ~static_cast<std::size_t>(7);
+  rhs_stride = (unknowns + 1 + 7) & ~static_cast<std::size_t>(7);
+  cap_stride = cap_count;
+  x.assign(lanes * x_stride, 0.0);
+  x_prev.assign(lanes * x_stride, 0.0);
+  rhs.assign(lanes * rhs_stride, 0.0);
+  cap_current.assign(lanes * cap_stride, 0.0);
+  if (solvers.size() < lanes) solvers.resize(lanes);
+}
+
+BatchWorkspace& thread_local_batch_workspace() {
+  thread_local BatchWorkspace workspace;
+  return workspace;
+}
+
+BatchSimulator::BatchSimulator(std::span<const Circuit> lanes, SimulatorOptions options,
+                               BatchWorkspace* workspace)
+    : options_(options),
+      ws_(workspace != nullptr ? workspace : &thread_local_batch_workspace()) {
+  if (lanes.empty()) {
+    throw std::invalid_argument("BatchSimulator: at least one lane is required");
+  }
+  circuits_.reserve(lanes.size());
+  for (const Circuit& c : lanes) circuits_.push_back(&c);
+  for (std::size_t l = 1; l < lanes.size(); ++l) check_congruent(lanes[0], lanes[l], l);
+  plans_.reserve(lanes.size());
+  for (const Circuit* c : circuits_) plans_.emplace_back(*c, options_);
+  n_ = plans_[0].unknown_count();
+  nu_ = plans_[0].unknown_node_count();
+  padded_ = plans_[0].padded_size();
+  n_nodes_ = circuits_[0]->node_count();
+  n_vsrc_ = circuits_[0]->vsources().size();
+  n_caps_ = circuits_[0]->capacitors().size();
+}
+
+void BatchSimulator::update_caps_lane(std::size_t l, double dt, bool trapezoidal) {
+  const std::vector<Capacitor>& caps = circuits_[l]->capacitors();
+  const StampPlan& plan = plans_[l];
+  double* cc = ws_->cap_current.data() + l * ws_->cap_stride;
+  const double* xn = ws_->x.data() + l * ws_->x_stride;
+  const double* xw = ws_->x_prev.data() + l * ws_->x_stride;
+  for (std::size_t ci = 0; ci < n_caps_; ++ci) {
+    const Capacitor& c = caps[ci];
+    const double v_now = xn[plan.x_slot(c.a)] - xn[plan.x_slot(c.b)];
+    const double v_was = xw[plan.x_slot(c.a)] - xw[plan.x_slot(c.b)];
+    if (trapezoidal) {
+      cc[ci] = 2.0 * c.farads / dt * (v_now - v_was) - cc[ci];
+    } else {
+      cc[ci] = c.farads / dt * (v_now - v_was);
+    }
+  }
+}
+
+void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
+  const std::size_t lanes = circuits_.size();
+  const std::size_t n = n_;
+  const std::size_t nu = nu_;
+
+  ok_.assign(lanes, 0);
+  done_.assign(lanes, 0);
+  fail_.assign(lanes, 0);
+  iter_spent_.assign(lanes, 0);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!alive_[l]) continue;
+    AssemblyInputs in;
+    in.mode = AnalysisMode::Transient;
+    in.time = time;
+    in.dt = dt;
+    in.trapezoidal = trapezoidal;
+    in.x_prev = std::span<const double>(ws_->x_prev.data() + l * ws_->x_stride, padded_);
+    in.cap_current_prev = std::span<const double>(ws_->cap_current.data() + l * ws_->cap_stride,
+                                                  ws_->cap_stride);
+    plans_[l].begin_solve(in);
+    plans_[l].load_pinned(ws_->lane_x(l));
+    if (options_.newton_bypass) {
+      // Chord stall detection is scoped to one solve: the first residual of
+      // a new timestep is always "fresh", never compared against the tiny
+      // converged residual the previous solve ended on.
+      res_prev_[l] = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  const std::size_t n_dev = plans_[0].mos_stamps().size();
+
+  if (!options_.newton_bypass) {
+    // --- full Newton, lockstep across lanes --------------------------------
+    for (int it = 0; it < options_.max_newton_iterations; ++it) {
+      act_.clear();
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (alive_[l] && !done_[l] && !fail_[l]) act_.push_back(l);
+      }
+      if (act_.empty()) break;
+
+      // Assembly: per-lane linear load, then the device-major companion pass.
+      act_g_.clear();
+      act_rhs_.clear();
+      act_x_.clear();
+      for (const std::size_t l : act_) {
+        DenseMatrix& g = ws_->solvers[l].matrix(n);
+        plans_[l].load_static(g, ws_->lane_rhs(l));
+        act_g_.push_back(g.data());
+        act_rhs_.push_back(ws_->rhs.data() + l * ws_->rhs_stride);
+        act_x_.push_back(ws_->x.data() + l * ws_->x_stride);
+      }
+      for (std::size_t di = 0; di < n_dev; ++di) {
+        for (std::size_t k = 0; k < act_.size(); ++k) {
+          const StampPlan::MosStamp& ms = plans_[act_[k]].mos_stamps()[di];
+          const double* __restrict xl = act_x_[k];
+          double* __restrict gd = act_g_[k];
+          double* __restrict rd = act_rhs_[k];
+          const double vg = xl[ms.xg];
+          const double vd = xl[ms.xd];
+          const double vs = xl[ms.xs];
+          const MosLinearization lin = mos_linearize(*ms.params, ms.w_over_l, vg, vd, vs);
+          const double i_eq = lin.i_ds - ms.mg * (lin.d_vg * vg) - ms.md * (lin.d_vd * vd) -
+                              ms.ms * (lin.d_vs * vs);
+          gd[ms.j_dg] += lin.d_vg;
+          gd[ms.j_dd] += lin.d_vd;
+          gd[ms.j_ds] += lin.d_vs;
+          rd[ms.rhs_d] -= i_eq;
+          gd[ms.j_sg] -= lin.d_vg;
+          gd[ms.j_sd] -= lin.d_vd;
+          gd[ms.j_ss] -= lin.d_vs;
+          rd[ms.rhs_s] += i_eq;
+        }
+      }
+
+      // Solve + damped update per lane (identical to newton_solve_plan).
+      for (std::size_t k = 0; k < act_.size(); ++k) {
+        const std::size_t l = act_[k];
+        if (!ws_->solvers[l].factor_solve_in_place(std::span<double>(act_rhs_[k], n),
+                                                   ws_->x_new)) {
+          fail_[l] = 1;
+          iter_spent_[l] = it + 1;
+          continue;
+        }
+        double* __restrict xl = act_x_[k];
+        const std::vector<double>& x_new = ws_->x_new;
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < nu; ++i) {
+          const double delta =
+              std::clamp(x_new[i] - xl[i], -options_.max_step_voltage, options_.max_step_voltage);
+          max_delta = std::max(max_delta, std::abs(delta));
+          xl[i] += delta;
+        }
+        for (std::size_t i = nu; i < n; ++i) xl[i] = x_new[i];
+        if (max_delta < options_.vtol) {
+          done_[l] = 1;
+          ok_[l] = 1;
+          iter_spent_[l] = it + 1;
+        }
+      }
+    }
+  } else {
+    // --- chord Newton on retained factors (LU bypass) ----------------------
+    const double res_ok = 1e3 * options_.abstol;
+    for (int it = 0; it < options_.max_newton_iterations; ++it) {
+      act_.clear();
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (alive_[l] && !done_[l] && !fail_[l]) act_.push_back(l);
+      }
+      if (act_.empty()) break;
+
+      for (const std::size_t l : act_) {
+        double* __restrict xl = ws_->x.data() + l * ws_->x_stride;
+        double* rd = ws_->rhs.data() + l * ws_->rhs_stride;
+        const std::span<const double> xs(xl, padded_);
+
+        bool full = has_factors_[l] == 0;
+        if (!full) {
+          plans_[l].residual(xs, std::span<double>(rd, n + 1));
+          double rn = 0.0;
+          for (std::size_t i = 0; i < n; ++i) rn = std::max(rn, std::abs(rd[i]));
+          if (rn >= 0.5 * res_prev_[l]) {
+            full = true;  // chord stalled: the frozen Jacobian is too stale
+          } else {
+            ws_->solvers[l].solve_into(std::span<const double>(rd, n), ws_->x_new);
+            ++bypass_solves_;
+            const std::vector<double>& delta = ws_->x_new;
+            double max_delta = 0.0;
+            for (std::size_t i = 0; i < nu; ++i) {
+              const double step = std::clamp(-delta[i], -options_.max_step_voltage,
+                                             options_.max_step_voltage);
+              max_delta = std::max(max_delta, std::abs(step));
+              xl[i] += step;
+            }
+            for (std::size_t i = nu; i < n; ++i) xl[i] -= delta[i];
+            res_prev_[l] = rn;
+            if (max_delta < options_.vtol) {
+              if (rn < res_ok) {
+                done_[l] = 1;
+                ok_[l] = 1;
+                iter_spent_[l] = it + 1;
+              } else {
+                // A tiny chord step with a large residual means the frozen
+                // factors, not the iterate, have converged: refactor.
+                has_factors_[l] = 0;
+              }
+            }
+            continue;
+          }
+        }
+        // Full stamp + refactor; solve_into(companion rhs) yields the same
+        // iterate the scalar path's fused factor+solve would.
+        plans_[l].stamp(xs, ws_->solvers[l].matrix(n), std::span<double>(rd, n + 1));
+        if (!ws_->solvers[l].factor_in_place()) {
+          fail_[l] = 1;
+          iter_spent_[l] = it + 1;
+          continue;
+        }
+        has_factors_[l] = 1;
+        ++bypass_refactors_;
+        res_prev_[l] = std::numeric_limits<double>::infinity();
+        ws_->solvers[l].solve_into(std::span<const double>(rd, n), ws_->x_new);
+        const std::vector<double>& x_new = ws_->x_new;
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < nu; ++i) {
+          const double delta =
+              std::clamp(x_new[i] - xl[i], -options_.max_step_voltage, options_.max_step_voltage);
+          max_delta = std::max(max_delta, std::abs(delta));
+          xl[i] += delta;
+        }
+        for (std::size_t i = nu; i < n; ++i) xl[i] = x_new[i];
+        if (max_delta < options_.vtol) {
+          done_[l] = 1;
+          ok_[l] = 1;
+          iter_spent_[l] = it + 1;
+        }
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (alive_[l] && !done_[l] && !fail_[l]) {
+      fail_[l] = 1;
+      iter_spent_[l] = options_.max_newton_iterations;
+    }
+  }
+}
+
+std::vector<TransientResult> BatchSimulator::transient(const TransientSpec& spec,
+                                                       const OpResult* dc_warm_start) {
+  const std::size_t lanes = circuits_.size();
+  std::vector<TransientResult> results(lanes);
+  if (spec.dt <= 0.0 || spec.t_stop <= 0.0) {
+    for (TransientResult& r : results) r.error = "transient: dt and t_stop must be positive";
+    return results;
+  }
+  note_batch_group(lanes);
+  bypass_solves_ = 0;
+  bypass_refactors_ = 0;
+
+  ws_->prepare(lanes, padded_, n_, n_caps_);
+  alive_.assign(lanes, 1);
+  has_factors_.assign(lanes, 0);
+  res_prev_.assign(lanes, std::numeric_limits<double>::infinity());
+
+  // --- per-lane initial state: DC (rolling warm-start seed) or UIC --------
+  SimulatorWorkspace& sws = thread_local_workspace();
+  OpResult rolling;
+  const OpResult* seed = dc_warm_start;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::span<double> xl = ws_->lane_x(l);
+    const StampPlan& plan = plans_[l];
+    if (spec.use_ic) {
+      for (const auto& [name, value] : spec.initial_conditions) {
+        const NodeId node = circuits_[l]->find_node(name);
+        if (node != Circuit::ground() && plan.node_is_unknown(node)) {
+          xl[plan.x_slot(node)] = value;
+        }
+      }
+      for (const Capacitor& c : circuits_[l]->capacitors()) {
+        if (c.initial_voltage && c.b == Circuit::ground() && c.a != Circuit::ground() &&
+            plan.node_is_unknown(c.a)) {
+          xl[plan.x_slot(c.a)] = *c.initial_voltage;
+        }
+      }
+      continue;
+    }
+    OpResult op = operating_point_plan(*circuits_[l], plans_[l], options_, sws, seed);
+    if (!op.converged) {
+      results[l].error = "transient: DC operating point failed to converge";
+      alive_[l] = 0;
+      continue;
+    }
+    if (!op.warm_started) {
+      // Mirrors the sequential per-thread cache: a cold solve replaces the
+      // stored seed, a successful warm start leaves it untouched.
+      rolling = op;
+      seed = &rolling;
+    }
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) xl[plan.x_slot(nd)] = op.node_voltages[nd];
+    for (std::size_t si = 0; si < n_vsrc_; ++si) {
+      const std::size_t slot = plan.vsource_branch_slot(si);
+      if (slot != StampPlan::kNoSlot) xl[slot] = op.vsource_currents[si];
+    }
+    results[l].dc_iterations = op.iterations;
+    results[l].dc_op = std::move(op);
+  }
+
+  // --- recording setup (node ids are congruent; resolve once on lane 0) ---
+  std::vector<NodeId> record_nodes;
+  if (spec.record.empty()) {
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) record_nodes.push_back(nd);
+  } else {
+    for (const std::string& name : spec.record) {
+      record_nodes.push_back(circuits_[0]->find_node(name));
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!alive_[l]) continue;
+    results[l].traces.reserve(record_nodes.size() + n_vsrc_);
+    for (const NodeId nd : record_nodes) {
+      results[l].traces.push_back(Trace{circuits_[l]->node_name(nd), {}});
+    }
+    for (const VoltageSource& v : circuits_[l]->vsources()) {
+      results[l].traces.push_back(Trace{"I(" + v.name + ")", {}});
+    }
+  }
+
+  std::vector<double> vsrc_i(n_vsrc_, 0.0);
+  const auto record_lane = [&](std::size_t l, double time, bool recover_currents) {
+    TransientResult& r = results[l];
+    const double* xl = ws_->x.data() + l * ws_->x_stride;
+    const StampPlan& plan = plans_[l];
+    r.times.push_back(time);
+    std::size_t ti = 0;
+    for (const NodeId nd : record_nodes) r.traces[ti++].values.push_back(xl[plan.x_slot(nd)]);
+    if (n_vsrc_ > 0) {
+      if (recover_currents) {
+        plan.vsource_currents(std::span<const double>(xl, padded_),
+                              std::span<const double>(ws_->cap_current.data() + l * ws_->cap_stride,
+                                                      ws_->cap_stride),
+                              time, 1.0, vsrc_i);
+      } else {
+        std::fill(vsrc_i.begin(), vsrc_i.end(), 0.0);
+      }
+      for (std::size_t si = 0; si < n_vsrc_; ++si) r.traces[ti++].values.push_back(vsrc_i[si]);
+    }
+  };
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (alive_[l]) record_lane(l, 0.0, /*recover_currents=*/!spec.use_ic);
+  }
+
+  ws_->x_prev = ws_->x;
+
+  const auto any_alive = [&] {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (alive_[l]) return true;
+    }
+    return false;
+  };
+  const auto copy_lane = [&](std::vector<double>& dst, const std::vector<double>& src,
+                             std::size_t l) {
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(l * ws_->x_stride),
+              src.begin() + static_cast<std::ptrdiff_t>(l * ws_->x_stride + padded_),
+              dst.begin() + static_cast<std::ptrdiff_t>(l * ws_->x_stride));
+  };
+
+  if (!options_.adaptive_timestep) {
+    // --- fixed uniform grid, lockstep (bit-identical to N scalar runs) ----
+    const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / spec.dt));
+    double t_prev = 0.0;
+    for (std::size_t step = 1; step <= n_steps && any_alive(); ++step) {
+      double t = static_cast<double>(step) * spec.dt;
+      if (step == n_steps || t > spec.t_stop) t = spec.t_stop;
+      const double dt = t - t_prev;
+      if (dt <= 0.0) break;
+      const bool trap = step > 2;
+
+      solve_step(t, dt, trap);
+
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (!alive_[l]) continue;
+        results[l].newton_iterations += static_cast<std::uint64_t>(iter_spent_[l]);
+        if (!ok_[l]) {
+          results[l].error = "transient: Newton failed at t = " + std::to_string(t);
+          alive_[l] = 0;
+          continue;
+        }
+        update_caps_lane(l, dt, trap);
+        record_lane(l, t, /*recover_currents=*/true);
+        ++results[l].steps_accepted;
+        results[l].dt_trace.push_back(dt);
+        copy_lane(ws_->x_prev, ws_->x, l);
+      }
+      t_prev = t;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (alive_[l]) results[l].ok = true;
+    }
+    note_bypass_solves(bypass_solves_, bypass_refactors_);
+    return results;
+  }
+
+  // --- LTE-adaptive union grid ---------------------------------------------
+  // The scalar controller (see Simulator::transient) run once for the whole
+  // batch: every lane solves the same tentative step, the worst per-lane LTE
+  // ratio decides accept/reject, and all live lanes advance together, so the
+  // batch shares a single time axis.
+  const double dt_min = spec.dt * options_.dt_min_factor;
+  const double dt_max = spec.dt * options_.dt_max_factor;
+
+  std::vector<double> breaks;
+  for (const Circuit* c : circuits_) {
+    for (const VoltageSource& v : c->vsources()) v.waveform.append_breakpoints(spec.t_stop, breaks);
+    for (const CurrentSource& i : c->isources()) i.waveform.append_breakpoints(spec.t_stop, breaks);
+  }
+  breaks.push_back(spec.t_stop);
+  std::sort(breaks.begin(), breaks.end());
+  {
+    std::size_t kept = 0;
+    for (const double t : breaks) {
+      if (kept != 0 && t - breaks[kept - 1] < dt_min) continue;
+      breaks[kept++] = t;
+    }
+    breaks.resize(kept);
+    if (breaks.back() != spec.t_stop) breaks.back() = spec.t_stop;
+  }
+
+  // Accepted-history for the divided-difference LTE estimate: times are
+  // shared across the batch (one union grid), node voltages are lane-strided.
+  std::array<std::vector<double>, 3> hist_x;
+  for (auto& h : hist_x) h.assign(lanes * nu_, 0.0);
+  std::array<double, 3> hist_t{};
+  std::size_t hist_n = 0;
+  const auto push_history = [&](double t) {
+    if (hist_n == 3) {
+      std::vector<double> recycled = std::move(hist_x[0]);
+      hist_x[0] = std::move(hist_x[1]);
+      hist_x[1] = std::move(hist_x[2]);
+      hist_x[2] = std::move(recycled);
+      hist_t[0] = hist_t[1];
+      hist_t[1] = hist_t[2];
+      --hist_n;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!alive_[l]) continue;
+      const double* xp = ws_->x_prev.data() + l * ws_->x_stride;
+      std::copy(xp, xp + nu_, hist_x[hist_n].data() + l * nu_);
+    }
+    hist_t[hist_n] = t;
+    ++hist_n;
+  };
+  push_history(0.0);
+
+  const auto lane_lte_ratio = [&](std::size_t l, double t_new, bool trap) {
+    const std::size_t need = trap ? 3 : 2;
+    if (hist_n < need) return 0.0;
+    const std::size_t m = need;
+    double ts[4];
+    const double* hx[3];
+    for (std::size_t k = 0; k < need; ++k) {
+      ts[k] = hist_t[hist_n - need + k];
+      hx[k] = hist_x[hist_n - need + k].data() + l * nu_;
+    }
+    ts[m] = t_new;
+    const double dt_new = t_new - ts[m - 1];
+    const double* xn = ws_->x.data() + l * ws_->x_stride;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < nu_; ++i) {
+      double f[4];
+      for (std::size_t k = 0; k < need; ++k) f[k] = hx[k][i];
+      f[m] = xn[i];
+      for (std::size_t order = 1; order <= m; ++order) {
+        for (std::size_t k = m; k >= order; --k) {
+          f[k] = (f[k] - f[k - 1]) / (ts[k] - ts[k - order]);
+        }
+      }
+      const double lte = trap ? 0.5 * dt_new * dt_new * dt_new * std::abs(f[m])
+                              : dt_new * dt_new * std::abs(f[m]);
+      const double tol =
+          options_.lte_reltol * std::max(std::abs(xn[i]), std::abs(hx[m - 1][i])) +
+          options_.lte_abstol;
+      worst = std::max(worst, lte / tol);
+    }
+    return worst;
+  };
+
+  double t_cur = 0.0;
+  double dt = std::clamp(spec.dt, dt_min, dt_max);
+  std::size_t bp_i = 0;
+  std::size_t since_reset = 0;
+  std::uint64_t accepted_union = 0;
+  std::uint64_t rejected_union = 0;
+
+  while (t_cur < spec.t_stop && any_alive()) {
+    while (bp_i < breaks.size() && breaks[bp_i] <= t_cur) ++bp_i;
+    if (bp_i >= breaks.size()) break;  // unreachable: t_stop is a breakpoint
+    const double bp = breaks[bp_i];
+
+    dt = std::clamp(dt, dt_min, dt_max);
+    double t_next = t_cur + dt;
+    if (t_next > bp - dt_min) t_next = bp;
+    const double dt_eff = t_next - t_cur;
+    const bool trap = since_reset >= 2;
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (alive_[l]) copy_lane(ws_->x, ws_->x_prev, l);
+    }
+    solve_step(t_next, dt_eff, trap);
+
+    bool any_fail = false;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!alive_[l]) continue;
+      results[l].newton_iterations += static_cast<std::uint64_t>(iter_spent_[l]);
+      if (!ok_[l]) any_fail = true;
+    }
+    if (any_fail) {
+      if (dt_eff <= dt_min * (1.0 + 1e-9)) {
+        // No smaller step to retreat to: the failing lanes are lost; the
+        // rest of the batch carries on with this (solved) step.
+        for (std::size_t l = 0; l < lanes; ++l) {
+          if (alive_[l] && !ok_[l]) {
+            results[l].error = "transient: Newton failed at t = " + std::to_string(t_next) +
+                               " with dt already at dt_min";
+            alive_[l] = 0;
+          }
+        }
+        if (!any_alive()) break;
+      } else {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          if (alive_[l]) ++results[l].steps_rejected;
+        }
+        ++rejected_union;
+        dt = std::max(dt_min, dt_eff * options_.dt_shrink_limit);
+        continue;
+      }
+    }
+
+    double ratio = 0.0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (alive_[l]) ratio = std::max(ratio, lane_lte_ratio(l, t_next, trap));
+    }
+    if (ratio > 1.0 && dt_eff > dt_min * (1.0 + 1e-9)) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (alive_[l]) ++results[l].steps_rejected;
+      }
+      ++rejected_union;
+      const double p = trap ? 3.0 : 2.0;
+      const double shrink = std::clamp(options_.lte_safety * std::pow(ratio, -1.0 / p),
+                                       options_.dt_shrink_limit, 0.9);
+      dt = std::max(dt_min, dt_eff * shrink);
+      continue;
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!alive_[l]) continue;
+      update_caps_lane(l, dt_eff, trap);
+      record_lane(l, t_next, /*recover_currents=*/true);
+      ++results[l].steps_accepted;
+      results[l].dt_trace.push_back(dt_eff);
+      copy_lane(ws_->x_prev, ws_->x, l);
+    }
+    ++accepted_union;
+    t_cur = t_next;
+
+    if (t_next == bp) {
+      since_reset = 0;
+      hist_n = 0;
+      push_history(t_next);
+      dt = std::clamp(spec.dt, dt_min, dt_max);
+    } else {
+      ++since_reset;
+      push_history(t_next);
+      const double p = trap ? 3.0 : 2.0;
+      const double grow = ratio > 0.0
+                              ? std::clamp(options_.lte_safety * std::pow(ratio, -1.0 / p),
+                                           options_.dt_shrink_limit, options_.dt_grow_limit)
+                              : options_.dt_grow_limit;
+      dt = dt_eff * grow;
+    }
+  }
+
+  note_lte_steps(accepted_union, rejected_union);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (alive_[l]) results[l].ok = true;
+  }
+  note_bypass_solves(bypass_solves_, bypass_refactors_);
+  return results;
+}
+
+}  // namespace glova::spice

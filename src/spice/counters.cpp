@@ -1,0 +1,51 @@
+#include "spice/counters.hpp"
+
+#include <atomic>
+
+namespace glova::spice {
+
+namespace {
+std::atomic<std::uint64_t> g_batch_groups{0};
+std::atomic<std::uint64_t> g_batch_lanes{0};
+std::atomic<std::uint64_t> g_bypass_solves{0};
+std::atomic<std::uint64_t> g_bypass_refactors{0};
+std::atomic<std::uint64_t> g_steps_accepted{0};
+std::atomic<std::uint64_t> g_steps_rejected{0};
+}  // namespace
+
+SpiceCounters spice_counters() {
+  SpiceCounters c;
+  c.batch_groups = g_batch_groups.load(std::memory_order_relaxed);
+  c.batch_lanes = g_batch_lanes.load(std::memory_order_relaxed);
+  c.bypass_solves = g_bypass_solves.load(std::memory_order_relaxed);
+  c.bypass_refactors = g_bypass_refactors.load(std::memory_order_relaxed);
+  c.steps_accepted = g_steps_accepted.load(std::memory_order_relaxed);
+  c.steps_rejected = g_steps_rejected.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_spice_counters() {
+  g_batch_groups.store(0, std::memory_order_relaxed);
+  g_batch_lanes.store(0, std::memory_order_relaxed);
+  g_bypass_solves.store(0, std::memory_order_relaxed);
+  g_bypass_refactors.store(0, std::memory_order_relaxed);
+  g_steps_accepted.store(0, std::memory_order_relaxed);
+  g_steps_rejected.store(0, std::memory_order_relaxed);
+}
+
+void note_batch_group(std::uint64_t lanes) {
+  g_batch_groups.fetch_add(1, std::memory_order_relaxed);
+  g_batch_lanes.fetch_add(lanes, std::memory_order_relaxed);
+}
+
+void note_bypass_solves(std::uint64_t solves, std::uint64_t refactors) {
+  if (solves != 0) g_bypass_solves.fetch_add(solves, std::memory_order_relaxed);
+  if (refactors != 0) g_bypass_refactors.fetch_add(refactors, std::memory_order_relaxed);
+}
+
+void note_lte_steps(std::uint64_t accepted, std::uint64_t rejected) {
+  if (accepted != 0) g_steps_accepted.fetch_add(accepted, std::memory_order_relaxed);
+  if (rejected != 0) g_steps_rejected.fetch_add(rejected, std::memory_order_relaxed);
+}
+
+}  // namespace glova::spice

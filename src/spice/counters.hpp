@@ -1,0 +1,32 @@
+// Process-wide simulator counters (relaxed atomics, summed over every
+// thread), mirroring the warm-start statistics pattern: the scalar and
+// batched evaluators note events here and core::EvaluationEngine surfaces
+// them through EngineStats as deltas against a construction-time snapshot.
+#pragma once
+
+#include <cstdint>
+
+namespace glova::spice {
+
+struct SpiceCounters {
+  /// Batched-evaluator groups run and total lanes marched across them.
+  std::uint64_t batch_groups = 0;
+  std::uint64_t batch_lanes = 0;
+  /// Chord-Newton solves on frozen LU factors (Newton bypass) vs. full
+  /// stamp + refactor solves taken in bypass mode (first step, stalls).
+  std::uint64_t bypass_solves = 0;
+  std::uint64_t bypass_refactors = 0;
+  /// LTE-adaptive timestep controller: accepted steps and rejected (redone)
+  /// steps, scalar and batched paths combined.
+  std::uint64_t steps_accepted = 0;
+  std::uint64_t steps_rejected = 0;
+};
+
+[[nodiscard]] SpiceCounters spice_counters();
+void reset_spice_counters();
+
+void note_batch_group(std::uint64_t lanes);
+void note_bypass_solves(std::uint64_t solves, std::uint64_t refactors);
+void note_lte_steps(std::uint64_t accepted, std::uint64_t rejected);
+
+}  // namespace glova::spice

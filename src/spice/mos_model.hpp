@@ -1,0 +1,98 @@
+// Level-1 MOSFET linearization shared by the scalar Newton loop
+// (simulator.cpp) and the batched lockstep evaluator (batch.cpp).
+//
+// Both translation units are compiled with GLOVA_SPICE_KERNEL_FLAGS, and the
+// functions are inline, so the scalar and batched paths evaluate the exact
+// same floating-point expressions — a requirement for the batched path's
+// bit-identical parity with sequential evaluation.
+#pragma once
+
+#include "pdk/mos_params.hpp"
+
+namespace glova::spice {
+
+/// Linearized MOSFET: drain-to-source current and its partial derivatives
+/// with respect to the gate, drain and source node voltages.
+struct MosLinearization {
+  double i_ds = 0.0;
+  double d_vg = 0.0;
+  double d_vd = 0.0;
+  double d_vs = 0.0;
+};
+
+/// Square-law evaluation for an NMOS-oriented channel (vds >= 0 assumed by
+/// the caller): returns current and (gm, gds).
+struct NmosEval {
+  double id = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+inline NmosEval nmos_square_law(const pdk::MosParams& p, double w_over_l, double vgs, double vds) {
+  NmosEval e;
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0 || vds <= 0.0) return e;  // cutoff
+  const double k = p.kp * w_over_l;
+  if (vds < vov) {
+    // Triode region.
+    const double clm = 1.0 + p.lambda * vds;
+    e.id = k * (vov - 0.5 * vds) * vds * clm;
+    e.gm = k * vds * clm;
+    e.gds = k * ((vov - vds) * clm + (vov - 0.5 * vds) * vds * p.lambda);
+  } else {
+    // Saturation.
+    const double clm = 1.0 + p.lambda * vds;
+    e.id = 0.5 * k * vov * vov * clm;
+    e.gm = k * vov * clm;
+    e.gds = 0.5 * k * vov * vov * p.lambda;
+  }
+  return e;
+}
+
+/// NMOS including source/drain swap for vds < 0 (the channel is symmetric).
+inline MosLinearization nmos_linearize(const pdk::MosParams& p, double w_over_l, double vg,
+                                       double vd, double vs) {
+  MosLinearization lin;
+  if (vd >= vs) {
+    const NmosEval e = nmos_square_law(p, w_over_l, vg - vs, vd - vs);
+    lin.i_ds = e.id;
+    lin.d_vg = e.gm;
+    lin.d_vd = e.gds;
+    lin.d_vs = -(e.gm + e.gds);
+  } else {
+    // Swapped: physical source terminal acts as the channel drain.
+    const NmosEval e = nmos_square_law(p, w_over_l, vg - vd, vs - vd);
+    lin.i_ds = -e.id;
+    lin.d_vg = -e.gm;
+    lin.d_vs = -e.gds;
+    lin.d_vd = e.gm + e.gds;
+  }
+  return lin;
+}
+
+/// Full linearization covering both polarities.  PMOS devices are evaluated
+/// as NMOS on mirrored voltages; the mirror flips the current sign while the
+/// chain rule cancels the sign on the derivatives.  w_over_l is passed in so
+/// the plan can hoist the division out of the Newton loop.
+inline MosLinearization mos_linearize(const pdk::MosParams& params, double w_over_l, double vg,
+                                      double vd, double vs) {
+  if (!params.is_pmos) {
+    return nmos_linearize(params, w_over_l, vg, vd, vs);
+  }
+  const MosLinearization mirrored = nmos_linearize(params, w_over_l, -vg, -vd, -vs);
+  MosLinearization lin;
+  lin.i_ds = -mirrored.i_ds;
+  lin.d_vg = mirrored.d_vg;
+  lin.d_vd = mirrored.d_vd;
+  lin.d_vs = mirrored.d_vs;
+  return lin;
+}
+
+/// Drain-to-source current only (branch-current recovery at pinned nodes,
+/// residual-only evaluation in the Newton LU-bypass path).
+inline double mos_current(const pdk::MosParams& params, double w_over_l, double vg, double vd,
+                          double vs) {
+  return mos_linearize(params, w_over_l, vg, vd, vs).i_ds;
+}
+
+}  // namespace glova::spice

@@ -1,97 +1,41 @@
 #include "spice/simulator.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "spice/counters.hpp"
+#include "spice/mos_model.hpp"
+
 namespace glova::spice {
 
+// ---------------------------------------------------------------------------
+// Process-wide option switches
+
 namespace {
-
-/// Linearized MOSFET: drain-to-source current and its partial derivatives
-/// with respect to the gate, drain and source node voltages.
-struct MosLinearization {
-  double i_ds = 0.0;
-  double d_vg = 0.0;
-  double d_vd = 0.0;
-  double d_vs = 0.0;
-};
-
-/// Square-law evaluation for an NMOS-oriented channel (vds >= 0 assumed by
-/// the caller): returns current and (gm, gds).
-struct NmosEval {
-  double id = 0.0;
-  double gm = 0.0;
-  double gds = 0.0;
-};
-
-NmosEval nmos_square_law(const pdk::MosParams& p, double w_over_l, double vgs, double vds) {
-  NmosEval e;
-  const double vov = vgs - p.vth;
-  if (vov <= 0.0 || vds <= 0.0) return e;  // cutoff
-  const double k = p.kp * w_over_l;
-  if (vds < vov) {
-    // Triode region.
-    const double clm = 1.0 + p.lambda * vds;
-    e.id = k * (vov - 0.5 * vds) * vds * clm;
-    e.gm = k * vds * clm;
-    e.gds = k * ((vov - vds) * clm + (vov - 0.5 * vds) * vds * p.lambda);
-  } else {
-    // Saturation.
-    const double clm = 1.0 + p.lambda * vds;
-    e.id = 0.5 * k * vov * vov * clm;
-    e.gm = k * vov * clm;
-    e.gds = 0.5 * k * vov * vov * p.lambda;
-  }
-  return e;
-}
-
-/// NMOS including source/drain swap for vds < 0 (the channel is symmetric).
-MosLinearization nmos_linearize(const pdk::MosParams& p, double w_over_l, double vg, double vd,
-                                double vs) {
-  MosLinearization lin;
-  if (vd >= vs) {
-    const NmosEval e = nmos_square_law(p, w_over_l, vg - vs, vd - vs);
-    lin.i_ds = e.id;
-    lin.d_vg = e.gm;
-    lin.d_vd = e.gds;
-    lin.d_vs = -(e.gm + e.gds);
-  } else {
-    // Swapped: physical source terminal acts as the channel drain.
-    const NmosEval e = nmos_square_law(p, w_over_l, vg - vd, vs - vd);
-    lin.i_ds = -e.id;
-    lin.d_vg = -e.gm;
-    lin.d_vs = -e.gds;
-    lin.d_vd = e.gm + e.gds;
-  }
-  return lin;
-}
-
-/// Full linearization covering both polarities.  PMOS devices are evaluated
-/// as NMOS on mirrored voltages; the mirror flips the current sign while the
-/// chain rule cancels the sign on the derivatives.  w_over_l is passed in so
-/// the plan can hoist the division out of the Newton loop.
-MosLinearization mos_linearize(const pdk::MosParams& params, double w_over_l, double vg,
-                               double vd, double vs) {
-  if (!params.is_pmos) {
-    return nmos_linearize(params, w_over_l, vg, vd, vs);
-  }
-  const MosLinearization mirrored = nmos_linearize(params, w_over_l, -vg, -vd, -vs);
-  MosLinearization lin;
-  lin.i_ds = -mirrored.i_ds;
-  lin.d_vg = mirrored.d_vg;
-  lin.d_vd = mirrored.d_vd;
-  lin.d_vs = mirrored.d_vs;
-  return lin;
-}
-
-/// Drain-to-source current only (branch-current recovery at pinned nodes).
-double mos_current(const pdk::MosParams& params, double w_over_l, double vg, double vd,
-                   double vs) {
-  return mos_linearize(params, w_over_l, vg, vd, vs).i_ds;
-}
-
+std::atomic<bool> g_adaptive_timestep_default{false};
+std::atomic<bool> g_newton_bypass_default{false};
 }  // namespace
+
+bool adaptive_timestep_default() {
+  return g_adaptive_timestep_default.load(std::memory_order_relaxed);
+}
+void set_adaptive_timestep_default(bool enabled) {
+  g_adaptive_timestep_default.store(enabled, std::memory_order_relaxed);
+}
+bool newton_bypass_default() { return g_newton_bypass_default.load(std::memory_order_relaxed); }
+void set_newton_bypass_default(bool enabled) {
+  g_newton_bypass_default.store(enabled, std::memory_order_relaxed);
+}
+
+SimulatorOptions default_simulator_options() {
+  SimulatorOptions options;
+  options.adaptive_timestep = adaptive_timestep_default();
+  options.newton_bypass = newton_bypass_default();
+  return options;
+}
 
 // ---------------------------------------------------------------------------
 // TransientResult
@@ -404,7 +348,7 @@ void StampPlan::build_recovery(const Circuit& circuit, const SimulatorOptions& o
 
 void StampPlan::begin_solve(const AssemblyInputs& in) {
   const bool transient = in.mode == AnalysisMode::Transient;
-  if (transient && (in.x_prev == nullptr || in.x_prev->size() != padded_size())) {
+  if (transient && in.x_prev.size() != padded_size()) {
     throw std::logic_error("StampPlan::begin_solve: transient requires a padded x_prev");
   }
 
@@ -442,14 +386,14 @@ void StampPlan::begin_solve(const AssemblyInputs& in) {
   std::fill(rhs_base_.begin(), rhs_base_.end(), 0.0);
   double* rb = rhs_base_.data();
   if (transient) {
-    const std::vector<double>& xp = *in.x_prev;
+    const std::span<const double> xp = in.x_prev;
     for (std::size_t ci = 0; ci < caps_.size(); ++ci) {
       const CapStamp& c = caps_[ci];
       const double geq = (in.trapezoidal ? 2.0 : 1.0) * c.farads / in.dt;
       const double v_prev = xp[c.xa] - xp[c.xb];
       if (in.trapezoidal) {
         // i_{n+1} = (2C/dt)(v_{n+1} - v_n) - i_n
-        const double i_prev = (in.cap_current_prev != nullptr) ? (*in.cap_current_prev)[ci] : 0.0;
+        const double i_prev = ci < in.cap_current_prev.size() ? in.cap_current_prev[ci] : 0.0;
         rb[c.rhs_a] += geq * v_prev + i_prev;
         rb[c.rhs_b] -= geq * v_prev + i_prev;
       } else {
@@ -476,16 +420,19 @@ void StampPlan::begin_solve(const AssemblyInputs& in) {
   rb[n_] = 0.0;  // scrub the RHS scratch slot
 }
 
-void StampPlan::load_pinned(std::vector<double>& x) const {
+void StampPlan::load_pinned(std::span<double> x) const {
   for (std::size_t pi = 0; pi < pinned_.size(); ++pi) x[n_ + pi] = pinned_vals_[pi];
   x[n_ + pinned_.size()] = 0.0;  // ground slot
 }
 
-void StampPlan::stamp(const std::vector<double>& x, DenseMatrix& g,
-                      std::vector<double>& rhs) const {
-  double* gd = g.data();
-  std::copy(static_g_.begin(), static_g_.end(), gd);
+void StampPlan::load_static(DenseMatrix& g, std::span<double> rhs) const {
+  std::copy(static_g_.begin(), static_g_.end(), g.data());
   std::copy(rhs_base_.begin(), rhs_base_.end(), rhs.begin());
+}
+
+void StampPlan::stamp(std::span<const double> x, DenseMatrix& g, std::span<double> rhs) const {
+  load_static(g, rhs);
+  double* gd = g.data();
   double* rd = rhs.data();
 
   // MOSFETs: companion model around the current Newton iterate.  Eliminated
@@ -511,9 +458,30 @@ void StampPlan::stamp(const std::vector<double>& x, DenseMatrix& g,
   }
 }
 
-void StampPlan::vsource_currents(const std::vector<double>& x,
-                                 const std::vector<double>* cap_current, double time,
-                                 double source_scale, std::span<double> out) const {
+void StampPlan::residual(std::span<const double> x, std::span<double> r) const {
+  // Static part: G_static x - rhs_base row by row.  Columns >= n_ of each
+  // padded row are never written by any stamp, so the matvec can stop at n_.
+  const double* g = static_g_.data();
+  const double* xp = x.data();
+  double* rd = r.data();
+  for (std::size_t row = 0; row < n_; ++row) {
+    const double* __restrict grow = g + row * stride_;
+    double sum = -rhs_base_[row];
+    for (std::size_t c = 0; c < n_; ++c) sum += grow[c] * xp[c];
+    rd[row] = sum;
+  }
+  rd[n_] = 0.0;  // scratch slot absorbs eliminated-row device currents
+  // Nonlinear part: each channel current leaves the drain node and enters
+  // the source node (gates draw no current).
+  for (const MosStamp& ms : mosfets_) {
+    const double i = mos_current(*ms.params, ms.w_over_l, x[ms.xg], x[ms.xd], x[ms.xs]);
+    rd[ms.rhs_d] += i;
+    rd[ms.rhs_s] -= i;
+  }
+}
+
+void StampPlan::vsource_currents(std::span<const double> x, std::span<const double> cap_current,
+                                 double time, double source_scale, std::span<double> out) const {
   for (std::size_t si = 0; si < vsrc_branch_.size(); ++si) {
     if (vsrc_branch_[si] != kNoSlot) out[si] = x[vsrc_branch_[si]];
   }
@@ -525,7 +493,7 @@ void StampPlan::vsource_currents(const std::vector<double>& x,
           sum += t.coeff * (x[t.xa] - x[t.xb]);
           break;
         case RecoveryTerm::Kind::CapCurrent:
-          if (cap_current != nullptr) sum += t.coeff * (*cap_current)[t.index];
+          if (!cap_current.empty()) sum += t.coeff * cap_current[t.index];
           break;
         case RecoveryTerm::Kind::MosChannel:
           sum += t.coeff * mos_current(*t.params, t.w_over_l, x[t.xg], x[t.xd], x[t.xs]);
@@ -574,16 +542,17 @@ double Simulator::voltage_of(const std::vector<double>& x, NodeId node) const {
   return x[plan_.x_slot(node)];
 }
 
-bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x, int& iterations) {
-  const std::size_t n = unknown_count();
-  const std::size_t nu = plan_.unknown_node_count();
-  SimulatorWorkspace& ws = *workspace_;
+bool newton_solve_plan(StampPlan& plan, const SimulatorOptions& options,
+                       SimulatorWorkspace& ws, const AssemblyInputs& in, std::vector<double>& x,
+                       int& iterations) {
+  const std::size_t n = plan.unknown_count();
+  const std::size_t nu = plan.unknown_node_count();
   ws.prepare(n);
-  plan_.begin_solve(in);
-  plan_.load_pinned(x);
+  plan.begin_solve(in);
+  plan.load_pinned(x);
   DenseMatrix& g = ws.solver.matrix(n);
-  for (int it = 0; it < options_.max_newton_iterations; ++it) {
-    plan_.stamp(x, g, ws.rhs);
+  for (int it = 0; it < options.max_newton_iterations; ++it) {
+    plan.stamp(x, g, ws.rhs);
     if (!ws.solver.factor_solve_in_place(std::span<double>(ws.rhs.data(), n), ws.x_new)) {
       iterations += it + 1;
       return false;
@@ -594,23 +563,27 @@ bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x, i
     double max_delta = 0.0;
     for (std::size_t i = 0; i < nu; ++i) {
       const double delta =
-          std::clamp(x_new[i] - x[i], -options_.max_step_voltage, options_.max_step_voltage);
+          std::clamp(x_new[i] - x[i], -options.max_step_voltage, options.max_step_voltage);
       max_delta = std::max(max_delta, std::abs(delta));
       x[i] += delta;
     }
     for (std::size_t i = nu; i < n; ++i) x[i] = x_new[i];
-    if (max_delta < options_.vtol) {
+    if (max_delta < options.vtol) {
       iterations += it + 1;
       return true;
     }
   }
-  iterations += options_.max_newton_iterations;
+  iterations += options.max_newton_iterations;
   return false;
 }
 
-OpResult Simulator::operating_point(const OpResult* warm_start) {
+OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
+                              const SimulatorOptions& options, SimulatorWorkspace& ws,
+                              const OpResult* warm_start) {
+  const std::size_t n_nodes = circuit.node_count();
+  const std::size_t n_vsrc = circuit.vsources().size();
   OpResult result;
-  std::vector<double> x(plan_.padded_size(), 0.0);
+  std::vector<double> x(plan.padded_size(), 0.0);
 
   AssemblyInputs in;
   in.mode = AnalysisMode::Op;
@@ -620,32 +593,32 @@ OpResult Simulator::operating_point(const OpResult* warm_start) {
   bool ok = false;
   bool warm = false;
   if (warm_start != nullptr && warm_start->converged &&
-      warm_start->node_voltages.size() == n_nodes_ &&
-      warm_start->vsource_currents.size() == n_vsrc_) {
-    for (NodeId nd = 1; nd < n_nodes_; ++nd) {
-      if (plan_.node_is_unknown(nd)) x[plan_.x_slot(nd)] = warm_start->node_voltages[nd];
+      warm_start->node_voltages.size() == n_nodes &&
+      warm_start->vsource_currents.size() == n_vsrc) {
+    for (NodeId nd = 1; nd < n_nodes; ++nd) {
+      if (plan.node_is_unknown(nd)) x[plan.x_slot(nd)] = warm_start->node_voltages[nd];
     }
-    for (std::size_t si = 0; si < n_vsrc_; ++si) {
-      const std::size_t slot = plan_.vsource_branch_slot(si);
+    for (std::size_t si = 0; si < n_vsrc; ++si) {
+      const std::size_t slot = plan.vsource_branch_slot(si);
       if (slot != StampPlan::kNoSlot) x[slot] = warm_start->vsource_currents[si];
     }
     // VCVS branch currents are not part of OpResult; they stay seeded at 0.
     warm = true;
-    ok = newton_solve(in, x, iterations);
+    ok = newton_solve_plan(plan, options, ws, in, x, iterations);
     if (!ok) {
       // A bad seed must never cost correctness: restart cold.
       std::fill(x.begin(), x.end(), 0.0);
       warm = false;
     }
   }
-  if (!ok) ok = newton_solve(in, x, iterations);
+  if (!ok) ok = newton_solve_plan(plan, options, ws, in, x, iterations);
   if (!ok) {
     // Source stepping: ramp all independent sources from 0 to full value.
     std::fill(x.begin(), x.end(), 0.0);
     ok = true;
-    for (int step = 1; step <= options_.source_steps; ++step) {
-      in.source_scale = static_cast<double>(step) / options_.source_steps;
-      if (!newton_solve(in, x, iterations)) {
+    for (int step = 1; step <= options.source_steps; ++step) {
+      in.source_scale = static_cast<double>(step) / options.source_steps;
+      if (!newton_solve_plan(plan, options, ws, in, x, iterations)) {
         ok = false;
         break;
       }
@@ -657,12 +630,20 @@ OpResult Simulator::operating_point(const OpResult* warm_start) {
   result.iterations = iterations;
   result.warm_started = warm;
   if (ok) {
-    result.node_voltages.assign(n_nodes_, 0.0);
-    for (NodeId nd = 1; nd < n_nodes_; ++nd) result.node_voltages[nd] = voltage_of(x, nd);
-    result.vsource_currents.assign(n_vsrc_, 0.0);
-    plan_.vsource_currents(x, nullptr, 0.0, 1.0, result.vsource_currents);
+    result.node_voltages.assign(n_nodes, 0.0);
+    for (NodeId nd = 1; nd < n_nodes; ++nd) result.node_voltages[nd] = x[plan.x_slot(nd)];
+    result.vsource_currents.assign(n_vsrc, 0.0);
+    plan.vsource_currents(x, {}, 0.0, 1.0, result.vsource_currents);
   }
   return result;
+}
+
+bool Simulator::newton_solve(const AssemblyInputs& in, std::vector<double>& x, int& iterations) {
+  return newton_solve_plan(plan_, options_, *workspace_, in, x, iterations);
+}
+
+OpResult Simulator::operating_point(const OpResult* warm_start) {
+  return operating_point_plan(circuit_, plan_, options_, *workspace_, warm_start);
 }
 
 TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* dc_warm_start) {
@@ -727,7 +708,7 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
     for (const NodeId nd : record_nodes) result.traces[ti++].values.push_back(voltage_of(solution, nd));
     if (n_vsrc_ > 0) {
       if (recover_currents) {
-        plan_.vsource_currents(solution, &cap_current, time, 1.0, vsrc_i);
+        plan_.vsource_currents(solution, cap_current, time, 1.0, vsrc_i);
       } else {
         std::fill(vsrc_i.begin(), vsrc_i.end(), 0.0);
       }
@@ -743,54 +724,238 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
 
   // --- time stepping ---
   std::vector<double> x_prev = x;
-  const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / spec.dt));
 
-  for (std::size_t step = 1; step <= n_steps; ++step) {
-    // Uniform grid, with the final (possibly partial) step landing exactly
-    // on t_stop.  dt is measured against the previously recorded time, so
-    // it is positive by construction of n_steps; the guard only fires if
-    // rounding made the second-to-last grid point collide with t_stop.
-    const double t_prev = result.times.back();
-    double t = static_cast<double>(step) * spec.dt;
-    if (step == n_steps || t > spec.t_stop) t = spec.t_stop;
-    const double dt = t - t_prev;
-    if (dt <= 0.0) break;
-
-    AssemblyInputs in;
-    in.mode = AnalysisMode::Transient;
-    in.time = t;
-    in.dt = dt;
-    // Backward-Euler startup damps the artificial transient from imperfect
-    // initial conditions; trapezoidal afterwards for accuracy.
-    in.trapezoidal = step > 2;
-    in.x_prev = &x_prev;
-    in.cap_current_prev = &cap_current;
-
-    int step_iterations = 0;
-    if (!newton_solve(in, x, step_iterations)) {
-      result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
-      result.error = "transient: Newton failed at t = " + std::to_string(t);
-      return result;
-    }
-    result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
-
-    // Update per-capacitor branch currents for the trapezoidal companion.
-    const std::vector<Capacitor>& caps = circuit_.capacitors();
+  // Update per-capacitor branch currents for the trapezoidal companion.
+  const std::vector<Capacitor>& caps = circuit_.capacitors();
+  const auto update_cap_currents = [&](const std::vector<double>& x_now,
+                                       const std::vector<double>& x_was, double dt,
+                                       bool trapezoidal) {
     for (std::size_t ci = 0; ci < n_caps; ++ci) {
       const Capacitor& c = caps[ci];
-      const double v_now = voltage_of(x, c.a) - voltage_of(x, c.b);
-      const double v_was = voltage_of(x_prev, c.a) - voltage_of(x_prev, c.b);
-      if (in.trapezoidal) {
+      const double v_now = voltage_of(x_now, c.a) - voltage_of(x_now, c.b);
+      const double v_was = voltage_of(x_was, c.a) - voltage_of(x_was, c.b);
+      if (trapezoidal) {
         cap_current[ci] = 2.0 * c.farads / dt * (v_now - v_was) - cap_current[ci];
       } else {
         cap_current[ci] = c.farads / dt * (v_now - v_was);
       }
     }
+  };
 
-    record_point(t, x, /*recover_currents=*/true);
-    x_prev = x;
+  if (!options_.adaptive_timestep) {
+    const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / spec.dt));
+
+    for (std::size_t step = 1; step <= n_steps; ++step) {
+      // Uniform grid, with the final (possibly partial) step landing exactly
+      // on t_stop.  dt is measured against the previously recorded time, so
+      // it is positive by construction of n_steps; the guard only fires if
+      // rounding made the second-to-last grid point collide with t_stop.
+      const double t_prev = result.times.back();
+      double t = static_cast<double>(step) * spec.dt;
+      if (step == n_steps || t > spec.t_stop) t = spec.t_stop;
+      const double dt = t - t_prev;
+      if (dt <= 0.0) break;
+
+      AssemblyInputs in;
+      in.mode = AnalysisMode::Transient;
+      in.time = t;
+      in.dt = dt;
+      // Backward-Euler startup damps the artificial transient from imperfect
+      // initial conditions; trapezoidal afterwards for accuracy.
+      in.trapezoidal = step > 2;
+      in.x_prev = x_prev;
+      in.cap_current_prev = cap_current;
+
+      int step_iterations = 0;
+      if (!newton_solve(in, x, step_iterations)) {
+        result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+        result.error = "transient: Newton failed at t = " + std::to_string(t);
+        return result;
+      }
+      result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+
+      update_cap_currents(x, x_prev, dt, in.trapezoidal);
+
+      record_point(t, x, /*recover_currents=*/true);
+      ++result.steps_accepted;
+      result.dt_trace.push_back(dt);
+      x_prev = x;
+    }
+
+    result.ok = true;
+    return result;
   }
 
+  // --- LTE-adaptive time stepping ---
+  //
+  // spec.dt is the initial (and post-breakpoint) step.  Each step is solved
+  // tentatively, its local truncation error estimated from divided
+  // differences over the accepted history, and accepted/rejected against
+  // reltol * |v| + abstol; dt then follows the classic error-controller
+  // update safety * ratio^(-1/(order+1)) within grow/shrink clamps.  Steps
+  // are forced to land exactly on waveform breakpoints, and both the step
+  // size and the integration order reset there (the divided-difference
+  // history straddling a slope discontinuity would poison the estimate).
+  const double dt_min = spec.dt * options_.dt_min_factor;
+  const double dt_max = spec.dt * options_.dt_max_factor;
+
+  std::vector<double> breaks;
+  for (const VoltageSource& v : circuit_.vsources()) {
+    v.waveform.append_breakpoints(spec.t_stop, breaks);
+  }
+  for (const CurrentSource& i : circuit_.isources()) {
+    i.waveform.append_breakpoints(spec.t_stop, breaks);
+  }
+  breaks.push_back(spec.t_stop);
+  std::sort(breaks.begin(), breaks.end());
+  // Merge breakpoints closer than dt_min; the run must still end exactly at
+  // t_stop even if the final breakpoint got swallowed by the merge.
+  {
+    std::size_t kept = 0;
+    for (const double t : breaks) {
+      if (kept != 0 && t - breaks[kept - 1] < dt_min) continue;
+      breaks[kept++] = t;
+    }
+    breaks.resize(kept);
+    if (breaks.back() != spec.t_stop) breaks.back() = spec.t_stop;
+  }
+
+  // Accepted-solution history for the divided-difference LTE estimate:
+  // newest last, node voltages only (branch currents are algebraic in MNA
+  // and carry no integration error of their own).
+  const std::size_t nu = plan_.unknown_node_count();
+  std::array<std::vector<double>, 3> hist_x;
+  std::array<double, 3> hist_t{};
+  std::size_t hist_n = 0;
+  const auto push_history = [&](double t, const std::vector<double>& sol) {
+    if (hist_n == 3) {
+      std::vector<double> recycled = std::move(hist_x[0]);
+      hist_x[0] = std::move(hist_x[1]);
+      hist_x[1] = std::move(hist_x[2]);
+      hist_x[2] = std::move(recycled);
+      hist_t[0] = hist_t[1];
+      hist_t[1] = hist_t[2];
+      --hist_n;
+    }
+    hist_x[hist_n].assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(nu));
+    hist_t[hist_n] = t;
+    ++hist_n;
+  };
+  push_history(0.0, x);
+
+  /// max_i lte_i / (reltol * |v_i| + abstol) for the tentative solution, or
+  /// 0 when the history is too short to estimate (startup: accept).
+  const auto lte_ratio = [&](double t_new, const std::vector<double>& x_new, bool trap) {
+    const std::size_t need = trap ? 3 : 2;  // history points (+ the trial)
+    if (hist_n < need) return 0.0;
+    const std::size_t m = need;  // divided-difference order
+    double ts[4];
+    const std::vector<double>* hx[3];
+    for (std::size_t k = 0; k < need; ++k) {
+      ts[k] = hist_t[hist_n - need + k];
+      hx[k] = &hist_x[hist_n - need + k];
+    }
+    ts[m] = t_new;
+    const double dt_new = t_new - ts[m - 1];
+    double worst = 0.0;
+    for (std::size_t i = 0; i < nu; ++i) {
+      double f[4];
+      for (std::size_t k = 0; k < need; ++k) f[k] = (*hx[k])[i];
+      f[m] = x_new[i];
+      for (std::size_t order = 1; order <= m; ++order) {
+        for (std::size_t k = m; k >= order; --k) {
+          f[k] = (f[k] - f[k - 1]) / (ts[k] - ts[k - order]);
+        }
+      }
+      // Trapezoidal LTE ~ dt^3/12 |x'''| with x''' ~ 6 DD3; backward Euler
+      // LTE ~ dt^2/2 |x''| with x'' ~ 2 DD2.
+      const double lte = trap ? 0.5 * dt_new * dt_new * dt_new * std::abs(f[m])
+                              : dt_new * dt_new * std::abs(f[m]);
+      const double tol = options_.lte_reltol * std::max(std::abs(x_new[i]), std::abs((*hx[m - 1])[i])) +
+                         options_.lte_abstol;
+      worst = std::max(worst, lte / tol);
+    }
+    return worst;
+  };
+
+  double t_cur = 0.0;
+  double dt = std::clamp(spec.dt, dt_min, dt_max);
+  std::size_t bp_i = 0;
+  std::size_t since_reset = 0;  // accepted steps since t=0 / last breakpoint
+  std::vector<double> x_trial = x_prev;
+
+  while (t_cur < spec.t_stop) {
+    while (bp_i < breaks.size() && breaks[bp_i] <= t_cur) ++bp_i;
+    if (bp_i >= breaks.size()) break;  // unreachable: t_stop is a breakpoint
+    const double bp = breaks[bp_i];
+
+    dt = std::clamp(dt, dt_min, dt_max);
+    double t_next = t_cur + dt;
+    if (t_next > bp - dt_min) t_next = bp;  // land exactly, leave no sliver
+    const double dt_eff = t_next - t_cur;
+    // Backward-Euler startup after t=0 and after every breakpoint, matching
+    // the fixed-grid path's two-step BE damping of companion transients.
+    const bool trap = since_reset >= 2;
+
+    AssemblyInputs in;
+    in.mode = AnalysisMode::Transient;
+    in.time = t_next;
+    in.dt = dt_eff;
+    in.trapezoidal = trap;
+    in.x_prev = x_prev;
+    in.cap_current_prev = cap_current;
+
+    x_trial = x_prev;
+    int step_iterations = 0;
+    const bool solved = newton_solve(in, x_trial, step_iterations);
+    result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+    if (!solved) {
+      if (dt_eff <= dt_min * (1.0 + 1e-9)) {
+        note_lte_steps(result.steps_accepted, result.steps_rejected);
+        result.error = "transient: Newton failed at t = " + std::to_string(t_next) +
+                       " with dt already at dt_min";
+        return result;
+      }
+      ++result.steps_rejected;
+      dt = std::max(dt_min, dt_eff * options_.dt_shrink_limit);
+      continue;
+    }
+
+    const double ratio = lte_ratio(t_next, x_trial, trap);
+    if (ratio > 1.0 && dt_eff > dt_min * (1.0 + 1e-9)) {
+      ++result.steps_rejected;
+      const double p = trap ? 3.0 : 2.0;
+      const double shrink =
+          std::clamp(options_.lte_safety * std::pow(ratio, -1.0 / p), options_.dt_shrink_limit, 0.9);
+      dt = std::max(dt_min, dt_eff * shrink);
+      continue;
+    }
+
+    update_cap_currents(x_trial, x_prev, dt_eff, trap);
+    record_point(t_next, x_trial, /*recover_currents=*/true);
+    ++result.steps_accepted;
+    result.dt_trace.push_back(dt_eff);
+    std::swap(x_prev, x_trial);
+    t_cur = t_next;
+
+    if (t_next == bp) {
+      since_reset = 0;
+      hist_n = 0;  // order reset: discard history across the discontinuity
+      push_history(t_next, x_prev);
+      dt = std::clamp(spec.dt, dt_min, dt_max);
+    } else {
+      ++since_reset;
+      push_history(t_next, x_prev);
+      const double p = trap ? 3.0 : 2.0;
+      const double grow = ratio > 0.0
+                              ? std::clamp(options_.lte_safety * std::pow(ratio, -1.0 / p),
+                                           options_.dt_shrink_limit, options_.dt_grow_limit)
+                              : options_.dt_grow_limit;
+      dt = dt_eff * grow;
+    }
+  }
+
+  note_lte_steps(result.steps_accepted, result.steps_rejected);
   result.ok = true;
   return result;
 }

@@ -81,6 +81,13 @@ struct TransientResult {
   int dc_iterations = 0;
   /// Newton iterations summed over all timesteps (excluding the DC solve).
   std::uint64_t newton_iterations = 0;
+  /// Timestep-controller observability: accepted steps (== times.size() - 1
+  /// on success), rejected-and-redone steps, and the dt of every accepted
+  /// step in order.  Fixed-grid runs fill these too (uniform dt trace,
+  /// steps_rejected == 0), so callers can diff the two modes directly.
+  std::uint64_t steps_accepted = 0;
+  std::uint64_t steps_rejected = 0;
+  std::vector<double> dt_trace;
 
   /// Access a trace by name ("out", "I(VDD)"); throws std::out_of_range.
   /// O(1) after the first lookup: a name -> index map is built lazily and
@@ -106,7 +113,46 @@ struct SimulatorOptions {
   /// system (branch currents are recovered from KCL).  Disable to force the
   /// classic full-branch MNA formulation.
   bool pin_grounded_sources = true;
+
+  /// --- LTE-adaptive timestep control (transient only) -------------------
+  /// When enabled, TransientSpec::dt becomes the *initial* step and the
+  /// controller grows/shrinks dt from a local-truncation-error estimate
+  /// (divided differences over the accepted history: second difference for
+  /// the backward-Euler startup steps, third for trapezoidal).  Steps are
+  /// forced to land on waveform breakpoints, and the step size resets to
+  /// spec.dt after each breakpoint (the integration order drops across a
+  /// slope discontinuity, so history from before it is not trusted).
+  /// Disabled, the transient marches the fixed uniform grid bit-identically
+  /// to previous releases.
+  bool adaptive_timestep = false;
+  double lte_reltol = 2e-3;     ///< LTE tolerance relative to the node swing
+  double lte_abstol = 1e-4;     ///< [V] LTE absolute tolerance floor
+  double lte_safety = 0.9;      ///< target a little inside the tolerance
+  double dt_grow_limit = 2.0;   ///< max dt growth per accepted step
+  double dt_shrink_limit = 0.1; ///< min dt shrink per rejected step
+  double dt_min_factor = 1e-3;  ///< dt never drops below spec.dt * this
+  double dt_max_factor = 16.0;  ///< dt never grows above spec.dt * this
+
+  /// Newton LU-bypass (batched evaluator only): keep each lane's previous
+  /// LU factorization and iterate chord Newton on the true residual while
+  /// it converges, falling back to a full stamp + refactor on stall.  The
+  /// scalar Simulator ignores this flag — its fused factor+solve kernel is
+  /// already cheaper than a retained factorization for single lanes.
+  bool newton_bypass = false;
 };
+
+/// Process-wide default switches for the options testbench backends build
+/// their simulators with (the same pattern as set_dc_warm_start_enabled):
+/// core::EvaluationEngine applies its EngineConfig here, and benchmarks /
+/// tests toggle them directly.  Both default to off.
+[[nodiscard]] bool adaptive_timestep_default();
+void set_adaptive_timestep_default(bool enabled);
+[[nodiscard]] bool newton_bypass_default();
+void set_newton_bypass_default(bool enabled);
+
+/// SimulatorOptions with the process-wide switches applied — what testbench
+/// backends pass to their Simulator / BatchSimulator.
+[[nodiscard]] SimulatorOptions default_simulator_options();
 
 enum class AnalysisMode { Op, Transient };
 
@@ -119,10 +165,11 @@ struct AssemblyInputs {
   double source_scale = 1.0;
   bool trapezoidal = false;
   /// Previous-timepoint solution in padded layout (see StampPlan::padded_size);
-  /// required in Transient mode.
-  const std::vector<double>* x_prev = nullptr;
+  /// required in Transient mode.  A span so the batched evaluator can point
+  /// it at one lane of its lane-strided state without copying.
+  std::span<const double> x_prev{};
   /// Per-capacitor branch current i_n (trapezoidal companion); Transient only.
-  const std::vector<double>* cap_current_prev = nullptr;
+  std::span<const double> cap_current_prev{};
 };
 
 /// Compiled assembly plan for one circuit topology.
@@ -149,6 +196,21 @@ struct AssemblyInputs {
 class StampPlan {
  public:
   StampPlan(const Circuit& circuit, const SimulatorOptions& options);
+
+  /// One MOSFET's resolved stamp targets: Jacobian / RHS / iterate-read
+  /// slots plus the hoisted device parameters.  Exposed so the batched
+  /// evaluator can run its device-major companion pass across lanes; slot
+  /// indices are identical across structurally congruent circuits (same
+  /// topology, element order, and node order — only values differing).
+  struct MosStamp {
+    std::size_t j_dg, j_dd, j_ds;  ///< drain-row Jacobian slots
+    std::size_t j_sg, j_sd, j_ss;  ///< source-row Jacobian slots
+    std::size_t rhs_d, rhs_s;
+    std::size_t xg, xd, xs;        ///< padded solution reads
+    double mg, md, ms;             ///< 1.0 iff that terminal is an unknown node
+    const pdk::MosParams* params;
+    double w_over_l;               ///< hoisted out of the Newton loop
+  };
 
   /// Solved unknowns: free node voltages, then branch currents.
   [[nodiscard]] std::size_t unknown_count() const { return n_; }
@@ -185,21 +247,39 @@ class StampPlan {
 
   /// Copy the pinned node voltages computed by begin_solve into the padded
   /// region of `x` (and re-pin the ground slot to 0).
-  void load_pinned(std::vector<double>& x) const;
+  void load_pinned(std::span<double> x) const;
 
   /// One Newton iteration's assembly: copy the cached static parts into
   /// `g` / `rhs`, then stamp the MOSFET companion models around iterate `x`.
   /// `x` must have padded_size() entries with the pinned/ground tail loaded
   /// via load_pinned(); `rhs` needs unknown_count() + 1 entries; `g` must be
   /// sized to unknown_count().
-  void stamp(const std::vector<double>& x, DenseMatrix& g, std::vector<double>& rhs) const;
+  void stamp(std::span<const double> x, DenseMatrix& g, std::span<double> rhs) const;
+
+  /// The linear half of stamp(): copy the cached static matrix / RHS base
+  /// into `g` / `rhs` without the MOSFET companion pass.  The batched
+  /// evaluator uses this so it can interleave the nonlinear pass
+  /// device-major across lanes.  Preconditions as stamp().
+  void load_static(DenseMatrix& g, std::span<double> rhs) const;
+
+  /// Per-MOSFET stamp records in circuit order (see MosStamp).
+  [[nodiscard]] std::span<const MosStamp> mos_stamps() const { return mosfets_; }
+
+  /// True nonlinear KCL residual at iterate `x` for the current solve:
+  /// r = G_static * x + i_mos(x) - rhs_base, row for row the amount by which
+  /// the assembled equations are violated.  Used by the Newton LU-bypass
+  /// path, which iterates on frozen factors and only needs the residual —
+  /// no Jacobian, no matrix copy.  Must be called between begin_solve() and
+  /// the next begin_solve(); `x` as in stamp(); `r` needs
+  /// unknown_count() + 1 entries (trailing scratch slot).
+  void residual(std::span<const double> x, std::span<double> r) const;
 
   /// Fill `out[si]` with the branch current of every independent voltage
   /// source: read from the solution for branch-form sources, recovered from
-  /// KCL at the pinned node for absorbed ones.  `cap_current` may be null
+  /// KCL at the pinned node for absorbed ones.  `cap_current` may be empty
   /// (operating point: capacitors open).  `time`/`source_scale` evaluate
   /// current-source waveforms appearing in the recovery sums.
-  void vsource_currents(const std::vector<double>& x, const std::vector<double>* cap_current,
+  void vsource_currents(std::span<const double> x, std::span<const double> cap_current,
                         double time, double source_scale, std::span<double> out) const;
 
  private:
@@ -228,15 +308,6 @@ class StampPlan {
   struct IsrcStamp {
     std::size_t rhs_pos, rhs_neg;
     const Waveform* waveform;
-  };
-  struct MosStamp {
-    std::size_t j_dg, j_dd, j_ds;  ///< drain-row Jacobian slots
-    std::size_t j_sg, j_sd, j_ss;  ///< source-row Jacobian slots
-    std::size_t rhs_d, rhs_s;
-    std::size_t xg, xd, xs;        ///< padded solution reads
-    double mg, md, ms;             ///< 1.0 iff that terminal is an unknown node
-    const pdk::MosParams* params;
-    double w_over_l;               ///< hoisted out of the Newton loop
   };
   /// A source absorbed into a known node voltage.
   struct PinnedSource {
@@ -331,6 +402,24 @@ struct SimulatorWorkspace {
 /// explicit workspace use this one, so repeated evaluations on a worker
 /// thread (the common testbench pattern) reuse the same buffers.
 [[nodiscard]] SimulatorWorkspace& thread_local_workspace();
+
+/// One damped Newton solve over an already-compiled plan: begin_solve,
+/// load_pinned, then iterate stamp / fused factor-solve / clamped update
+/// until the maximum node-voltage change drops below vtol.  `x` is the
+/// initial guess on entry and the converged iterate on exit (padded
+/// layout); `iterations` is incremented by the iterations spent.  This is
+/// the kernel behind Simulator::operating_point / transient, shared with
+/// the batched evaluator so both paths run bit-identical arithmetic.
+[[nodiscard]] bool newton_solve_plan(StampPlan& plan, const SimulatorOptions& options,
+                                     SimulatorWorkspace& ws, const AssemblyInputs& in,
+                                     std::vector<double>& x, int& iterations);
+
+/// DC operating point over an already-compiled plan, including the warm
+/// start attempt, cold restart, and source-stepping fallback (see
+/// Simulator::operating_point, which delegates here).
+[[nodiscard]] OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
+                                            const SimulatorOptions& options,
+                                            SimulatorWorkspace& ws, const OpResult* warm_start);
 
 class Simulator {
  public:

@@ -54,6 +54,33 @@ Waveform Waveform::sine(double offset, double amplitude, double freq_hz, double 
   return w;
 }
 
+void Waveform::append_breakpoints(double t_stop, std::vector<double>& out) const {
+  constexpr std::size_t kMaxPoints = 4096;
+  const auto push = [&](double t) {
+    if (t > 0.0 && t < t_stop) out.push_back(t);
+  };
+  switch (kind_) {
+    case Kind::Dc:
+      return;
+    case Kind::Pulse: {
+      const double corners[4] = {0.0, rise_, rise_ + width_, rise_ + width_ + fall_};
+      std::size_t emitted = 0;
+      for (double base = delay_; base < t_stop && emitted < kMaxPoints; emitted += 4) {
+        for (const double c : corners) push(base + c);
+        if (period_ <= 0.0) break;  // single pulse
+        base += period_;
+      }
+      return;
+    }
+    case Kind::Pwl:
+      for (const double t : times_) push(t);
+      return;
+    case Kind::Sine:
+      push(delay_);
+      return;
+  }
+}
+
 double Waveform::value(double time) const {
   switch (kind_) {
     case Kind::Dc:

@@ -29,6 +29,13 @@ class Waveform {
   /// Largest value the waveform ever takes (used for source stepping).
   [[nodiscard]] double dc_value() const { return value(0.0); }
 
+  /// Append every slope discontinuity in (0, t_stop) to `out`: PULSE edge
+  /// corners (per period), PWL knots, the SIN delay.  The adaptive timestep
+  /// controller forces steps to land exactly on these so no edge is
+  /// straddled by a large step.  Unsorted, may contain duplicates across
+  /// waveforms; capped at 4096 points per call against degenerate periods.
+  void append_breakpoints(double t_stop, std::vector<double>& out) const;
+
  private:
   enum class Kind { Dc, Pulse, Pwl, Sine };
   Kind kind_ = Kind::Dc;
