@@ -281,8 +281,9 @@ std::vector<double> DramOcsaSubholeSpice::evaluate(std::span<const double> x,
     }
     if (!res.ok) {
       // A non-convergent design fails every constraint: vanishing sensing
-      // margins and an enormous energy.
-      return {1e-6, 1e-6, 1.0};
+      // margins and an enormous energy; the structured report lets the
+      // engine retry or degrade instead of accepting the penalty.
+      throw EvaluationError(evaluation_failure_from(res.failure), {1e-6, 1e-6, 1.0});
     }
     const auto [margin, e_read] = polarity_margin_energy(res, x, corner, h, data_one);
     dvd[data_one ? 1 : 0] = margin;
@@ -295,8 +296,9 @@ std::vector<double> DramOcsaSubholeSpice::evaluate(std::span<const double> x,
 
 std::vector<std::vector<double>> DramOcsaSubholeSpice::evaluate_draws(
     std::span<const double> x, const pdk::PvtCorner& corner,
-    std::span<const std::vector<double>> hs) const {
+    std::span<const std::vector<double>> hs, std::vector<EvaluationFailure>& failures) const {
   const std::size_t n = hs.size();
+  failures.assign(n, {});
   std::vector<char> failed(n, 0);
   std::vector<std::array<double, 2>> dvd(n, {1e-6, 1e-6});
   std::vector<double> energy_sum(n, 0.0);
@@ -322,6 +324,9 @@ std::vector<std::vector<double>> DramOcsaSubholeSpice::evaluate_draws(
 
     for (std::size_t l = 0; l < n; ++l) {
       if (!results[l].ok) {
+        // First failing polarity's report wins (matches the sequential
+        // path, which stops at the first non-convergent polarity).
+        if (!failed[l]) failures[l] = evaluation_failure_from(results[l].failure);
         failed[l] = 1;
         continue;
       }

@@ -166,15 +166,16 @@ std::vector<double> FloatingInverterAmplifierSpice::evaluate(std::span<const dou
   }
   if (!res.ok) {
     // A non-convergent design fails every constraint so the optimizer
-    // steers away (both metrics are MinimizeBelow).
-    return {1.0, 1.0};
+    // steers away (both metrics are MinimizeBelow); the structured report
+    // lets the engine retry or degrade instead of accepting the penalty.
+    throw EvaluationError(evaluation_failure_from(res.failure), {1.0, 1.0});
   }
   return metrics_from_transient(res, x, corner, h, spec.t_stop);
 }
 
 std::vector<std::vector<double>> FloatingInverterAmplifierSpice::evaluate_draws(
     std::span<const double> x, const pdk::PvtCorner& corner,
-    std::span<const std::vector<double>> hs) const {
+    std::span<const std::vector<double>> hs, std::vector<EvaluationFailure>& failures) const {
   const FiaAnalysis nominal = behavioral_.analyze(x, corner, {});
   const spice::TransientSpec spec = fia_transient_spec(nominal.t_int);
 
@@ -195,10 +196,14 @@ std::vector<std::vector<double>> FloatingInverterAmplifierSpice::evaluate_draws(
 
   std::vector<std::vector<double>> out;
   out.reserve(results.size());
+  failures.assign(results.size(), {});
   for (std::size_t l = 0; l < results.size(); ++l) {
-    out.push_back(results[l].ok
-                      ? metrics_from_transient(results[l], x, corner, hs[l], spec.t_stop)
-                      : std::vector<double>{1.0, 1.0});
+    if (results[l].ok) {
+      out.push_back(metrics_from_transient(results[l], x, corner, hs[l], spec.t_stop));
+    } else {
+      failures[l] = evaluation_failure_from(results[l].failure);
+      out.push_back({1.0, 1.0});
+    }
   }
   return out;
 }

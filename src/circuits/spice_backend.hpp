@@ -29,6 +29,10 @@
 
 namespace glova::circuits {
 
+/// Translate a simulator failure report into the engine-facing record
+/// (shared by all three SPICE backends so the taxonomy never drifts).
+[[nodiscard]] EvaluationFailure evaluation_failure_from(const spice::FailureReport& report);
+
 class StrongArmLatchSpice final : public Testbench {
  public:
   StrongArmLatchSpice();
@@ -51,10 +55,13 @@ class StrongArmLatchSpice final : public Testbench {
   /// Batched draw group: all draws of one (x, corner) march through one
   /// lockstep spice::BatchSimulator transient with a single warm-start cache
   /// lookup for the whole group.
+  using Testbench::evaluate_draws;
   [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
       std::span<const double> x, const pdk::PvtCorner& corner,
-      std::span<const std::vector<double>> hs) const override;
+      std::span<const std::vector<double>> hs,
+      std::vector<EvaluationFailure>& failures) const override;
   [[nodiscard]] bool supports_batched_draws() const override { return true; }
+  [[nodiscard]] const Testbench* degraded_fallback() const override { return &behavioral_; }
 
   /// Build the SAL netlist for inspection (Fig. 4 reproduction).
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
@@ -94,10 +101,13 @@ class FloatingInverterAmplifierSpice final : public Testbench {
 
   /// Batched draw group through one lockstep spice::BatchSimulator transient
   /// (the timebase comes from the nominal analysis, so every draw shares it).
+  using Testbench::evaluate_draws;
   [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
       std::span<const double> x, const pdk::PvtCorner& corner,
-      std::span<const std::vector<double>> hs) const override;
+      std::span<const std::vector<double>> hs,
+      std::vector<EvaluationFailure>& failures) const override;
   [[nodiscard]] bool supports_batched_draws() const override { return true; }
+  [[nodiscard]] const Testbench* degraded_fallback() const override { return &behavioral_; }
 
   /// Build the FIA netlist for inspection (reservoir, switches, inverters).
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,
@@ -139,10 +149,13 @@ class DramOcsaSubholeSpice final : public Testbench {
   /// Batched draw group: one lockstep spice::BatchSimulator transient per
   /// data polarity (two total for the whole group), each with a single
   /// warm-start cache lookup.
+  using Testbench::evaluate_draws;
   [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
       std::span<const double> x, const pdk::PvtCorner& corner,
-      std::span<const std::vector<double>> hs) const override;
+      std::span<const std::vector<double>> hs,
+      std::vector<EvaluationFailure>& failures) const override;
   [[nodiscard]] bool supports_batched_draws() const override { return true; }
+  [[nodiscard]] const Testbench* degraded_fallback() const override { return &behavioral_; }
 
   /// Build the sensing netlist for one stored data polarity.
   [[nodiscard]] spice::Circuit build_netlist(std::span<const double> x,

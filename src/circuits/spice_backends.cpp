@@ -11,6 +11,15 @@
 
 namespace glova::circuits {
 
+EvaluationFailure evaluation_failure_from(const spice::FailureReport& report) {
+  EvaluationFailure f;
+  f.failed = true;
+  f.stage = spice::to_string(report.stage);
+  f.message = report.to_string();
+  f.recovery_attempts = report.attempts;
+  return f;
+}
+
 namespace {
 // Testbench timing: clock rises at kClkRise (evaluation), falls at kClkFall
 // (precharge/reset); the run ends at kTStop.
@@ -125,16 +134,17 @@ std::vector<double> StrongArmLatchSpice::evaluate(std::span<const double> x,
     spice::thread_local_dc_cache().store(key, res.dc_op);
   }
   if (!res.ok) {
-    // A non-convergent design is a broken design: report metrics that fail
-    // every constraint so the optimizer steers away.
-    return {1.0, 1.0, 1.0, 1.0};
+    // A non-convergent design is a broken design: the penalty metrics fail
+    // every constraint so the optimizer steers away, and the structured
+    // report lets the engine retry or degrade instead of accepting them.
+    throw EvaluationError(evaluation_failure_from(res.failure), {1.0, 1.0, 1.0, 1.0});
   }
   return metrics_from_transient(res, x, corner, h);
 }
 
 std::vector<std::vector<double>> StrongArmLatchSpice::evaluate_draws(
     std::span<const double> x, const pdk::PvtCorner& corner,
-    std::span<const std::vector<double>> hs) const {
+    std::span<const std::vector<double>> hs, std::vector<EvaluationFailure>& failures) const {
   std::vector<spice::Circuit> lanes;
   lanes.reserve(hs.size());
   for (const std::vector<double>& h : hs) lanes.push_back(build_netlist(x, corner, h));
@@ -160,9 +170,14 @@ std::vector<std::vector<double>> StrongArmLatchSpice::evaluate_draws(
 
   std::vector<std::vector<double>> out;
   out.reserve(results.size());
+  failures.assign(results.size(), {});
   for (std::size_t l = 0; l < results.size(); ++l) {
-    out.push_back(results[l].ok ? metrics_from_transient(results[l], x, corner, hs[l])
-                                : std::vector<double>{1.0, 1.0, 1.0, 1.0});
+    if (results[l].ok) {
+      out.push_back(metrics_from_transient(results[l], x, corner, hs[l]));
+    } else {
+      failures[l] = evaluation_failure_from(results[l].failure);
+      out.push_back({1.0, 1.0, 1.0, 1.0});
+    }
   }
   return out;
 }

@@ -55,9 +55,24 @@ double normalized_margin(const MetricSpec& spec, double value) {
 std::vector<std::vector<double>> Testbench::evaluate_draws(
     std::span<const double> x, const pdk::PvtCorner& corner,
     std::span<const std::vector<double>> hs) const {
+  std::vector<EvaluationFailure> failures;
+  return evaluate_draws(x, corner, hs, failures);
+}
+
+std::vector<std::vector<double>> Testbench::evaluate_draws(
+    std::span<const double> x, const pdk::PvtCorner& corner,
+    std::span<const std::vector<double>> hs, std::vector<EvaluationFailure>& failures) const {
   std::vector<std::vector<double>> out;
   out.reserve(hs.size());
-  for (const std::vector<double>& h : hs) out.push_back(evaluate(x, corner, h));
+  failures.assign(hs.size(), {});
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    try {
+      out.push_back(evaluate(x, corner, hs[i]));
+    } catch (const EvaluationError& e) {
+      failures[i] = e.failure();
+      out.push_back(e.penalty_metrics());
+    }
+  }
   return out;
 }
 

@@ -10,7 +10,9 @@
 
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pdk/corner.hpp"
@@ -69,6 +71,36 @@ struct PerformanceSpec {
 /// (Eq. 7) and the t-/h-SCOREs operate in this space.
 [[nodiscard]] double degradation(const MetricSpec& spec, double value);
 
+/// Structured record of one failed evaluation, mirrored from the simulator's
+/// failure taxonomy without depending on it (behavioral backends never fail,
+/// so a default-constructed instance means "evaluated fine").
+struct EvaluationFailure {
+  bool failed = false;
+  std::string stage;        ///< e.g. "dc-operating-point", "deadline"
+  std::string message;      ///< the canonical one-line error
+  int recovery_attempts = 0;///< recovery rungs the simulator tried
+};
+
+/// Thrown by SPICE-backed Testbench::evaluate when the simulation did not
+/// converge.  Carries the penalty metrics the backend historically returned
+/// inline (every constraint failed, so the optimizer steers away); callers
+/// that do not retry or degrade fall back to exactly those values, keeping
+/// legacy behavior bit-identical.
+class EvaluationError : public std::runtime_error {
+ public:
+  EvaluationError(EvaluationFailure failure, std::vector<double> penalty_metrics)
+      : std::runtime_error(failure.message),
+        failure_(std::move(failure)),
+        penalty_metrics_(std::move(penalty_metrics)) {}
+
+  [[nodiscard]] const EvaluationFailure& failure() const { return failure_; }
+  [[nodiscard]] const std::vector<double>& penalty_metrics() const { return penalty_metrics_; }
+
+ private:
+  EvaluationFailure failure_;
+  std::vector<double> penalty_metrics_;
+};
+
 class Testbench {
  public:
   virtual ~Testbench() = default;
@@ -96,14 +128,32 @@ class Testbench {
   /// amortizes netlist-independent work and keeps the Newton state of every
   /// draw hot in cache.  Semantics are identical to the loop: with adaptive
   /// stepping and Newton bypass off the metrics are bit-identical.
-  [[nodiscard]] virtual std::vector<std::vector<double>> evaluate_draws(
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_draws(
       std::span<const double> x, const pdk::PvtCorner& corner,
       std::span<const std::vector<double>> hs) const;
+
+  /// As above, additionally reporting per-draw failures: failures[i].failed
+  /// is set (and the draw's metrics are the backend's penalty sentinel) when
+  /// draw i did not converge.  The base implementation loops evaluate(),
+  /// translating EvaluationError into the per-draw record; batched backends
+  /// override this overload and annotate lanes from their simulator reports.
+  [[nodiscard]] virtual std::vector<std::vector<double>> evaluate_draws(
+      std::span<const double> x, const pdk::PvtCorner& corner,
+      std::span<const std::vector<double>> hs,
+      std::vector<EvaluationFailure>& failures) const;
 
   /// True when evaluate_draws() is a genuine batched implementation rather
   /// than the sequential fallback loop (the evaluation engine only routes
   /// draw groups here when this holds).
   [[nodiscard]] virtual bool supports_batched_draws() const { return false; }
+
+  /// Cheaper stand-in for graceful degradation: when an evaluation keeps
+  /// failing after every retry, the engine (with degrade_to_behavioral set)
+  /// quarantines the draw to this testbench instead of accepting the penalty
+  /// sentinel.  nullptr (the default) means no fallback exists.  SPICE
+  /// backends return their behavioral sibling, which shares specs and
+  /// mismatch layout by construction.
+  [[nodiscard]] virtual const Testbench* degraded_fallback() const { return nullptr; }
 };
 
 using TestbenchPtr = std::shared_ptr<const Testbench>;

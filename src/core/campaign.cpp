@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -80,6 +81,7 @@ struct Campaign::Session {
   std::unique_ptr<Optimizer> optimizer;
   SessionState state = SessionState::Pending;
   std::size_t steps = 0;
+  std::size_t retries = 0;  ///< throw-and-replay recoveries so far
   GlovaResult result;  ///< copied from the optimizer when it terminates
   std::string error;
 
@@ -156,6 +158,32 @@ void Campaign::attach_forwarder(std::size_t index) {
       std::make_shared<IterationForwarder>(hub_, index, sessions_[index].spec));
 }
 
+bool Campaign::retry_session(std::size_t index) {
+  Session& s = sessions_[index];
+  ++s.retries;
+  // Replay is observer-silent, exactly like load(): already-reported
+  // iterations must not log or forward twice, so the fresh session runs with
+  // progress_log off and no forwarder until the replay succeeded.
+  RunSpec quiet = s.spec;
+  quiet.progress_log = false;
+  std::unique_ptr<Optimizer> fresh;
+  try {
+    fresh = build_optimizer(quiet);
+    for (std::size_t k = 0; k < s.steps; ++k) {
+      if (!fresh->step()) return false;
+    }
+  } catch (const std::exception&) {
+    return false;  // deterministic failure: the replay hit the same throw
+  }
+  if (fresh->done()) return false;  // drift: was live at the recorded count
+  // Only now replace the broken optimizer — retire_failed still needs the
+  // original (cancel() finalizes a partial result) when the retry fails.
+  s.optimizer = std::move(fresh);
+  if (s.spec.progress_log) s.optimizer->add_observer(std::make_shared<ProgressLogObserver>());
+  attach_forwarder(index);
+  return true;
+}
+
 void Campaign::retire_finished(std::size_t index) {
   Session& s = sessions_[index];
   s.state = SessionState::Finished;
@@ -207,6 +235,18 @@ bool Campaign::step() {
       ++s.steps;
       result_valid_ = false;
     } catch (const std::exception& e) {
+      // Transient-error recovery: rebuild-and-replay the session (the load()
+      // mechanism), draining the retry budget before retiring it — a
+      // deterministic failure re-throws during every replay.  On success the
+      // failed step is re-attempted on the session's next scheduling turn.
+      bool recovered = false;
+      while (s.retries < config_.max_session_retries) {
+        if (retry_session(index)) {
+          recovered = true;
+          break;
+        }
+      }
+      if (recovered) break;
       retire_failed(index, e.what());
       break;
     }
@@ -278,15 +318,18 @@ const CampaignResult& Campaign::result() const {
     result_.total_simulations = 0;
     result_.finished = 0;
     result_.failed = 0;
+    result_.session_retries = 0;
     for (const Session& s : sessions_) {
       CampaignEntry entry;
       entry.spec = s.spec;
       entry.state = s.state;
       entry.steps = s.steps;
+      entry.retries = s.retries;
       entry.result = s.result;
       entry.error = s.error;
       result_.entries.push_back(std::move(entry));
       result_.total_simulations += s.result.n_simulations;
+      result_.session_retries += s.retries;
       result_.finished += s.state == SessionState::Finished ? 1 : 0;
       result_.failed += s.state == SessionState::Failed ? 1 : 0;
     }
@@ -461,11 +504,31 @@ void Campaign::save(std::ostream& os) const {
 }
 
 void Campaign::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) bad_checkpoint("cannot open '" + path + "' for writing");
-  save(os);
-  os.flush();
-  if (!os) bad_checkpoint("write to '" + path + "' failed");
+  // Crash-safe: write a temporary sibling first and rename it over the
+  // destination only after the write fully succeeded, so an interrupted or
+  // failed save can never truncate an existing good checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) bad_checkpoint("cannot open '" + tmp + "' for writing");
+    try {
+      save(os);
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    os.close();
+    if (!os) {
+      std::remove(tmp.c_str());
+      bad_checkpoint("write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    bad_checkpoint("cannot rename '" + tmp + "' to '" + path + "'");
+  }
 }
 
 Campaign Campaign::load(std::istream& is,

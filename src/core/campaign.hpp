@@ -67,6 +67,12 @@ struct CampaignConfig {
   /// moves on.  1 = strict interleaving; larger values trade fairness for
   /// fewer session switches.  0 is treated as 1.
   std::size_t steps_per_turn = 1;
+  /// Per-session retry budget for throwing steps.  A session whose step()
+  /// throws is rebuilt and deterministically replayed to its recorded step
+  /// count (the same mechanism load() uses), then resumes; only when the
+  /// budget is exhausted — a deterministic failure re-throws on every retry —
+  /// is it retired as Failed.  0 = retire on the first throw (legacy).
+  std::size_t max_session_retries = 0;
   /// Testbench factory override (custom circuits, failure-injection tests).
   /// Default: the circuits registry, with one shared testbench instance per
   /// (testcase, backend) — testbenches are stateless-const, so sharing is
@@ -90,6 +96,7 @@ struct CampaignEntry {
   RunSpec spec;                                ///< the key: what was run
   SessionState state = SessionState::Pending;
   std::size_t steps = 0;                       ///< completed step() calls
+  std::size_t retries = 0;                     ///< throw-and-replay recoveries
   /// Valid when state is Finished (full result) or Failed (partial result up
   /// to the failing step, termination == "campaign-session-error").
   GlovaResult result;
@@ -102,6 +109,7 @@ struct CampaignResult {
   std::uint64_t total_simulations = 0;         ///< summed requested sims
   std::size_t finished = 0;                    ///< entries with state Finished
   std::size_t failed = 0;                      ///< entries with state Failed
+  std::size_t session_retries = 0;             ///< summed throw-and-replay recoveries
 
   /// First entry whose spec equals `spec` (RunSpec equality), or nullptr.
   [[nodiscard]] const CampaignEntry* find(const RunSpec& spec) const;
@@ -175,8 +183,11 @@ class Campaign {
   /// docs/architecture.md#checkpoint-format) so a later load() can resume
   /// it.  Callable at any point between step() calls.
   void save(std::ostream& os) const;
-  /// save() to a file; throws std::runtime_error when the file cannot be
-  /// written.
+  /// save() to a file, crash-safely: the checkpoint is written to a
+  /// temporary sibling (`path` + ".tmp") and atomically renamed over `path`
+  /// only after the write fully succeeded, so an interrupted save can never
+  /// leave a truncated checkpoint where a good one stood.  Throws
+  /// std::runtime_error when the file cannot be written.
   void save_file(const std::string& path) const;
 
   /// Reconstruct a campaign from save() output.  Terminal sessions restore
@@ -203,6 +214,10 @@ class Campaign {
   [[nodiscard]] circuits::TestbenchPtr testbench_for(const RunSpec& spec);
   [[nodiscard]] std::unique_ptr<Optimizer> build_optimizer(const RunSpec& spec);
   void attach_forwarder(std::size_t index);
+  /// Rebuild session `index` from its spec and deterministically replay it to
+  /// its recorded step count (the load() mechanism).  Returns false — leaving
+  /// the session untouched — when the replay itself throws or falls short.
+  [[nodiscard]] bool retry_session(std::size_t index);
   void retire_finished(std::size_t index);
   void retire_failed(std::size_t index, std::string error);
   void enforce_campaign_budget();

@@ -33,19 +33,68 @@ EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfi
   // adaptive-timestep and Newton-bypass switches follow the same pattern:
   // they configure spice::default_simulator_options() for every simulation
   // this engine (or anything sharing the process) runs from here on.
+  if (config_.max_eval_retries < 0) {
+    throw std::invalid_argument("EvaluationEngine: max_eval_retries must be >= 0");
+  }
   spice::set_dc_warm_start_enabled(config_.dc_warm_start);
   spice::set_adaptive_timestep_default(config_.adaptive_timestep);
   spice::set_newton_bypass_default(config_.newton_bypass);
+  spice::set_recovery_default(config_.recovery);
+  spice::set_deadline_default(config_.eval_deadline_steps);
   snapshot_warm_baseline();
+}
+
+std::vector<double> EvaluationEngine::recover_or_degrade(std::span<const double> x_phys,
+                                                         const pdk::PvtCorner& corner,
+                                                         std::span<const double> h,
+                                                         const std::vector<double>& penalty) {
+  // Escalated retries: each attempt raises the thread-local recovery level,
+  // so the failing evaluation re-runs with the ladder enabled (level 1) and
+  // then taller/deeper (level >= 2).  The level is always restored to 0 —
+  // neighbouring evaluations on this thread must not inherit it.
+  for (int attempt = 1; attempt <= config_.max_eval_retries; ++attempt) {
+    retries_.fetch_add(1);
+    spice::set_recovery_escalation(attempt);
+    try {
+      std::vector<double> metrics = testbench_->evaluate(x_phys, corner, h);
+      spice::set_recovery_escalation(0);
+      return metrics;
+    } catch (const circuits::EvaluationError&) {
+      // Next attempt escalates further.
+    } catch (...) {
+      spice::set_recovery_escalation(0);
+      throw;
+    }
+  }
+  spice::set_recovery_escalation(0);
+  if (config_.degrade_to_behavioral) {
+    if (const circuits::Testbench* fallback = testbench_->degraded_fallback()) {
+      degraded_evals_.fetch_add(1);
+      return fallback->evaluate(x_phys, corner, h);
+    }
+  }
+  return penalty;
+}
+
+std::vector<double> EvaluationEngine::evaluate_guarded(std::span<const double> x_phys,
+                                                       const pdk::PvtCorner& corner,
+                                                       std::span<const double> h) {
+  try {
+    return testbench_->evaluate(x_phys, corner, h);
+  } catch (const circuits::EvaluationError& e) {
+    // With no retries and no degradation this resolves to the backend's
+    // legacy penalty metrics — bit-identical to the pre-funnel behavior.
+    return recover_or_degrade(x_phys, corner, h, e.penalty_metrics());
+  }
 }
 
 std::vector<double> EvaluationEngine::evaluate_with_slot(std::span<const double> x_phys,
                                                          const pdk::PvtCorner& corner,
                                                          std::span<const double> h) {
-  if (!slots_) return testbench_->evaluate(x_phys, corner, h);
+  if (!slots_) return evaluate_guarded(x_phys, corner, h);
   slots_->acquire();
   try {
-    std::vector<double> metrics = testbench_->evaluate(x_phys, corner, h);
+    std::vector<double> metrics = evaluate_guarded(x_phys, corner, h);
     slots_->release();
     return metrics;
   } catch (...) {
@@ -66,6 +115,9 @@ void EvaluationEngine::snapshot_warm_baseline() {
   spice_base_[3] = sc.bypass_refactors;
   spice_base_[4] = sc.steps_accepted;
   spice_base_[5] = sc.steps_rejected;
+  spice_base_[6] = sc.recovered_dc;
+  spice_base_[7] = sc.recovered_transient;
+  spice_base_[8] = sc.deadline_aborts;
 }
 
 EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, std::size_t parallelism)
@@ -171,17 +223,33 @@ std::vector<std::vector<double>> EvaluationEngine::evaluate_batch(
     miss_hs.reserve(miss_indices.size());
     for (const std::size_t i : miss_indices) miss_hs.push_back(hs[i]);
     std::vector<std::vector<double>> group;
+    std::vector<circuits::EvaluationFailure> lane_failures;
+    // Failed lanes re-enter the funnel one by one while the group's slot is
+    // still held: each is retried with the ladder escalated and then (when
+    // configured) degraded, exactly as a sequential failure would be.  The
+    // group's metrics for that lane already hold the penalty sentinel, so
+    // with no retries and no degradation nothing changes.
+    const auto run_group = [&] {
+      group = testbench_->evaluate_draws(x_phys, corner, miss_hs, lane_failures);
+      if (config_.max_eval_retries > 0 || config_.degrade_to_behavioral) {
+        for (std::size_t mi = 0; mi < miss_hs.size(); ++mi) {
+          if (mi < lane_failures.size() && lane_failures[mi].failed) {
+            group[mi] = recover_or_degrade(x_phys, corner, miss_hs[mi], group[mi]);
+          }
+        }
+      }
+    };
     if (slots_) {
       slots_->acquire();
       try {
-        group = testbench_->evaluate_draws(x_phys, corner, miss_hs);
+        run_group();
       } catch (...) {
         slots_->release();
         throw;
       }
       slots_->release();
     } else {
-      group = testbench_->evaluate_draws(x_phys, corner, miss_hs);
+      run_group();
     }
     for (std::size_t mi = 0; mi < miss_indices.size(); ++mi) {
       results[miss_indices[mi]] = std::move(group[mi]);
@@ -296,6 +364,11 @@ EngineStats EvaluationEngine::stats() const {
   s.bypass_refactors = delta(sc.bypass_refactors, spice_base_[3]);
   s.steps_accepted = delta(sc.steps_accepted, spice_base_[4]);
   s.steps_rejected = delta(sc.steps_rejected, spice_base_[5]);
+  s.recovered_dc = delta(sc.recovered_dc, spice_base_[6]);
+  s.recovered_transient = delta(sc.recovered_transient, spice_base_[7]);
+  s.deadline_aborts = delta(sc.deadline_aborts, spice_base_[8]);
+  s.retries = retries_.load();
+  s.degraded_evals = degraded_evals_.load();
   return s;
 }
 
@@ -303,6 +376,8 @@ void EvaluationEngine::reset_count() {
   requested_.store(0);
   executed_.store(0);
   cache_hits_.store(0);
+  retries_.store(0);
+  degraded_evals_.store(0);
   snapshot_warm_baseline();
 }
 

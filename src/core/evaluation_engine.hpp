@@ -77,6 +77,28 @@ struct EngineConfig {
   /// Newton LU-bypass (chord iterations on retained factors, process-wide
   /// spice::set_newton_bypass_default).  Changes metrics within Newton vtol.
   bool newton_bypass = false;
+  /// Convergence-recovery ladder in the SPICE engine (process-wide
+  /// spice::set_recovery_default): gmin stepping for hard DC points, substep
+  /// cutting and restart-from-DC for transient Newton failures.  Off by
+  /// default — with every recovery knob off, solves are bit-identical to
+  /// previous releases.
+  bool recovery = false;
+  /// Re-run a failed evaluation up to this many times with the recovery
+  /// ladder escalated each attempt (spice::set_recovery_escalation) before
+  /// giving up.  0 = no retries: a failed evaluation keeps the backend's
+  /// legacy penalty metrics.
+  int max_eval_retries = 0;
+  /// Cooperative per-evaluation deadline in Newton iterations (process-wide
+  /// spice::set_deadline_default; per lane in the batched evaluator).  A run
+  /// that exhausts it aborts deterministically with FailureStage::Deadline.
+  /// 0 = no deadline.
+  std::uint64_t eval_deadline_steps = 0;
+  /// Graceful degradation: when an evaluation still fails after every retry,
+  /// quarantine it to the testbench's degraded_fallback() (the behavioral
+  /// sibling for SPICE backends) instead of accepting the penalty sentinel.
+  /// Off by default — opt-in because the fallback's metrics are modeled, not
+  /// simulated.
+  bool degrade_to_behavioral = false;
 
   friend bool operator==(const EngineConfig&, const EngineConfig&) = default;
 };
@@ -105,6 +127,17 @@ struct EngineStats {
   std::uint64_t bypass_refactors = 0;
   std::uint64_t steps_accepted = 0;
   std::uint64_t steps_rejected = 0;
+  /// Convergence-recovery funnel: DC points and transient steps the
+  /// simulator's recovery ladder rescued, and runs its cooperative deadline
+  /// aborted (same delta-vs-snapshot convention as above).
+  std::uint64_t recovered_dc = 0;
+  std::uint64_t recovered_transient = 0;
+  std::uint64_t deadline_aborts = 0;
+  /// Engine-level recovery: failed evaluations re-run with an escalated
+  /// recovery ladder, and evaluations quarantined to the degraded
+  /// (behavioral) fallback after exhausting their retries.
+  std::uint64_t retries = 0;
+  std::uint64_t degraded_evals = 0;
 };
 
 class EvaluationEngine {
@@ -180,6 +213,19 @@ class EvaluationEngine {
   [[nodiscard]] std::vector<double> evaluate_with_slot(std::span<const double> x_phys,
                                                        const pdk::PvtCorner& corner,
                                                        std::span<const double> h);
+  /// testbench().evaluate with the failure funnel applied: an
+  /// EvaluationError is retried with the recovery ladder escalated, then
+  /// degraded to the behavioral fallback, then resolved to the backend's
+  /// penalty metrics — so callers above the funnel never see the exception.
+  [[nodiscard]] std::vector<double> evaluate_guarded(std::span<const double> x_phys,
+                                                     const pdk::PvtCorner& corner,
+                                                     std::span<const double> h);
+  /// The retry / degrade tail of the funnel, shared by the sequential and
+  /// batched paths.  `penalty` is returned when everything fails.
+  [[nodiscard]] std::vector<double> recover_or_degrade(std::span<const double> x_phys,
+                                                       const pdk::PvtCorner& corner,
+                                                       std::span<const double> h,
+                                                       const std::vector<double>& penalty);
 
   circuits::TestbenchPtr testbench_;
   EngineConfig config_;
@@ -190,14 +236,16 @@ class EvaluationEngine {
   std::atomic<std::uint64_t> requested_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_evals_{0};
   /// Process-wide spice warm-start counters at construction / last reset;
   /// stats() reports deltas against these.
   std::uint64_t warm_base_hits_ = 0;
   std::uint64_t warm_base_misses_ = 0;
   std::uint64_t warm_base_stores_ = 0;
-  /// Process-wide simulator counters (batch/bypass/adaptive) at the same
-  /// baseline instant.
-  std::uint64_t spice_base_[6] = {0, 0, 0, 0, 0, 0};
+  /// Process-wide simulator counters (batch/bypass/adaptive/recovery) at the
+  /// same baseline instant.
+  std::uint64_t spice_base_[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
   void snapshot_warm_baseline();
 
   mutable std::mutex cache_mutex_;

@@ -115,7 +115,9 @@ const std::vector<std::string_view>& run_spec_keys() {
       "min_parallel_batch", "cache_capacity",
       "cache_quantum",   "dc_warm_start",
       "batched_draws",   "adaptive_timestep",
-      "newton_bypass",   "progress_log",
+      "newton_bypass",   "recovery",
+      "max_eval_retries", "eval_deadline_steps",
+      "degrade_to_behavioral", "progress_log",
   };
   return keys;
 }
@@ -151,6 +153,10 @@ std::string RunSpec::to_string() const {
   kv("batched_draws", engine.batched_draws ? "1" : "0");
   kv("adaptive_timestep", engine.adaptive_timestep ? "1" : "0");
   kv("newton_bypass", engine.newton_bypass ? "1" : "0");
+  kv("recovery", engine.recovery ? "1" : "0");
+  kv("max_eval_retries", std::to_string(engine.max_eval_retries));
+  kv("eval_deadline_steps", std::to_string(engine.eval_deadline_steps));
+  kv("degrade_to_behavioral", engine.degrade_to_behavioral ? "1" : "0");
   kv("progress_log", progress_log ? "1" : "0");
   return out;
 }
@@ -227,6 +233,14 @@ RunSpec RunSpec::from_string(std::string_view text) {
       spec.engine.adaptive_timestep = parse_bool(key, value);
     } else if (key == "newton_bypass") {
       spec.engine.newton_bypass = parse_bool(key, value);
+    } else if (key == "recovery") {
+      spec.engine.recovery = parse_bool(key, value);
+    } else if (key == "max_eval_retries") {
+      spec.engine.max_eval_retries = static_cast<int>(parse_u64(key, value));
+    } else if (key == "eval_deadline_steps") {
+      spec.engine.eval_deadline_steps = parse_u64(key, value);
+    } else if (key == "degrade_to_behavioral") {
+      spec.engine.degrade_to_behavioral = parse_bool(key, value);
     } else if (key == "progress_log") {
       spec.progress_log = parse_bool(key, value);
     } else {

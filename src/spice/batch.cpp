@@ -136,6 +136,90 @@ void BatchSimulator::update_caps_lane(std::size_t l, double dt, bool trapezoidal
   }
 }
 
+bool BatchSimulator::rescue_lane_step(std::size_t l, double t_prev, double t,
+                                      TransientResult& result, int& attempts,
+                                      bool& deadline_hit) {
+  // Scalar-path rescue for one lane (see Simulator's rescue_transient_step):
+  // rung 2 cuts [t_prev, t] into 2^k backward-Euler substeps solved with the
+  // scalar Newton kernel on this lane's plan; rung 3 is a bounded restart
+  // from a pseudo-DC point with the sources frozen at t.  Only lane l's
+  // slices of the workspace are written, and only on success.
+  const RecoveryPolicy& rp = options_.recovery;
+  SimulatorWorkspace& sws = thread_local_workspace();
+  const StampPlan& plan = plans_[l];
+  const std::vector<Capacitor>& caps = circuits_[l]->capacitors();
+  const double* xp = ws_->x_prev.data() + l * ws_->x_stride;
+  const double* cc = ws_->cap_current.data() + l * ws_->cap_stride;
+  std::vector<double> x_sub(padded_);
+  std::vector<double> x_sub_prev(padded_);
+  std::vector<double> cap_sub(n_caps_);
+  for (int cut = 1; cut <= rp.max_step_cuts; ++cut) {
+    ++attempts;
+    const int k = 1 << cut;
+    std::copy(xp, xp + padded_, x_sub.begin());
+    x_sub_prev = x_sub;
+    std::copy(cc, cc + n_caps_, cap_sub.begin());
+    bool sub_ok = true;
+    double t_a = t_prev;
+    for (int j = 1; j <= k; ++j) {
+      const double t_b = j == k ? t : t_prev + (t - t_prev) * j / k;
+      AssemblyInputs sub;
+      sub.mode = AnalysisMode::Transient;
+      sub.time = t_b;
+      sub.dt = t_b - t_a;
+      sub.trapezoidal = false;
+      sub.x_prev = x_sub_prev;
+      sub.cap_current_prev = cap_sub;
+      int sub_iterations = 0;
+      const bool solved = newton_solve_plan(plans_[l], options_, sws, sub, x_sub, sub_iterations);
+      result.newton_iterations += static_cast<std::uint64_t>(sub_iterations);
+      if (lane_deadline(result)) {
+        deadline_hit = true;
+        return false;
+      }
+      if (!solved) {
+        sub_ok = false;
+        break;
+      }
+      for (std::size_t ci = 0; ci < n_caps_; ++ci) {
+        const Capacitor& c = caps[ci];
+        const double v_now = x_sub[plan.x_slot(c.a)] - x_sub[plan.x_slot(c.b)];
+        const double v_was = x_sub_prev[plan.x_slot(c.a)] - x_sub_prev[plan.x_slot(c.b)];
+        cap_sub[ci] = c.farads / sub.dt * (v_now - v_was);
+      }
+      x_sub_prev = x_sub;
+      t_a = t_b;
+    }
+    if (sub_ok) {
+      std::copy(x_sub.begin(), x_sub.end(), ws_->x.data() + l * ws_->x_stride);
+      std::copy(cap_sub.begin(), cap_sub.end(), ws_->cap_current.data() + l * ws_->cap_stride);
+      return true;
+    }
+  }
+  for (int restart = 0; restart < rp.dc_restart_attempts; ++restart) {
+    ++attempts;
+    OpResult op =
+        operating_point_plan(*circuits_[l], plans_[l], options_, sws, nullptr, nullptr, t);
+    result.newton_iterations += static_cast<std::uint64_t>(op.iterations);
+    if (lane_deadline(result)) {
+      deadline_hit = true;
+      return false;
+    }
+    if (!op.converged) continue;
+    double* xl = ws_->x.data() + l * ws_->x_stride;
+    std::fill(xl, xl + padded_, 0.0);
+    for (NodeId nd = 1; nd < n_nodes_; ++nd) xl[plan.x_slot(nd)] = op.node_voltages[nd];
+    for (std::size_t si = 0; si < n_vsrc_; ++si) {
+      const std::size_t slot = plan.vsource_branch_slot(si);
+      if (slot != StampPlan::kNoSlot) xl[slot] = op.vsource_currents[si];
+    }
+    std::fill(ws_->cap_current.data() + l * ws_->cap_stride,
+              ws_->cap_current.data() + l * ws_->cap_stride + n_caps_, 0.0);
+    return true;
+  }
+  return false;
+}
+
 void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
   const std::size_t lanes = circuits_.size();
   const std::size_t n = n_;
@@ -145,6 +229,15 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
   done_.assign(lanes, 0);
   fail_.assign(lanes, 0);
   iter_spent_.assign(lanes, 0);
+
+  // Deterministic fault injection: one solve index per live lane, consumed
+  // in lane order so indices line up with N sequential scalar solves.
+  fault_site_.assign(lanes, nullptr);
+  if (const FaultPlan* fp = thread_fault_plan(); fp != nullptr) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (alive_[l]) fault_site_[l] = fp->match(fp->cursor++);
+    }
+  }
 
   for (std::size_t l = 0; l < lanes; ++l) {
     if (!alive_[l]) continue;
@@ -158,6 +251,12 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
                                                   ws_->cap_stride);
     plans_[l].begin_solve(in);
     plans_[l].load_pinned(ws_->lane_x(l));
+    if (fault_site_[l] != nullptr && fault_site_[l]->kind == FaultPlan::Kind::NonConverge) {
+      // Mirrors newton_solve_plan: the assembly state is valid (residual
+      // probes work) but the solve burns its budget and fails.
+      fail_[l] = 1;
+      iter_spent_[l] = options_.max_newton_iterations;
+    }
     if (options_.newton_bypass) {
       // Chord stall detection is scoped to one solve: the first residual of
       // a new timestep is always "fresh", never compared against the tiny
@@ -214,6 +313,13 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
       // Solve + damped update per lane (identical to newton_solve_plan).
       for (std::size_t k = 0; k < act_.size(); ++k) {
         const std::size_t l = act_[k];
+        if (it == 0 && fault_site_[l] != nullptr) {
+          if (fault_site_[l]->kind == FaultPlan::Kind::NanStamp) {
+            act_rhs_[k][0] = std::numeric_limits<double>::quiet_NaN();
+          } else if (fault_site_[l]->kind == FaultPlan::Kind::SingularMatrix) {
+            std::fill_n(act_g_[k], n, 0.0);  // zero row 0: factorization fails
+          }
+        }
         if (!ws_->solvers[l].factor_solve_in_place(std::span<double>(act_rhs_[k], n),
                                                    ws_->x_new)) {
           fail_[l] = 1;
@@ -230,10 +336,23 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
           xl[i] += delta;
         }
         for (std::size_t i = nu; i < n; ++i) xl[i] = x_new[i];
+        bool finite = std::isfinite(max_delta);
+        for (std::size_t i = 0; finite && i < n; ++i) finite = std::isfinite(xl[i]);
+        if (!finite) {
+          // Same early bail as newton_solve_plan: a poisoned iterate can
+          // never converge, so don't burn the iteration budget on it.
+          fail_[l] = 1;
+          iter_spent_[l] = it + 1;
+          continue;
+        }
         if (max_delta < options_.vtol) {
           done_[l] = 1;
           ok_[l] = 1;
           iter_spent_[l] = it + 1;
+          if (fault_site_[l] != nullptr &&
+              fault_site_[l]->kind == FaultPlan::Kind::SlowConverge) {
+            iter_spent_[l] += fault_site_[l]->extra_iterations;
+          }
         }
       }
     }
@@ -253,6 +372,11 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
         const std::span<const double> xs(xl, padded_);
 
         bool full = has_factors_[l] == 0;
+        if (it == 0 && fault_site_[l] != nullptr &&
+            (fault_site_[l]->kind == FaultPlan::Kind::NanStamp ||
+             fault_site_[l]->kind == FaultPlan::Kind::SingularMatrix)) {
+          full = true;  // assembly faults need a full stamp to land on
+        }
         if (!full) {
           plans_[l].residual(xs, std::span<double>(rd, n + 1));
           double rn = 0.0;
@@ -289,6 +413,13 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
         // Full stamp + refactor; solve_into(companion rhs) yields the same
         // iterate the scalar path's fused factor+solve would.
         plans_[l].stamp(xs, ws_->solvers[l].matrix(n), std::span<double>(rd, n + 1));
+        if (it == 0 && fault_site_[l] != nullptr) {
+          if (fault_site_[l]->kind == FaultPlan::Kind::NanStamp) {
+            rd[0] = std::numeric_limits<double>::quiet_NaN();
+          } else if (fault_site_[l]->kind == FaultPlan::Kind::SingularMatrix) {
+            std::fill_n(ws_->solvers[l].matrix(n).data(), n, 0.0);
+          }
+        }
         if (!ws_->solvers[l].factor_in_place()) {
           fail_[l] = 1;
           iter_spent_[l] = it + 1;
@@ -307,10 +438,21 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
           xl[i] += delta;
         }
         for (std::size_t i = nu; i < n; ++i) xl[i] = x_new[i];
+        bool finite = std::isfinite(max_delta);
+        for (std::size_t i = 0; finite && i < n; ++i) finite = std::isfinite(xl[i]);
+        if (!finite) {
+          fail_[l] = 1;
+          iter_spent_[l] = it + 1;
+          continue;
+        }
         if (max_delta < options_.vtol) {
           done_[l] = 1;
           ok_[l] = 1;
           iter_spent_[l] = it + 1;
+          if (fault_site_[l] != nullptr &&
+              fault_site_[l]->kind == FaultPlan::Kind::SlowConverge) {
+            iter_spent_[l] += fault_site_[l]->extra_iterations;
+          }
         }
       }
     }
@@ -329,7 +471,11 @@ std::vector<TransientResult> BatchSimulator::transient(const TransientSpec& spec
   const std::size_t lanes = circuits_.size();
   std::vector<TransientResult> results(lanes);
   if (spec.dt <= 0.0 || spec.t_stop <= 0.0) {
-    for (TransientResult& r : results) r.error = "transient: dt and t_stop must be positive";
+    for (TransientResult& r : results) {
+      r.failure.stage = FailureStage::Setup;
+      r.failure.message = "transient: dt and t_stop must be positive";
+      r.error = r.failure.to_string();
+    }
     return results;
   }
   note_batch_group(lanes);
@@ -363,9 +509,10 @@ std::vector<TransientResult> BatchSimulator::transient(const TransientSpec& spec
       }
       continue;
     }
-    OpResult op = operating_point_plan(*circuits_[l], plans_[l], options_, sws, seed);
+    OpResult op = operating_point_plan(*circuits_[l], plans_[l], options_, sws, seed,
+                                       &results[l].failure);
     if (!op.converged) {
-      results[l].error = "transient: DC operating point failed to converge";
+      results[l].error = results[l].failure.to_string();
       alive_[l] = 0;
       continue;
     }
@@ -460,12 +607,38 @@ std::vector<TransientResult> BatchSimulator::transient(const TransientSpec& spec
       for (std::size_t l = 0; l < lanes; ++l) {
         if (!alive_[l]) continue;
         results[l].newton_iterations += static_cast<std::uint64_t>(iter_spent_[l]);
+        bool deadline_hit = lane_deadline(results[l]);
+        bool rescued = false;
         if (!ok_[l]) {
-          results[l].error = "transient: Newton failed at t = " + std::to_string(t);
+          FailureReport& report = results[l].failure;
+          // Capture the worst-residual row of the failed iterate now, while
+          // the lane's plan still holds this solve's assembly.
+          note_worst_residual(*circuits_[l], plans_[l],
+                              std::span<const double>(ws_->x.data() + l * ws_->x_stride, padded_),
+                              report);
+          if (!deadline_hit && options_.recovery.enabled) {
+            rescued = rescue_lane_step(l, t_prev, t, results[l], report.attempts, deadline_hit);
+            if (rescued) note_recovered_transient();
+          }
+          if (!rescued) {
+            report.stage = deadline_hit ? FailureStage::Deadline : FailureStage::TransientNewton;
+            report.time = t;
+            if (deadline_hit) note_deadline_abort();
+            results[l].error = report.to_string();
+            alive_[l] = 0;
+            continue;
+          }
+        } else if (deadline_hit) {
+          results[l].failure.stage = FailureStage::Deadline;
+          results[l].failure.time = t;
+          note_deadline_abort();
+          results[l].error = results[l].failure.to_string();
           alive_[l] = 0;
           continue;
         }
-        update_caps_lane(l, dt, trap);
+        // A rescued lane's companion state was advanced by its substeps (or
+        // reset by the DC restart); only the plain path integrates over dt.
+        if (!rescued) update_caps_lane(l, dt, trap);
         record_lane(l, t, /*recover_currents=*/true);
         ++results[l].steps_accepted;
         results[l].dt_trace.push_back(dt);
@@ -591,20 +764,98 @@ std::vector<TransientResult> BatchSimulator::transient(const TransientSpec& spec
     for (std::size_t l = 0; l < lanes; ++l) {
       if (!alive_[l]) continue;
       results[l].newton_iterations += static_cast<std::uint64_t>(iter_spent_[l]);
+      if (lane_deadline(results[l])) {
+        FailureReport& report = results[l].failure;
+        report.stage = FailureStage::Deadline;
+        report.time = t_next;
+        if (!ok_[l]) {
+          note_worst_residual(*circuits_[l], plans_[l],
+                              std::span<const double>(ws_->x.data() + l * ws_->x_stride, padded_),
+                              report);
+        }
+        note_deadline_abort();
+        results[l].error = report.to_string();
+        alive_[l] = 0;
+        continue;
+      }
       if (!ok_[l]) any_fail = true;
     }
+    if (!any_alive()) break;
     if (any_fail) {
       if (dt_eff <= dt_min * (1.0 + 1e-9)) {
-        // No smaller step to retreat to: the failing lanes are lost; the
-        // rest of the batch carries on with this (solved) step.
+        // No smaller step to retreat to: last recovery rung per failing lane
+        // is a bounded restart from a pseudo-DC point with the sources
+        // frozen at t_next; unrescued lanes are lost while the rest of the
+        // batch carries on with this (solved) step.
+        rescued_.assign(lanes, 0);
+        bool any_rescued = false;
         for (std::size_t l = 0; l < lanes; ++l) {
-          if (alive_[l] && !ok_[l]) {
-            results[l].error = "transient: Newton failed at t = " + std::to_string(t_next) +
-                               " with dt already at dt_min";
-            alive_[l] = 0;
+          if (!alive_[l] || ok_[l]) continue;
+          FailureReport& report = results[l].failure;
+          report.time = t_next;
+          note_worst_residual(*circuits_[l], plans_[l],
+                              std::span<const double>(ws_->x.data() + l * ws_->x_stride, padded_),
+                              report);
+          bool deadline_hit = false;
+          bool rescued = false;
+          if (options_.recovery.enabled) {
+            for (int restart = 0; restart < options_.recovery.dc_restart_attempts; ++restart) {
+              ++report.attempts;
+              OpResult op = operating_point_plan(*circuits_[l], plans_[l], options_, sws, nullptr,
+                                                 nullptr, t_next);
+              results[l].newton_iterations += static_cast<std::uint64_t>(op.iterations);
+              if (lane_deadline(results[l])) {
+                deadline_hit = true;
+                break;
+              }
+              if (!op.converged) continue;
+              double* xl = ws_->x.data() + l * ws_->x_stride;
+              std::fill(xl, xl + padded_, 0.0);
+              for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+                xl[plans_[l].x_slot(nd)] = op.node_voltages[nd];
+              }
+              for (std::size_t si = 0; si < n_vsrc_; ++si) {
+                const std::size_t slot = plans_[l].vsource_branch_slot(si);
+                if (slot != StampPlan::kNoSlot) xl[slot] = op.vsource_currents[si];
+              }
+              double* cc = ws_->cap_current.data() + l * ws_->cap_stride;
+              std::fill(cc, cc + n_caps_, 0.0);
+              rescued = true;
+              note_recovered_transient();
+              break;
+            }
           }
+          if (!rescued) {
+            report.stage = deadline_hit ? FailureStage::Deadline : FailureStage::Timestep;
+            if (deadline_hit) note_deadline_abort();
+            results[l].error = report.to_string();
+            alive_[l] = 0;
+            continue;
+          }
+          rescued_[l] = 1;
+          any_rescued = true;
         }
         if (!any_alive()) break;
+        if (any_rescued) {
+          // Accept the step for every live lane (rescued lanes' companion
+          // state was reset by the restart, so they skip the cap update) and
+          // reset the shared controller exactly as a breakpoint does.
+          for (std::size_t l = 0; l < lanes; ++l) {
+            if (!alive_[l]) continue;
+            if (!rescued_[l]) update_caps_lane(l, dt_eff, trap);
+            record_lane(l, t_next, /*recover_currents=*/true);
+            ++results[l].steps_accepted;
+            results[l].dt_trace.push_back(dt_eff);
+            copy_lane(ws_->x_prev, ws_->x, l);
+          }
+          ++accepted_union;
+          t_cur = t_next;
+          since_reset = 0;
+          hist_n = 0;
+          push_history(t_next);
+          dt = std::clamp(spec.dt, dt_min, dt_max);
+          continue;
+        }
       } else {
         for (std::size_t l = 0; l < lanes; ++l) {
           if (alive_[l]) ++results[l].steps_rejected;

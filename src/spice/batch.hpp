@@ -111,6 +111,19 @@ class BatchSimulator {
   /// iter_spent_[l].
   void solve_step(double time, double dt, bool trapezoidal);
   void update_caps_lane(std::size_t l, double dt, bool trapezoidal);
+  /// Per-lane convergence recovery for a failed fixed-grid step over
+  /// [t_prev, t]: scalar backward-Euler substep cutting, then a bounded
+  /// restart-from-DC rung — only lane l's state is touched, the other lanes
+  /// stay frozen at their solved step.  On success the lane's iterate and
+  /// capacitor currents hold the state at t.
+  [[nodiscard]] bool rescue_lane_step(std::size_t l, double t_prev, double t,
+                                      TransientResult& result, int& attempts,
+                                      bool& deadline_hit);
+  /// Cooperative per-lane deadline (DC + transient iterations combined).
+  [[nodiscard]] bool lane_deadline(const TransientResult& result) const {
+    return deadline_exceeded(options_, static_cast<std::uint64_t>(result.dc_iterations) +
+                                           result.newton_iterations);
+  }
 
   std::vector<const Circuit*> circuits_;
   SimulatorOptions options_;
@@ -135,6 +148,8 @@ class BatchSimulator {
   std::vector<double*> act_x_;
   std::vector<char> has_factors_;   ///< bypass: lane holds a valid LU
   std::vector<double> res_prev_;    ///< bypass: last chord residual norm
+  std::vector<const FaultPlan::Site*> fault_site_;  ///< per-solve injected fault
+  std::vector<char> rescued_;       ///< per-step: lane recovered via rescue
   std::uint64_t bypass_solves_ = 0;
   std::uint64_t bypass_refactors_ = 0;
 };

@@ -20,6 +20,13 @@ struct SpiceCounters {
   /// steps, scalar and batched paths combined.
   std::uint64_t steps_accepted = 0;
   std::uint64_t steps_rejected = 0;
+  /// Convergence-recovery ladder: DC operating points rescued by gmin
+  /// stepping and transient steps rescued by substep cutting / DC restart
+  /// (scalar and per-lane batched rescues combined).
+  std::uint64_t recovered_dc = 0;
+  std::uint64_t recovered_transient = 0;
+  /// Runs aborted by the cooperative Newton-iteration deadline.
+  std::uint64_t deadline_aborts = 0;
 };
 
 [[nodiscard]] SpiceCounters spice_counters();
@@ -28,5 +35,8 @@ void reset_spice_counters();
 void note_batch_group(std::uint64_t lanes);
 void note_bypass_solves(std::uint64_t solves, std::uint64_t refactors);
 void note_lte_steps(std::uint64_t accepted, std::uint64_t rejected);
+void note_recovered_dc();
+void note_recovered_transient();
+void note_deadline_abort();
 
 }  // namespace glova::spice

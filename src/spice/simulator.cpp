@@ -4,6 +4,8 @@
 #include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "spice/counters.hpp"
@@ -17,6 +19,10 @@ namespace glova::spice {
 namespace {
 std::atomic<bool> g_adaptive_timestep_default{false};
 std::atomic<bool> g_newton_bypass_default{false};
+std::atomic<bool> g_recovery_default{false};
+std::atomic<std::uint64_t> g_deadline_default{0};
+thread_local int t_recovery_escalation = 0;
+thread_local const FaultPlan* t_fault_plan = nullptr;
 }  // namespace
 
 bool adaptive_timestep_default() {
@@ -29,12 +35,124 @@ bool newton_bypass_default() { return g_newton_bypass_default.load(std::memory_o
 void set_newton_bypass_default(bool enabled) {
   g_newton_bypass_default.store(enabled, std::memory_order_relaxed);
 }
+bool recovery_default() { return g_recovery_default.load(std::memory_order_relaxed); }
+void set_recovery_default(bool enabled) {
+  g_recovery_default.store(enabled, std::memory_order_relaxed);
+}
+std::uint64_t deadline_default() { return g_deadline_default.load(std::memory_order_relaxed); }
+void set_deadline_default(std::uint64_t max_newton_iterations) {
+  g_deadline_default.store(max_newton_iterations, std::memory_order_relaxed);
+}
+int recovery_escalation() { return t_recovery_escalation; }
+void set_recovery_escalation(int level) { t_recovery_escalation = level; }
 
 SimulatorOptions default_simulator_options() {
   SimulatorOptions options;
   options.adaptive_timestep = adaptive_timestep_default();
   options.newton_bypass = newton_bypass_default();
+  options.recovery.enabled = recovery_default();
+  options.deadline_newton_iterations = deadline_default();
+  // Escalated retries (core::EvaluationEngine) harden the ladder beyond the
+  // process defaults; level 0 leaves the options untouched.
+  const int level = recovery_escalation();
+  if (level >= 1) options.recovery.enabled = true;
+  if (level >= 2) {
+    options.recovery.gmin_start = 1e-2;
+    options.recovery.max_gmin_rungs = 16;
+    options.recovery.max_step_cuts = 5;
+    options.recovery.dc_restart_attempts = 2;
+  }
   return options;
+}
+
+// ---------------------------------------------------------------------------
+// Failure taxonomy and deterministic fault injection
+
+const char* to_string(FailureStage stage) {
+  switch (stage) {
+    case FailureStage::None: return "none";
+    case FailureStage::Setup: return "setup";
+    case FailureStage::DcOperatingPoint: return "dc-operating-point";
+    case FailureStage::TransientNewton: return "transient-newton";
+    case FailureStage::Timestep: return "timestep";
+    case FailureStage::Deadline: return "deadline";
+  }
+  return "none";
+}
+
+std::string FailureReport::to_string() const {
+  if (stage == FailureStage::None) return {};
+  if (stage == FailureStage::Setup) return message;
+  char head[192];
+  switch (stage) {
+    case FailureStage::DcOperatingPoint:
+      std::snprintf(head, sizeof head, "transient: DC operating point failed to converge");
+      break;
+    case FailureStage::TransientNewton:
+      std::snprintf(head, sizeof head, "transient: Newton failed at t = %.6g s", time);
+      break;
+    case FailureStage::Timestep:
+      std::snprintf(head, sizeof head,
+                    "transient: Newton failed at t = %.6g s with dt already at dt_min", time);
+      break;
+    case FailureStage::Deadline:
+      std::snprintf(head, sizeof head,
+                    "transient: Newton-iteration deadline exceeded at t = %.6g s", time);
+      break;
+    default:
+      head[0] = '\0';
+      break;
+  }
+  std::string out = head;
+  if (attempts > 0 || !worst_node.empty()) {
+    char detail[160];
+    if (!worst_node.empty()) {
+      std::snprintf(detail, sizeof detail, " (recovery attempts: %d; worst residual %.3g A at %s)",
+                    attempts, final_residual, worst_node.c_str());
+    } else {
+      std::snprintf(detail, sizeof detail, " (recovery attempts: %d)", attempts);
+    }
+    out += detail;
+  }
+  if (!message.empty()) out += " [" + message + "]";
+  return out;
+}
+
+const FaultPlan::Site* FaultPlan::match(std::uint64_t index) const {
+  for (const Site& s : sites) {
+    if (index >= s.begin && index < s.end) return &s;
+  }
+  return nullptr;
+}
+
+void set_thread_fault_plan(const FaultPlan* plan) { t_fault_plan = plan; }
+const FaultPlan* thread_fault_plan() { return t_fault_plan; }
+
+std::string row_label(const Circuit& circuit, const StampPlan& plan, std::size_t row) {
+  if (row < plan.unknown_node_count()) {
+    for (NodeId nd = 1; nd < circuit.node_count(); ++nd) {
+      if (plan.node_is_unknown(nd) && plan.x_slot(nd) == row) return circuit.node_name(nd);
+    }
+  }
+  return "branch " + std::to_string(row);
+}
+
+void note_worst_residual(const Circuit& circuit, StampPlan& plan, std::span<const double> x,
+                         FailureReport& report) {
+  const std::size_t n = plan.unknown_count();
+  std::vector<double> r(n + 1, 0.0);
+  plan.residual(x, r);
+  std::size_t worst = 0;
+  double worst_abs = 0.0;
+  for (std::size_t row = 0; row < n; ++row) {
+    const double a = std::abs(r[row]);
+    if (a > worst_abs) {
+      worst_abs = a;
+      worst = row;
+    }
+  }
+  report.final_residual = worst_abs;
+  report.worst_node = row_label(circuit, plan, worst);
 }
 
 // ---------------------------------------------------------------------------
@@ -362,9 +480,15 @@ void StampPlan::begin_solve(const AssemblyInputs& in) {
   // a handful of times per transient (BE startup -> trapezoidal -> final
   // partial step), once per operating point.
   if (!key_.valid || key_.mode != in.mode || key_.trapezoidal != in.trapezoidal ||
-      key_.dt != in.dt) {
+      key_.dt != in.dt || key_.extra_gmin != in.extra_gmin) {
     std::fill(static_g_.begin(), static_g_.end(), 0.0);
     for (const LinearStamp& s : pre_cap_) static_g_[s.slot] += s.value;
+    if (in.extra_gmin != 0.0) {
+      // gmin-stepping rung: extra conductance to ground on every unknown
+      // node.  Guarded so the extra_gmin == 0 path accumulates identically
+      // to previous releases.
+      for (std::size_t i = 0; i < nu_; ++i) static_g_[i * stride_ + i] += in.extra_gmin;
+    }
     if (transient) {
       for (const CapStamp& c : caps_) {
         const double geq = (in.trapezoidal ? 2.0 : 1.0) * c.farads / in.dt;
@@ -377,7 +501,7 @@ void StampPlan::begin_solve(const AssemblyInputs& in) {
     // In OP mode capacitors are open circuits: no stamp.
     for (const LinearStamp& s : post_cap_) static_g_[s.slot] += s.value;
     static_g_[scratch_] = 0.0;  // scrub scratch garbage from eliminated stamps
-    key_ = {in.mode, in.trapezoidal, in.dt, true};
+    key_ = {in.mode, in.trapezoidal, in.dt, in.extra_gmin, true};
   }
 
   // RHS base: everything that does not depend on the Newton iterate.  Cheap
@@ -550,9 +674,29 @@ bool newton_solve_plan(StampPlan& plan, const SimulatorOptions& options,
   ws.prepare(n);
   plan.begin_solve(in);
   plan.load_pinned(x);
+  // Deterministic fault injection (tests/benches only; t_fault_plan is never
+  // installed in production, so this is one null check on the default path).
+  const FaultPlan::Site* fault = nullptr;
+  if (const FaultPlan* fp = thread_fault_plan(); fp != nullptr) {
+    fault = fp->match(fp->cursor++);
+  }
+  if (fault != nullptr && fault->kind == FaultPlan::Kind::NonConverge) {
+    iterations += options.max_newton_iterations;
+    return false;
+  }
+  bool poison_rhs = fault != nullptr && fault->kind == FaultPlan::Kind::NanStamp;
+  bool wreck_matrix = fault != nullptr && fault->kind == FaultPlan::Kind::SingularMatrix;
   DenseMatrix& g = ws.solver.matrix(n);
   for (int it = 0; it < options.max_newton_iterations; ++it) {
     plan.stamp(x, g, ws.rhs);
+    if (poison_rhs) {
+      ws.rhs[0] = std::numeric_limits<double>::quiet_NaN();
+      poison_rhs = false;
+    }
+    if (wreck_matrix) {
+      std::fill_n(g.data(), n, 0.0);  // zero row 0: factorization must fail
+      wreck_matrix = false;
+    }
     if (!ws.solver.factor_solve_in_place(std::span<double>(ws.rhs.data(), n), ws.x_new)) {
       iterations += it + 1;
       return false;
@@ -568,8 +712,20 @@ bool newton_solve_plan(StampPlan& plan, const SimulatorOptions& options,
       x[i] += delta;
     }
     for (std::size_t i = nu; i < n; ++i) x[i] = x_new[i];
+    bool finite = std::isfinite(max_delta);
+    for (std::size_t i = 0; finite && i < n; ++i) finite = std::isfinite(x[i]);
+    if (!finite) {
+      // A NaN/Inf iterate can never converge (NaN comparisons silently fall
+      // out of the max/clamp reductions); bail now instead of burning the
+      // iteration budget on a poisoned solve.
+      iterations += it + 1;
+      return false;
+    }
     if (max_delta < options.vtol) {
       iterations += it + 1;
+      if (fault != nullptr && fault->kind == FaultPlan::Kind::SlowConverge) {
+        iterations += fault->extra_iterations;
+      }
       return true;
     }
   }
@@ -579,7 +735,7 @@ bool newton_solve_plan(StampPlan& plan, const SimulatorOptions& options,
 
 OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
                               const SimulatorOptions& options, SimulatorWorkspace& ws,
-                              const OpResult* warm_start) {
+                              const OpResult* warm_start, FailureReport* failure, double time) {
   const std::size_t n_nodes = circuit.node_count();
   const std::size_t n_vsrc = circuit.vsources().size();
   OpResult result;
@@ -587,9 +743,11 @@ OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
 
   AssemblyInputs in;
   in.mode = AnalysisMode::Op;
-  in.time = 0.0;
+  in.time = time;
 
   int iterations = 0;
+  int recovery_attempts = 0;
+  bool deadline_hit = false;
   bool ok = false;
   bool warm = false;
   if (warm_start != nullptr && warm_start->converged &&
@@ -612,7 +770,10 @@ OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
     }
   }
   if (!ok) ok = newton_solve_plan(plan, options, ws, in, x, iterations);
-  if (!ok) {
+  if (!ok && deadline_exceeded(options, static_cast<std::uint64_t>(iterations))) {
+    deadline_hit = true;
+  }
+  if (!ok && !deadline_hit) {
     // Source stepping: ramp all independent sources from 0 to full value.
     std::fill(x.begin(), x.end(), 0.0);
     ok = true;
@@ -622,8 +783,51 @@ OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
         ok = false;
         break;
       }
+      if (deadline_exceeded(options, static_cast<std::uint64_t>(iterations))) {
+        ok = false;
+        deadline_hit = true;
+        break;
+      }
     }
     in.source_scale = 1.0;
+  }
+  if (!ok && deadline_exceeded(options, static_cast<std::uint64_t>(iterations))) {
+    deadline_hit = true;
+  }
+  if (!ok && !deadline_hit && options.recovery.enabled) {
+    // gmin-stepping ladder with anneal-back: solve with a large extra
+    // conductance to ground on every unknown node (heavily damped,
+    // nearly-linear system), then anneal it geometrically toward zero.  A
+    // failed rung retreats one level, restarts the iterate cold, and
+    // descends more gently from there.  The point only counts once a solve
+    // at extra_gmin == 0 converges.
+    const RecoveryPolicy& rp = options.recovery;
+    std::fill(x.begin(), x.end(), 0.0);
+    in.source_scale = 1.0;
+    double anneal = rp.gmin_anneal;
+    double extra = rp.gmin_start;
+    for (int rung = 0; rung < rp.max_gmin_rungs && !ok; ++rung) {
+      ++recovery_attempts;
+      in.extra_gmin = extra;
+      if (newton_solve_plan(plan, options, ws, in, x, iterations)) {
+        if (extra == 0.0) {
+          ok = true;
+          note_recovered_dc();
+          break;
+        }
+        const double next = extra * anneal;
+        extra = next <= options.gmin ? 0.0 : next;
+      } else {
+        std::fill(x.begin(), x.end(), 0.0);
+        extra = std::min(rp.gmin_start, (extra == 0.0 ? options.gmin : extra) / anneal);
+        anneal = std::sqrt(anneal);
+      }
+      if (deadline_exceeded(options, static_cast<std::uint64_t>(iterations))) {
+        deadline_hit = true;
+        break;
+      }
+    }
+    in.extra_gmin = 0.0;
   }
 
   result.converged = ok;
@@ -633,7 +837,13 @@ OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
     result.node_voltages.assign(n_nodes, 0.0);
     for (NodeId nd = 1; nd < n_nodes; ++nd) result.node_voltages[nd] = x[plan.x_slot(nd)];
     result.vsource_currents.assign(n_vsrc, 0.0);
-    plan.vsource_currents(x, {}, 0.0, 1.0, result.vsource_currents);
+    plan.vsource_currents(x, {}, time, 1.0, result.vsource_currents);
+  } else if (failure != nullptr) {
+    failure->stage = deadline_hit ? FailureStage::Deadline : FailureStage::DcOperatingPoint;
+    failure->time = time;
+    failure->attempts = recovery_attempts;
+    note_worst_residual(circuit, plan, x, *failure);
+    if (deadline_hit) note_deadline_abort();
   }
   return result;
 }
@@ -649,7 +859,9 @@ OpResult Simulator::operating_point(const OpResult* warm_start) {
 TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* dc_warm_start) {
   TransientResult result;
   if (spec.dt <= 0.0 || spec.t_stop <= 0.0) {
-    result.error = "transient: dt and t_stop must be positive";
+    result.failure.stage = FailureStage::Setup;
+    result.failure.message = "transient: dt and t_stop must be positive";
+    result.error = result.failure.to_string();
     return result;
   }
 
@@ -670,9 +882,10 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
       }
     }
   } else {
-    OpResult op = operating_point(dc_warm_start);
+    OpResult op = operating_point_plan(circuit_, plan_, options_, *workspace_, dc_warm_start,
+                                       &result.failure);
     if (!op.converged) {
-      result.error = "transient: DC operating point failed to converge";
+      result.error = result.failure.to_string();
       return result;
     }
     for (NodeId nd = 1; nd < n_nodes_; ++nd) x[plan_.x_slot(nd)] = op.node_voltages[nd];
@@ -682,6 +895,13 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
     }
     result.dc_iterations = op.iterations;
     result.dc_op = std::move(op);
+    if (deadline_exceeded(options_, static_cast<std::uint64_t>(result.dc_iterations))) {
+      result.failure.stage = FailureStage::Deadline;
+      result.failure.time = 0.0;
+      note_deadline_abort();
+      result.error = result.failure.to_string();
+      return result;
+    }
   }
 
   // --- set up recording ---
@@ -726,20 +946,106 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
   std::vector<double> x_prev = x;
 
   // Update per-capacitor branch currents for the trapezoidal companion.
+  // `cap` is the target state vector: the main loops pass cap_current, the
+  // recovery substeps a scratch copy committed only on success.
   const std::vector<Capacitor>& caps = circuit_.capacitors();
-  const auto update_cap_currents = [&](const std::vector<double>& x_now,
-                                       const std::vector<double>& x_was, double dt,
-                                       bool trapezoidal) {
+  const auto update_caps_into = [&](std::vector<double>& cap, const std::vector<double>& x_now,
+                                    const std::vector<double>& x_was, double dt,
+                                    bool trapezoidal) {
     for (std::size_t ci = 0; ci < n_caps; ++ci) {
       const Capacitor& c = caps[ci];
       const double v_now = voltage_of(x_now, c.a) - voltage_of(x_now, c.b);
       const double v_was = voltage_of(x_was, c.a) - voltage_of(x_was, c.b);
       if (trapezoidal) {
-        cap_current[ci] = 2.0 * c.farads / dt * (v_now - v_was) - cap_current[ci];
+        cap[ci] = 2.0 * c.farads / dt * (v_now - v_was) - cap[ci];
       } else {
-        cap_current[ci] = c.farads / dt * (v_now - v_was);
+        cap[ci] = c.farads / dt * (v_now - v_was);
       }
     }
+  };
+  const auto update_cap_currents = [&](const std::vector<double>& x_now,
+                                       const std::vector<double>& x_was, double dt,
+                                       bool trapezoidal) {
+    update_caps_into(cap_current, x_now, x_was, dt, trapezoidal);
+  };
+
+  // Newton iterations spent so far this run (the cooperative deadline is on
+  // DC + transient combined).
+  const auto spent = [&]() {
+    return static_cast<std::uint64_t>(result.dc_iterations) + result.newton_iterations;
+  };
+
+  // Recovery rung 2 (fixed grid): cut the failing [t_prev, t] step into 2^k
+  // backward-Euler substeps from the last accepted point, deeper on repeated
+  // failure; recording stays at the original grid point so the trace shape
+  // is unchanged.  Rung 3: bounded restart from a pseudo-DC point with the
+  // sources frozen at t (capacitors open, so their currents restart at 0).
+  // On success `x` holds the solution at t and cap_current the matching
+  // companion state.
+  const auto rescue_transient_step = [&](double t_prev, double t, int& attempts,
+                                         bool& deadline_hit) -> bool {
+    const RecoveryPolicy& rp = options_.recovery;
+    std::vector<double> x_sub(x.size());
+    std::vector<double> x_sub_prev(x.size());
+    std::vector<double> cap_sub(n_caps);
+    for (int cut = 1; cut <= rp.max_step_cuts; ++cut) {
+      ++attempts;
+      const int k = 1 << cut;
+      x_sub = x_prev;
+      x_sub_prev = x_prev;
+      cap_sub = cap_current;
+      bool sub_ok = true;
+      double t_a = t_prev;
+      for (int j = 1; j <= k; ++j) {
+        const double t_b = j == k ? t : t_prev + (t - t_prev) * j / k;
+        AssemblyInputs sub;
+        sub.mode = AnalysisMode::Transient;
+        sub.time = t_b;
+        sub.dt = t_b - t_a;
+        sub.trapezoidal = false;
+        sub.x_prev = x_sub_prev;
+        sub.cap_current_prev = cap_sub;
+        int sub_iterations = 0;
+        const bool solved = newton_solve(sub, x_sub, sub_iterations);
+        result.newton_iterations += static_cast<std::uint64_t>(sub_iterations);
+        if (deadline_exceeded(options_, spent())) {
+          deadline_hit = true;
+          return false;
+        }
+        if (!solved) {
+          sub_ok = false;
+          break;
+        }
+        update_caps_into(cap_sub, x_sub, x_sub_prev, sub.dt, false);
+        x_sub_prev = x_sub;
+        t_a = t_b;
+      }
+      if (sub_ok) {
+        x = x_sub;
+        cap_current = cap_sub;
+        return true;
+      }
+    }
+    for (int restart = 0; restart < rp.dc_restart_attempts; ++restart) {
+      ++attempts;
+      OpResult op =
+          operating_point_plan(circuit_, plan_, options_, *workspace_, nullptr, nullptr, t);
+      result.newton_iterations += static_cast<std::uint64_t>(op.iterations);
+      if (deadline_exceeded(options_, spent())) {
+        deadline_hit = true;
+        return false;
+      }
+      if (!op.converged) continue;
+      std::fill(x.begin(), x.end(), 0.0);
+      for (NodeId nd = 1; nd < n_nodes_; ++nd) x[plan_.x_slot(nd)] = op.node_voltages[nd];
+      for (std::size_t si = 0; si < n_vsrc_; ++si) {
+        const std::size_t slot = plan_.vsource_branch_slot(si);
+        if (slot != StampPlan::kNoSlot) x[slot] = op.vsource_currents[si];
+      }
+      std::fill(cap_current.begin(), cap_current.end(), 0.0);
+      return true;
+    }
+    return false;
   };
 
   if (!options_.adaptive_timestep) {
@@ -767,14 +1073,39 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
       in.cap_current_prev = cap_current;
 
       int step_iterations = 0;
-      if (!newton_solve(in, x, step_iterations)) {
-        result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
-        result.error = "transient: Newton failed at t = " + std::to_string(t);
+      bool solved = newton_solve(in, x, step_iterations);
+      result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+      bool deadline_hit = deadline_exceeded(options_, spent());
+      bool rescued = false;
+      FailureReport report;
+      if (!solved) {
+        // Capture the worst-residual row of the failed iterate now, while
+        // the plan still holds this solve's assembly.
+        note_worst_residual(circuit_, plan_, x, report);
+        if (!deadline_hit && options_.recovery.enabled) {
+          rescued = rescue_transient_step(t_prev, t, report.attempts, deadline_hit);
+          if (rescued) note_recovered_transient();
+        }
+      }
+      if (!solved && !rescued) {
+        report.stage = deadline_hit ? FailureStage::Deadline : FailureStage::TransientNewton;
+        report.time = t;
+        if (deadline_hit) note_deadline_abort();
+        result.failure = std::move(report);
+        result.error = result.failure.to_string();
         return result;
       }
-      result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+      if (solved && deadline_hit) {
+        result.failure.stage = FailureStage::Deadline;
+        result.failure.time = t;
+        note_deadline_abort();
+        result.error = result.failure.to_string();
+        return result;
+      }
 
-      update_cap_currents(x, x_prev, dt, in.trapezoidal);
+      // A rescued step's companion state was advanced by its substeps (or
+      // reset by the DC restart); only the plain path integrates over dt.
+      if (!rescued) update_cap_currents(x, x_prev, dt, in.trapezoidal);
 
       record_point(t, x, /*recover_currents=*/true);
       ++result.steps_accepted;
@@ -909,12 +1240,71 @@ TransientResult Simulator::transient(const TransientSpec& spec, const OpResult* 
     int step_iterations = 0;
     const bool solved = newton_solve(in, x_trial, step_iterations);
     result.newton_iterations += static_cast<std::uint64_t>(step_iterations);
+    if (deadline_exceeded(options_, spent())) {
+      note_lte_steps(result.steps_accepted, result.steps_rejected);
+      result.failure.stage = FailureStage::Deadline;
+      result.failure.time = t_next;
+      if (!solved) note_worst_residual(circuit_, plan_, x_trial, result.failure);
+      note_deadline_abort();
+      result.error = result.failure.to_string();
+      return result;
+    }
     if (!solved) {
       if (dt_eff <= dt_min * (1.0 + 1e-9)) {
-        note_lte_steps(result.steps_accepted, result.steps_rejected);
-        result.error = "transient: Newton failed at t = " + std::to_string(t_next) +
-                       " with dt already at dt_min";
-        return result;
+        FailureReport report;
+        report.time = t_next;
+        note_worst_residual(circuit_, plan_, x_trial, report);
+        bool deadline_hit = false;
+        bool rescued = false;
+        if (options_.recovery.enabled) {
+          // Last recovery rung at dt_min: bounded restart from a pseudo-DC
+          // point with the sources frozen at t_next, then resume with a
+          // fresh backward-Euler startup (capacitor currents restart at 0,
+          // the divided-difference history is discarded).
+          for (int restart = 0; restart < options_.recovery.dc_restart_attempts; ++restart) {
+            ++report.attempts;
+            OpResult op = operating_point_plan(circuit_, plan_, options_, *workspace_, nullptr,
+                                               nullptr, t_next);
+            result.newton_iterations += static_cast<std::uint64_t>(op.iterations);
+            if (deadline_exceeded(options_, spent())) {
+              deadline_hit = true;
+              break;
+            }
+            if (!op.converged) continue;
+            std::fill(x_trial.begin(), x_trial.end(), 0.0);
+            for (NodeId nd = 1; nd < n_nodes_; ++nd) {
+              x_trial[plan_.x_slot(nd)] = op.node_voltages[nd];
+            }
+            for (std::size_t si = 0; si < n_vsrc_; ++si) {
+              const std::size_t slot = plan_.vsource_branch_slot(si);
+              if (slot != StampPlan::kNoSlot) x_trial[slot] = op.vsource_currents[si];
+            }
+            std::fill(cap_current.begin(), cap_current.end(), 0.0);
+            rescued = true;
+            note_recovered_transient();
+            break;
+          }
+        }
+        if (!rescued) {
+          note_lte_steps(result.steps_accepted, result.steps_rejected);
+          report.stage = deadline_hit ? FailureStage::Deadline : FailureStage::Timestep;
+          if (deadline_hit) note_deadline_abort();
+          result.failure = std::move(report);
+          result.error = result.failure.to_string();
+          return result;
+        }
+        // Accept the restart state as the solution at t_next and reset the
+        // controller exactly as a breakpoint does.
+        record_point(t_next, x_trial, /*recover_currents=*/true);
+        ++result.steps_accepted;
+        result.dt_trace.push_back(dt_eff);
+        std::swap(x_prev, x_trial);
+        t_cur = t_next;
+        since_reset = 0;
+        hist_n = 0;
+        push_history(t_next, x_prev);
+        dt = std::clamp(spec.dt, dt_min, dt_max);
+        continue;
       }
       ++result.steps_rejected;
       dt = std::max(dt_min, dt_eff * options_.dt_shrink_limit);

@@ -68,9 +68,40 @@ struct Trace {
   std::vector<double> values;
 };
 
+/// Where in the simulation a run gave up (FailureStage::None = no failure).
+enum class FailureStage : std::uint8_t {
+  None = 0,
+  Setup,             ///< malformed spec (non-positive dt / t_stop, unknown node)
+  DcOperatingPoint,  ///< initial DC solve failed every recovery rung
+  TransientNewton,   ///< a timestep's Newton solve failed every recovery rung
+  Timestep,          ///< adaptive controller hit dt_min and could not recover
+  Deadline,          ///< cooperative Newton-iteration deadline exceeded
+};
+[[nodiscard]] const char* to_string(FailureStage stage);
+
+/// Structured failure taxonomy replacing the bare error string: what stage
+/// gave up, at what simulated time, how many recovery rungs were tried, and
+/// the worst KCL-residual row of the last failed iterate.  Both the scalar
+/// and the batched evaluator fill the same report, so failure messages are
+/// identical across the two paths.
+struct FailureReport {
+  FailureStage stage = FailureStage::None;
+  double time = 0.0;           ///< [s] simulated time of the failing solve
+  int attempts = 0;            ///< recovery rungs tried (0 = recovery off)
+  double final_residual = 0.0; ///< [A] worst KCL residual of the last iterate
+  std::string worst_node;      ///< node name (or "branch k") of that residual
+  std::string message;         ///< free-text detail (Setup stage: verbatim)
+
+  [[nodiscard]] bool failed() const { return stage != FailureStage::None; }
+  /// Render the canonical one-line error message for TransientResult::error.
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct TransientResult {
   bool ok = false;
   std::string error;
+  /// Structured view of `error` (stage None when ok).
+  FailureReport failure;
   std::vector<double> times;
   std::vector<Trace> traces;
   /// The DC operating point the run started from (empty when use_ic).
@@ -99,6 +130,31 @@ struct TransientResult {
  private:
   [[nodiscard]] const Trace* find_trace(const std::string& name) const;
   mutable std::unordered_map<std::string, std::size_t> trace_index_;
+};
+
+/// Convergence-recovery ladder (all rungs off by default: with
+/// `enabled == false` every solve is bit-identical to previous releases).
+/// Rung order on a failure:
+///   1. DC: warm start -> cold restart -> source stepping (always on), then
+///      gmin stepping with anneal-back — an extra conductance to ground on
+///      every unknown node, started large and annealed geometrically toward
+///      zero; a failed rung retreats one level and descends more gently.
+///      The point only counts once a solve at extra gmin == 0 converges.
+///   2. Transient Newton failure: cut the failing step into 2^k
+///      backward-Euler substeps from the last accepted point (deeper on
+///      repeated failure), recording only at the original grid point so the
+///      trace shape is unchanged.
+///   3. Bounded restart-from-DC: re-solve a (pseudo-)DC point with sources
+///      frozen at the failing time and continue from it.
+struct RecoveryPolicy {
+  bool enabled = false;
+  double gmin_start = 1e-3;   ///< [S] top of the gmin-stepping ladder
+  double gmin_anneal = 0.01;  ///< geometric anneal factor per rung (toward 0)
+  int max_gmin_rungs = 10;    ///< bound on ladder solves (including retreats)
+  int max_step_cuts = 3;      ///< deepest substep split is 2^max_step_cuts
+  int dc_restart_attempts = 1;///< restart-from-DC rungs per transient failure
+
+  friend bool operator==(const RecoveryPolicy&, const RecoveryPolicy&) = default;
 };
 
 struct SimulatorOptions {
@@ -139,7 +195,22 @@ struct SimulatorOptions {
   /// scalar Simulator ignores this flag — its fused factor+solve kernel is
   /// already cheaper than a retained factorization for single lanes.
   bool newton_bypass = false;
+
+  /// Convergence-recovery ladder (see RecoveryPolicy); off by default.
+  RecoveryPolicy recovery;
+  /// Cooperative evaluation deadline: abort a run (DC + transient combined;
+  /// per lane in the batched evaluator) once this many Newton iterations
+  /// were spent, reporting FailureStage::Deadline.  Checked between solves,
+  /// so the abort point is deterministic.  0 = no deadline.
+  std::uint64_t deadline_newton_iterations = 0;
 };
+
+/// True once `spent` Newton iterations exhaust the options' deadline.
+[[nodiscard]] inline bool deadline_exceeded(const SimulatorOptions& options,
+                                            std::uint64_t spent) {
+  return options.deadline_newton_iterations != 0 &&
+         spent >= options.deadline_newton_iterations;
+}
 
 /// Process-wide default switches for the options testbench backends build
 /// their simulators with (the same pattern as set_dc_warm_start_enabled):
@@ -149,10 +220,54 @@ struct SimulatorOptions {
 void set_adaptive_timestep_default(bool enabled);
 [[nodiscard]] bool newton_bypass_default();
 void set_newton_bypass_default(bool enabled);
+[[nodiscard]] bool recovery_default();
+void set_recovery_default(bool enabled);
+[[nodiscard]] std::uint64_t deadline_default();
+void set_deadline_default(std::uint64_t max_newton_iterations);
+
+/// Thread-local recovery escalation level, applied on top of the process
+/// defaults by default_simulator_options().  core::EvaluationEngine raises
+/// it while re-running a failed evaluation (level 1: recovery on; level >= 2:
+/// a taller gmin ladder, deeper step cuts, and an extra DC restart) and
+/// resets it to 0 afterwards.
+[[nodiscard]] int recovery_escalation();
+void set_recovery_escalation(int level);
 
 /// SimulatorOptions with the process-wide switches applied — what testbench
 /// backends pass to their Simulator / BatchSimulator.
 [[nodiscard]] SimulatorOptions default_simulator_options();
+
+/// Deterministic fault injection for tests and benches (off by default).
+/// A plan is installed thread-locally; while one is installed, every Newton
+/// solve on that thread consumes one solve index (DC attempts,
+/// source-stepping and gmin rungs, timestep solves, and batched lanes in
+/// lane order all count), and a site whose half-open [begin, end) range
+/// covers the index forces the chosen failure mode on that solve.
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    NanStamp,        ///< poison the assembled RHS with a NaN
+    SingularMatrix,  ///< zero a matrix row so factorization fails
+    NonConverge,     ///< burn max_newton_iterations and report failure
+    SlowConverge,    ///< converge normally, then charge extra iterations
+  };
+  struct Site {
+    std::uint64_t begin = 0;    ///< first faulted solve index
+    std::uint64_t end = 0;      ///< one past the last faulted solve index
+    Kind kind = Kind::NonConverge;
+    int extra_iterations = 50;  ///< SlowConverge: iterations added per solve
+  };
+  std::vector<Site> sites;
+  /// Solve indices consumed on this thread since the plan was installed.
+  /// An empty plan still counts, so tests can dry-run to number the solves.
+  mutable std::uint64_t cursor = 0;
+
+  [[nodiscard]] const Site* match(std::uint64_t index) const;
+};
+
+/// Install (nullptr: clear) the calling thread's fault plan.  The plan must
+/// outlive its installation.  Test/bench-only; never installed in production.
+void set_thread_fault_plan(const FaultPlan* plan);
+[[nodiscard]] const FaultPlan* thread_fault_plan();
 
 enum class AnalysisMode { Op, Transient };
 
@@ -164,6 +279,9 @@ struct AssemblyInputs {
   double dt = 0.0;
   double source_scale = 1.0;
   bool trapezoidal = false;
+  /// Extra conductance to ground on every unknown node (gmin-stepping rung;
+  /// 0 outside the recovery ladder, and always 0 on the solve that counts).
+  double extra_gmin = 0.0;
   /// Previous-timepoint solution in padded layout (see StampPlan::padded_size);
   /// required in Transient mode.  A span so the batched evaluator can point
   /// it at one lane of its lane-strided state without copying.
@@ -374,6 +492,7 @@ class StampPlan {
     AnalysisMode mode = AnalysisMode::Op;
     bool trapezoidal = false;
     double dt = 0.0;
+    double extra_gmin = 0.0;
     bool valid = false;
   };
   StaticKey key_;
@@ -415,11 +534,28 @@ struct SimulatorWorkspace {
                                      std::vector<double>& x, int& iterations);
 
 /// DC operating point over an already-compiled plan, including the warm
-/// start attempt, cold restart, and source-stepping fallback (see
-/// Simulator::operating_point, which delegates here).
+/// start attempt, cold restart, source-stepping fallback, and (when
+/// options.recovery.enabled) the gmin-stepping ladder (see
+/// Simulator::operating_point, which delegates here).  `failure`, when
+/// non-null, receives the structured report on non-convergence.  `time`
+/// freezes source waveforms at a transient instant for the restart-from-DC
+/// recovery rung (0 = the conventional t=0 operating point).
 [[nodiscard]] OpResult operating_point_plan(const Circuit& circuit, StampPlan& plan,
                                             const SimulatorOptions& options,
-                                            SimulatorWorkspace& ws, const OpResult* warm_start);
+                                            SimulatorWorkspace& ws, const OpResult* warm_start,
+                                            FailureReport* failure = nullptr, double time = 0.0);
+
+/// Human-readable label for one row of the solved system: the node name for
+/// unknown-node rows, "branch <k>" for branch-current rows.  Used by failure
+/// reports to name the worst-residual row.
+[[nodiscard]] std::string row_label(const Circuit& circuit, const StampPlan& plan,
+                                    std::size_t row);
+
+/// Fill `report`'s residual fields from the last failed Newton iterate `x`:
+/// computes the true KCL residual (plan state must still be the failing
+/// solve's begin_solve) and records the worst row's magnitude and label.
+void note_worst_residual(const Circuit& circuit, StampPlan& plan, std::span<const double> x,
+                         FailureReport& report);
 
 class Simulator {
  public:

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -336,6 +338,135 @@ TEST(Campaign, OneFailingSessionDoesNotStopTheOthers) {
   const core::CampaignEntry& ok = table.entries[1];
   EXPECT_EQ(ok.state, core::SessionState::Finished);
   EXPECT_TRUE(ok.result.success);
+}
+
+/// Deterministic wrapper that throws a plain runtime_error on exactly the
+/// nth evaluate() call and forwards to the wrapped bench otherwise — a
+/// transient fault: a rebuilt-and-replayed session sails past it because the
+/// call counter has already burned through n.
+class ThrowOnceBench final : public circuits::Testbench {
+ public:
+  ThrowOnceBench(circuits::TestbenchPtr inner, int nth) : inner_(std::move(inner)), nth_(nth) {}
+  [[nodiscard]] const std::string& name() const override { return inner_->name(); }
+  [[nodiscard]] const circuits::SizingSpec& sizing() const override { return inner_->sizing(); }
+  [[nodiscard]] const circuits::PerformanceSpec& performance() const override {
+    return inner_->performance();
+  }
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double> x,
+                                                    bool global_enabled) const override {
+    return inner_->mismatch_layout(x, global_enabled);
+  }
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> x,
+                                             const pdk::PvtCorner& corner,
+                                             std::span<const double> h) const override {
+    if (calls_.fetch_add(1) + 1 == nth_) throw std::runtime_error("transient evaluator glitch");
+    return inner_->evaluate(x, corner, h);
+  }
+
+ private:
+  circuits::TestbenchPtr inner_;
+  int nth_;
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST(Campaign, SessionRetryReplaysThroughATransientThrow) {
+  set_log_level(LogLevel::Warn);
+  core::RunSpec spec;
+  spec.testcase = circuits::Testcase::Sal;
+  spec.max_iterations = 120;
+  spec.engine.cache_capacity = 0;  // every request reaches the bench
+  spec.engine.parallelism = 1;     // deterministic throw point
+
+  // Reference: an uninterrupted run, and its evaluation count to place the
+  // one-shot fault mid-session.
+  core::Campaign reference(std::vector<core::RunSpec>{spec});
+  const core::CampaignResult& ref_table = reference.run();
+  ASSERT_EQ(ref_table.entries.size(), 1u);
+  ASSERT_EQ(ref_table.entries[0].state, core::SessionState::Finished);
+  const int nth = static_cast<int>(ref_table.entries[0].result.n_simulations / 2);
+  ASSERT_GT(nth, 1);
+
+  // One transient throw, one retry budgeted: the session is rebuilt,
+  // replayed, and finishes bit-identically to the uninterrupted run.
+  core::CampaignConfig config;
+  config.max_session_retries = 2;
+  const auto bench = std::make_shared<ThrowOnceBench>(
+      circuits::make_testbench(spec.testcase, spec.backend), nth);
+  config.make_testbench = [bench](const core::RunSpec&) -> circuits::TestbenchPtr {
+    return bench;  // one shared instance: the replay must see the burnt fuse
+  };
+  core::Campaign campaign(std::vector<core::RunSpec>{spec}, config);
+  const core::CampaignResult& table = campaign.run();
+  ASSERT_EQ(table.entries.size(), 1u);
+  EXPECT_EQ(table.entries[0].state, core::SessionState::Finished);
+  EXPECT_EQ(table.entries[0].retries, 1u);
+  EXPECT_EQ(table.session_retries, 1u);
+  EXPECT_TRUE(table.entries[0].error.empty());
+  expect_identical_results(table.entries[0].result, ref_table.entries[0].result);
+
+  // With no retry budget the same fault is fatal (the legacy behavior).
+  core::CampaignConfig none;
+  const auto bench2 = std::make_shared<ThrowOnceBench>(
+      circuits::make_testbench(spec.testcase, spec.backend), nth);
+  none.make_testbench = [bench2](const core::RunSpec&) -> circuits::TestbenchPtr {
+    return bench2;
+  };
+  core::Campaign fatal(std::vector<core::RunSpec>{spec}, none);
+  const core::CampaignResult& fatal_table = fatal.run();
+  EXPECT_EQ(fatal_table.entries[0].state, core::SessionState::Failed);
+  EXPECT_EQ(fatal_table.entries[0].retries, 0u);
+  EXPECT_NE(fatal_table.entries[0].error.find("transient evaluator glitch"), std::string::npos);
+}
+
+TEST(Campaign, DeterministicFailureExhaustsTheRetryBudget) {
+  set_log_level(LogLevel::Warn);
+  core::RunSpec spec;
+  spec.engine.cache_capacity = 0;
+  spec.engine.parallelism = 1;
+  core::CampaignConfig config;
+  config.max_session_retries = 2;
+  // FailingBench's fuse burns permanently: every replay re-throws at the
+  // same evaluation, so the retry budget drains and the session fails.
+  config.make_testbench = [](const core::RunSpec&) -> circuits::TestbenchPtr {
+    return std::make_shared<FailingBench>(400);
+  };
+  core::Campaign campaign(std::vector<core::RunSpec>{spec}, config);
+  const core::CampaignResult& table = campaign.run();
+  ASSERT_EQ(table.entries.size(), 1u);
+  EXPECT_EQ(table.entries[0].state, core::SessionState::Failed);
+  EXPECT_EQ(table.entries[0].retries, 2u);
+  EXPECT_EQ(table.session_retries, 2u);
+  EXPECT_NE(table.entries[0].error.find("simulator crashed"), std::string::npos);
+}
+
+TEST(CampaignCheckpoint, SaveFileSurvivesPartialWriteInjection) {
+  set_log_level(LogLevel::Warn);
+  core::SweepSpec sweep = parity_sweep();
+  sweep.algorithms = {core::Algorithm::Glova};
+  sweep.seeds = {1};
+  core::Campaign campaign(sweep);
+  (void)campaign.run();
+
+  const std::string path = ::testing::TempDir() + "glova_campaign_atomic.txt";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove_all(tmp);
+
+  // A stale temp file from a crashed writer is simply overwritten.
+  {
+    std::ofstream garbage(tmp);
+    garbage << "truncated-partial-write";
+  }
+  campaign.save_file(path);
+  EXPECT_FALSE(std::filesystem::exists(tmp)) << "temp file must be renamed away";
+  expect_identical_tables(core::Campaign::load_file(path).run(), campaign.result());
+
+  // Injected write failure: the temp path is unopenable (a directory squats
+  // on it), save_file throws — and the existing good checkpoint is intact.
+  std::filesystem::create_directory(tmp);
+  EXPECT_THROW(campaign.save_file(path), std::runtime_error);
+  std::filesystem::remove_all(tmp);
+  expect_identical_tables(core::Campaign::load_file(path).run(), campaign.result());
 }
 
 TEST(Campaign, WideSimulationBudgetStopsWithinOneTurn) {
