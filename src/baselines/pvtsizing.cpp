@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/state_io.hpp"
 #include "core/reward.hpp"
 #include "core/verifier.hpp"
 #include "opt/turbo.hpp"
@@ -43,6 +44,52 @@ const core::EvaluationEngine* PvtSizingOptimizer::engine_ptr() const {
   return s_ ? &s_->service : nullptr;
 }
 
+rl::AgentConfig PvtSizingOptimizer::agent_config() const {
+  rl::AgentConfig agent_cfg;
+  agent_cfg.critic.ensemble_size = 1;
+  agent_cfg.critic.beta1 = 0.0;
+  agent_cfg.critic.hidden = config_.hidden;
+  agent_cfg.hidden = config_.hidden;
+  agent_cfg.batch_size = config_.batch_size;
+  return agent_cfg;
+}
+
+core::VerifierOptions PvtSizingOptimizer::verifier_options() const {
+  core::VerifierOptions vopts;
+  vopts.use_mu_sigma = false;
+  vopts.use_reordering = false;
+  return vopts;
+}
+
+void PvtSizingOptimizer::do_save_state(std::ostream& os) const {
+  const Session& s = *s_;
+  os << "pvtsizing " << s.iter << '\n';
+  os << "rng " << s.rng.save() << '\n';
+  os << "mc_rng " << s.mc_rng.save() << '\n';
+  state::write_doubles(os, "x_last", s.x_last);
+  s.buffer.save(os);
+  s.last_worst.save(os);
+  s.agent->save(os);
+  s.service.save_state(os);
+}
+
+void PvtSizingOptimizer::do_load_state(std::istream& is) {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  s.iter = state::parse_u64(state::expect_line(is, "pvtsizing"), "PVTSizing iteration");
+  s.rng.restore(state::expect_line(is, "rng"));
+  s.mc_rng.restore(state::expect_line(is, "mc_rng"));
+  s.x_last = state::read_doubles(is, "x_last");
+  s.buffer.load(is);
+  s.last_worst.load(is);
+  // Placeholder construction: agent->load overwrites all of it.
+  const std::size_t p = testbench_->sizing().dimension();
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
+  s.agent->load(is);
+  s.verifier = std::make_unique<core::Verifier>(s.service, op_config_, verifier_options());
+  s.service.load_state(is);
+}
+
 void PvtSizingOptimizer::do_start() {
   s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
   Session& s = *s_;
@@ -70,19 +117,10 @@ void PvtSizingOptimizer::do_start() {
   result_.turbo_evaluations = service.simulation_count();
 
   // --- risk-neutral agent: single critic, beta1 = 0.
-  rl::AgentConfig agent_cfg;
-  agent_cfg.critic.ensemble_size = 1;
-  agent_cfg.critic.beta1 = 0.0;
-  agent_cfg.critic.hidden = config_.hidden;
-  agent_cfg.hidden = config_.hidden;
-  agent_cfg.batch_size = config_.batch_size;
-  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
 
   // Verification without the mu-sigma gate or reordering.
-  core::VerifierOptions vopts;
-  vopts.use_mu_sigma = false;
-  vopts.use_reordering = false;
-  s.verifier = std::make_unique<core::Verifier>(service, op_config_, vopts);
+  s.verifier = std::make_unique<core::Verifier>(service, op_config_, verifier_options());
 
   s.x_last = turbo.best_point();
   if (s.x_last.empty()) s.x_last = s.rng.uniform_vector(p, 0.0, 1.0);

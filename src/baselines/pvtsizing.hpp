@@ -40,15 +40,23 @@ class PvtSizingOptimizer final : public core::Optimizer {
   ~PvtSizingOptimizer() override;
 
   [[nodiscard]] const char* algorithm_name() const override { return "PVTSizing"; }
+  [[nodiscard]] bool supports_state_serialization() const override { return true; }
 
  protected:
   void do_start() override;
   bool do_step() override;
+  void do_save_state(std::ostream& os) const override;
+  void do_load_state(std::istream& is) override;
   [[nodiscard]] const core::EvaluationEngine* engine_ptr() const override;
   [[nodiscard]] const core::SimulationCost& cost() const override { return config_.cost; }
 
  private:
   struct Session;
+
+  /// Shared by do_start and do_load_state so a restored agent/verifier is
+  /// configured exactly like the saved one.
+  [[nodiscard]] rl::AgentConfig agent_config() const;
+  [[nodiscard]] core::VerifierOptions verifier_options() const;
 
   circuits::TestbenchPtr testbench_;
   PvtSizingConfig config_;

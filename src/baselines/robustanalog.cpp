@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/state_io.hpp"
 #include "core/reward.hpp"
 #include "core/verifier.hpp"
 #include "opt/kmeans.hpp"
@@ -43,6 +44,59 @@ RobustAnalogOptimizer::~RobustAnalogOptimizer() = default;
 
 const core::EvaluationEngine* RobustAnalogOptimizer::engine_ptr() const {
   return s_ ? &s_->service : nullptr;
+}
+
+rl::AgentConfig RobustAnalogOptimizer::agent_config() const {
+  rl::AgentConfig agent_cfg;
+  agent_cfg.critic.ensemble_size = 1;
+  agent_cfg.critic.beta1 = 0.0;
+  agent_cfg.critic.hidden = config_.hidden;
+  agent_cfg.hidden = config_.hidden;
+  agent_cfg.batch_size = config_.batch_size;
+  return agent_cfg;
+}
+
+core::VerifierOptions RobustAnalogOptimizer::verifier_options() const {
+  core::VerifierOptions vopts;
+  vopts.use_mu_sigma = false;
+  vopts.use_reordering = false;
+  return vopts;
+}
+
+void RobustAnalogOptimizer::do_save_state(std::ostream& os) const {
+  const Session& s = *s_;
+  os << "robustanalog " << s.iter << '\n';
+  os << "rng " << s.rng.save() << '\n';
+  os << "mc_rng " << s.mc_rng.save() << '\n';
+  state::write_doubles(os, "x_last", s.x_last);
+  const std::vector<std::uint64_t> dominant(s.dominant.begin(), s.dominant.end());
+  state::write_u64s(os, "dominant", dominant);
+  s.buffer.save(os);
+  s.last_worst.save(os);
+  s.agent->save(os);
+  s.service.save_state(os);
+}
+
+void RobustAnalogOptimizer::do_load_state(std::istream& is) {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  s.iter = state::parse_u64(state::expect_line(is, "robustanalog"), "RobustAnalog iteration");
+  s.rng.restore(state::expect_line(is, "rng"));
+  s.mc_rng.restore(state::expect_line(is, "mc_rng"));
+  s.x_last = state::read_doubles(is, "x_last");
+  const auto dominant = state::read_u64s(is, "dominant");
+  s.dominant.assign(dominant.begin(), dominant.end());
+  for (const std::size_t j : s.dominant) {
+    if (j >= op_config_.corner_count()) state::bad("RobustAnalog dominant corner out of range");
+  }
+  s.buffer.load(is);
+  s.last_worst.load(is);
+  // Placeholder construction: agent->load overwrites all of it.
+  const std::size_t p = testbench_->sizing().dimension();
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
+  s.agent->load(is);
+  s.verifier = std::make_unique<core::Verifier>(s.service, op_config_, verifier_options());
+  s.service.load_state(is);
 }
 
 void RobustAnalogOptimizer::recluster(std::span<const double> x01) {
@@ -107,19 +161,10 @@ void RobustAnalogOptimizer::do_start() {
   recluster(x_best);
 
   // --- risk-neutral multi-task agent (shared actor/critic over tasks).
-  rl::AgentConfig agent_cfg;
-  agent_cfg.critic.ensemble_size = 1;
-  agent_cfg.critic.beta1 = 0.0;
-  agent_cfg.critic.hidden = config_.hidden;
-  agent_cfg.hidden = config_.hidden;
-  agent_cfg.batch_size = config_.batch_size;
-  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
   s.buffer.add(x_best, best_reward);
 
-  core::VerifierOptions vopts;
-  vopts.use_mu_sigma = false;
-  vopts.use_reordering = false;
-  s.verifier = std::make_unique<core::Verifier>(service, op_config_, vopts);
+  s.verifier = std::make_unique<core::Verifier>(service, op_config_, verifier_options());
 
   s.x_last = std::move(x_best);
   result_.termination = "iteration-cap";

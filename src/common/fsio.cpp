@@ -1,0 +1,58 @@
+#include "common/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace glova {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + " '" + path + "': " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp);
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      fail("write to", tmp);
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // Without the fsync, rename() can commit the *name* before the *data*: a
+  // power loss in between leaves a zero-length or partial file under the
+  // final path — exactly the corruption the temp-sibling pattern exists to
+  // prevent.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    fail("fsync of", tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    fail("close of", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename to", path);
+  }
+}
+
+}  // namespace glova

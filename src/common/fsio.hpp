@@ -1,0 +1,16 @@
+// Crash-safe file writes.
+#pragma once
+
+#include <string>
+
+namespace glova {
+
+/// Atomically replace `path` with `content`: write a temporary sibling,
+/// fsync it (data must reach the device before the metadata operation), then
+/// rename() it over the destination.  An interrupted or failed write can
+/// never truncate an existing good file, and a completed rename survives
+/// power loss with the *new* content, not an empty file.  Throws
+/// std::runtime_error on any failure (the temporary is removed).
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace glova

@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace glova {
@@ -51,6 +52,21 @@ std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
   std::vector<double> v(n);
   for (double& x : v) x = uniform(lo, hi);
   return v;
+}
+
+std::string Rng::save() const {
+  std::ostringstream os;
+  os << seed_ << ' ' << engine_;
+  return os.str();
+}
+
+void Rng::restore(const std::string& text) {
+  std::istringstream is(text);
+  std::uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(is >> seed >> engine)) throw std::runtime_error("Rng::restore: malformed stream state");
+  seed_ = seed;
+  engine_ = engine;
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace glova {
@@ -50,6 +51,14 @@ class Rng {
 
   /// The seed this stream was constructed with.
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Serialize the stream (seed + full engine state) as one text line without
+  /// a trailing newline.  `restore` accepts exactly that text and resumes the
+  /// sequence bit-identically; mt19937_64's textual state round-trips exactly
+  /// per the standard.  Distributions hold no state here (each draw constructs
+  /// its own), so seed + engine is the whole stream.
+  [[nodiscard]] std::string save() const;
+  void restore(const std::string& text);
 
   /// Access to the raw engine for use with std:: distributions.
   std::mt19937_64& engine() { return engine_; }

@@ -1,0 +1,94 @@
+#include "common/state_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/text.hpp"
+
+namespace glova::state {
+
+void bad(const std::string& what) { throw std::runtime_error("glova-state: " + what); }
+
+std::string expect_line(std::istream& is, std::string_view expect) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    bad("unexpected end of input, expected '" + std::string(expect) + "'");
+  }
+  const std::size_t space = line.find(' ');
+  const std::string_view keyword =
+      space == std::string::npos ? std::string_view(line) : std::string_view(line).substr(0, space);
+  if (keyword != expect) {
+    bad("expected '" + std::string(expect) + "', got '" + line + "'");
+  }
+  return space == std::string::npos ? std::string() : line.substr(space + 1);
+}
+
+std::uint64_t parse_u64(const std::string& text, std::string_view what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    bad("invalid integer for " + std::string(what) + ": '" + text + "'");
+  }
+}
+
+double parse_double(const std::string& text, std::string_view what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    bad("invalid number for " + std::string(what) + ": '" + text + "'");
+  }
+}
+
+void write_doubles(std::ostream& os, std::string_view tag, std::span<const double> v) {
+  os << tag << ' ' << v.size();
+  for (const double x : v) os << ' ' << format_double_roundtrip(x);
+  os << '\n';
+}
+
+std::vector<double> read_doubles(std::istream& is, std::string_view tag) {
+  std::istringstream line(expect_line(is, tag));
+  std::size_t n = 0;
+  if (!(line >> n)) bad("missing count after '" + std::string(tag) + "'");
+  if (n > kMaxCount) bad("implausible '" + std::string(tag) + "' count " + std::to_string(n));
+  std::vector<double> out(n);
+  for (double& x : out) {
+    if (!(line >> x)) bad("truncated vector '" + std::string(tag) + "'");
+  }
+  return out;
+}
+
+void write_u64s(std::ostream& os, std::string_view tag, std::span<const std::uint64_t> v) {
+  os << tag << ' ' << v.size();
+  for (const std::uint64_t x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<std::uint64_t> read_u64s(std::istream& is, std::string_view tag) {
+  std::istringstream line(expect_line(is, tag));
+  std::size_t n = 0;
+  if (!(line >> n)) bad("missing count after '" + std::string(tag) + "'");
+  if (n > kMaxCount) bad("implausible '" + std::string(tag) + "' count " + std::to_string(n));
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t& x : out) {
+    if (!(line >> x)) bad("truncated vector '" + std::string(tag) + "'");
+  }
+  return out;
+}
+
+std::string one_line(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace glova::state

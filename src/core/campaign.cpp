@@ -1,12 +1,16 @@
 #include "core/campaign.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/fsio.hpp"
 #include "common/log.hpp"
+#include "common/state_io.hpp"
 #include "common/text.hpp"
 
 namespace glova::core {
@@ -37,6 +41,113 @@ std::vector<RunSpec> SweepSpec::expand() const {
     }
   }
   return out;
+}
+
+namespace {
+
+/// "a,b,c" for a sweep axis vector; `name(v)` renders one element.
+template <typename T, typename NameFn>
+std::string join_axis(const std::vector<T>& values, NameFn name) {
+  std::string out;
+  for (const T& v : values) {
+    if (!out.empty()) out += ',';
+    out += name(v);
+  }
+  return out;
+}
+
+/// Split "a,b,c" and parse each element via `parse` (returns std::optional).
+template <typename T, typename ParseFn>
+std::vector<T> split_axis(std::string_view text, std::string_view axis, ParseFn parse) {
+  std::vector<T> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view item =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    const auto v = parse(item);
+    if (!v) {
+      throw std::invalid_argument("SweepSpec: bad " + std::string(axis) + " element '" +
+                                  std::string(item) + "'");
+    }
+    out.push_back(*v);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SweepSpec::to_string() const {
+  std::string out = base.to_string();
+  const auto axis = [&out](std::string_view key, const std::string& joined) {
+    if (joined.empty()) return;
+    out += ' ';
+    out += key;
+    out += '=';
+    out += joined;
+  };
+  axis("sweep.testcases",
+       join_axis(testcases, [](circuits::Testcase t) { return circuits::to_string(t); }));
+  axis("sweep.algorithms", join_axis(algorithms, [](Algorithm a) { return core::to_string(a); }));
+  axis("sweep.methods", join_axis(methods, [](VerifMethod m) { return core::to_string(m); }));
+  axis("sweep.seeds",
+       join_axis(seeds, [](std::uint64_t s) { return std::to_string(s); }));
+  return out;
+}
+
+SweepSpec SweepSpec::from_string(std::string_view text) {
+  // Partition "sweep.*" tokens from RunSpec tokens, then delegate the rest.
+  SweepSpec sweep;
+  std::string base_text;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos >= text.size()) break;
+    std::size_t end = pos;
+    while (end < text.size() && !std::isspace(static_cast<unsigned char>(text[end]))) ++end;
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end;
+
+    if (token.substr(0, 6) != "sweep.") {
+      if (!base_text.empty()) base_text += ' ';
+      base_text += token;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("SweepSpec: expected key=value, got '" + std::string(token) +
+                                  "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "sweep.testcases") {
+      sweep.testcases =
+          split_axis<circuits::Testcase>(value, key, circuits::testcase_from_string);
+    } else if (key == "sweep.algorithms") {
+      sweep.algorithms = split_axis<Algorithm>(value, key, algorithm_from_string);
+    } else if (key == "sweep.methods") {
+      sweep.methods = split_axis<VerifMethod>(value, key, verif_method_from_string);
+    } else if (key == "sweep.seeds") {
+      sweep.seeds = split_axis<std::uint64_t>(value, key,
+                                              [](std::string_view item) -> std::optional<std::uint64_t> {
+                                                try {
+                                                  std::size_t parsed = 0;
+                                                  const std::string s(item);
+                                                  const std::uint64_t v = std::stoull(s, &parsed);
+                                                  if (parsed != s.size()) return std::nullopt;
+                                                  return v;
+                                                } catch (const std::exception&) {
+                                                  return std::nullopt;
+                                                }
+                                              });
+    } else {
+      throw std::invalid_argument("SweepSpec: unknown key '" + std::string(key) + "'");
+    }
+  }
+  sweep.base = RunSpec::from_string(base_text);
+  return sweep;
 }
 
 // ---------------------------------------------------------------------------
@@ -349,15 +460,17 @@ void Campaign::add_observer(std::shared_ptr<CampaignObserver> observer) {
 namespace {
 
 constexpr const char* kMagic = "glova-campaign";
-constexpr int kFormatVersion = 1;
+/// v1: in-flight sessions resume by deterministic replay.  v2 additionally
+/// records per-session retry counts and embeds each in-flight session's full
+/// serialized optimizer state (Optimizer::save_state), so load() restores
+/// them O(1) with zero step() replays.  Both versions load.
+constexpr int kFormatVersion = 2;
 
 /// Sanity cap on serialized element counts (sessions, vector lengths, trace
 /// rows).  Real campaigns are orders of magnitude below this; a corrupt
 /// count field must fail as a malformed-checkpoint error, not as a
 /// multi-petabyte allocation.
 constexpr std::size_t kMaxCheckpointCount = 1'000'000;
-
-std::string fmt_double(double v) { return format_double_roundtrip(v); }
 
 [[noreturn]] void bad_checkpoint(const std::string& what) {
   throw std::runtime_error("Campaign checkpoint: " + what);
@@ -400,88 +513,6 @@ std::string one_line(std::string_view text) {
   return out;
 }
 
-void write_vector(std::ostream& os, const char* tag, const std::vector<double>& v) {
-  os << tag << ' ' << v.size();
-  for (const double x : v) os << ' ' << fmt_double(x);
-  os << '\n';
-}
-
-std::vector<double> read_vector(std::istream& is, std::string_view tag) {
-  std::istringstream line(expect_line(is, tag));
-  std::size_t n = 0;
-  if (!(line >> n)) bad_checkpoint("missing count after '" + std::string(tag) + "'");
-  if (n > kMaxCheckpointCount) {
-    bad_checkpoint("implausible '" + std::string(tag) + "' count " + std::to_string(n));
-  }
-  std::vector<double> out(n);
-  for (double& x : out) {
-    if (!(line >> x)) bad_checkpoint("truncated vector '" + std::string(tag) + "'");
-  }
-  return out;
-}
-
-void write_result(std::ostream& os, const GlovaResult& r) {
-  os << "result " << (r.success ? 1 : 0) << ' ' << r.rl_iterations << ' ' << r.n_simulations
-     << ' ' << r.n_simulations_executed << ' ' << r.n_cache_hits << ' ' << r.turbo_evaluations
-     << ' ' << fmt_double(r.wall_seconds) << ' ' << fmt_double(r.modeled_runtime) << '\n';
-  os << "stats " << r.engine_stats.requested << ' ' << r.engine_stats.executed << ' '
-     << r.engine_stats.cache_hits << ' ' << r.engine_stats.dc_warm_hits << ' '
-     << r.engine_stats.dc_warm_misses << ' ' << r.engine_stats.dc_warm_stores << '\n';
-  os << "termination " << one_line(r.termination) << '\n';
-  write_vector(os, "x01", r.x01_final);
-  write_vector(os, "xphys", r.x_phys_final);
-  os << "trace " << r.trace.size() << '\n';
-  for (const IterationTrace& t : r.trace) {
-    os << "t " << t.iteration << ' ' << fmt_double(t.reward_worst) << ' '
-       << fmt_double(t.critic_mean) << ' ' << fmt_double(t.critic_bound) << ' '
-       << (t.mu_sigma_pass ? 1 : 0) << ' ' << (t.attempted_verification ? 1 : 0) << ' '
-       << t.sims_total << '\n';
-  }
-}
-
-GlovaResult read_result(std::istream& is) {
-  GlovaResult r;
-  {
-    std::istringstream line(expect_line(is, "result"));
-    int success = 0;
-    if (!(line >> success >> r.rl_iterations >> r.n_simulations >> r.n_simulations_executed >>
-          r.n_cache_hits >> r.turbo_evaluations >> r.wall_seconds >> r.modeled_runtime)) {
-      bad_checkpoint("malformed 'result' line");
-    }
-    r.success = success != 0;
-  }
-  {
-    std::istringstream line(expect_line(is, "stats"));
-    if (!(line >> r.engine_stats.requested >> r.engine_stats.executed >>
-          r.engine_stats.cache_hits >> r.engine_stats.dc_warm_hits >>
-          r.engine_stats.dc_warm_misses >> r.engine_stats.dc_warm_stores)) {
-      bad_checkpoint("malformed 'stats' line");
-    }
-  }
-  r.termination = expect_line(is, "termination");
-  r.x01_final = read_vector(is, "x01");
-  r.x_phys_final = read_vector(is, "xphys");
-  const std::size_t trace_count = parse_u64_field(expect_line(is, "trace"), "trace count");
-  if (trace_count > kMaxCheckpointCount) {
-    bad_checkpoint("implausible trace count " + std::to_string(trace_count));
-  }
-  r.trace.reserve(trace_count);
-  for (std::size_t i = 0; i < trace_count; ++i) {
-    std::istringstream line(expect_line(is, "t"));
-    IterationTrace t;
-    int mu = 0;
-    int att = 0;
-    if (!(line >> t.iteration >> t.reward_worst >> t.critic_mean >> t.critic_bound >> mu >>
-          att >> t.sims_total)) {
-      bad_checkpoint("malformed trace row");
-    }
-    t.mu_sigma_pass = mu != 0;
-    t.attempted_verification = att != 0;
-    r.trace.push_back(t);
-  }
-  return r;
-}
-
 }  // namespace
 
 void Campaign::save(std::ostream& os) const {
@@ -496,54 +527,54 @@ void Campaign::save(std::ostream& os) const {
     os << "spec " << s.spec.to_string() << '\n';
     os << "state " << to_string(s.state) << '\n';
     os << "steps " << s.steps << '\n';
+    os << "retries " << s.retries << '\n';
     if (s.state == SessionState::Failed) os << "error " << one_line(s.error) << '\n';
-    if (s.terminal()) write_result(os, s.result);
+    if (s.terminal()) write_glova_result(os, s.result);
+    if (s.state == SessionState::Running) {
+      // A Running session with steps > 0 has a started optimizer; serialize
+      // its full state so load() resumes it without replay.  Otherwise (or
+      // when the algorithm has no state serialization) fall back to the v1
+      // replay mechanism, which handles steps == 0 as a fresh build.
+      if (s.steps > 0 && s.optimizer->supports_state_serialization()) {
+        os << "resume state\n";
+        s.optimizer->save_state(os);
+      } else {
+        os << "resume replay\n";
+      }
+    }
   }
   os << "end\n";
   if (!os) bad_checkpoint("write failed");
 }
 
 void Campaign::save_file(const std::string& path) const {
-  // Crash-safe: write a temporary sibling first and rename it over the
-  // destination only after the write fully succeeded, so an interrupted or
-  // failed save can never truncate an existing good checkpoint.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp);
-    if (!os) bad_checkpoint("cannot open '" + tmp + "' for writing");
-    try {
-      save(os);
-    } catch (...) {
-      os.close();
-      std::remove(tmp.c_str());
-      throw;
-    }
-    os.flush();
-    os.close();
-    if (!os) {
-      std::remove(tmp.c_str());
-      bad_checkpoint("write to '" + tmp + "' failed");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    bad_checkpoint("cannot rename '" + tmp + "' to '" + path + "'");
-  }
+  // Crash-safe: serialized in memory first, then written via the fsync +
+  // temp-sibling + rename pattern, so neither an interrupted save nor a
+  // power loss right after the rename can leave a truncated checkpoint
+  // where a good one stood.
+  std::ostringstream os;
+  save(os);
+  atomic_write_file(path, os.str());
 }
 
 Campaign Campaign::load(std::istream& is,
                         std::function<circuits::TestbenchPtr(const RunSpec&)> make_testbench) {
+  int version = 0;
   {
     std::string magic;
-    std::string version;
+    std::string version_text;
     std::string header;
     if (!std::getline(is, header)) bad_checkpoint("empty input");
     std::istringstream line(header);
-    line >> magic >> version;
+    line >> magic >> version_text;
     if (magic != kMagic) bad_checkpoint("not a campaign checkpoint (bad magic '" + magic + "')");
-    if (version != "v" + std::to_string(kFormatVersion)) {
-      bad_checkpoint("unsupported format version '" + version + "' (this build reads v" +
-                     std::to_string(kFormatVersion) + ")");
+    if (version_text == "v1") {
+      version = 1;
+    } else if (version_text == "v2") {
+      version = 2;
+    } else {
+      bad_checkpoint("unsupported format version '" + version_text +
+                     "' (this build reads v1 and v2)");
     }
   }
 
@@ -572,46 +603,67 @@ Campaign Campaign::load(std::istream& is,
     if (!state) bad_checkpoint("unknown session state '" + state_name + "'");
     s.state = *state;
     s.steps = static_cast<std::size_t>(parse_u64_field(expect_line(is, "steps"), "steps"));
+    if (version >= 2) {
+      s.retries =
+          static_cast<std::size_t>(parse_u64_field(expect_line(is, "retries"), "retries"));
+    }
     if (s.state == SessionState::Failed) s.error = expect_line(is, "error");
-    if (s.terminal()) s.result = read_result(is);
+    if (s.terminal()) s.result = read_glova_result(is);
+    if (version >= 2 && s.state == SessionState::Running) {
+      const std::string mode = expect_line(is, "resume");
+      if (mode == "state") {
+        // Replay-free resume: build a fresh session and restore its full
+        // serialized state in place — O(1), zero optimizer step() replays.
+        // Built observer-quiet like the replay path; the ProgressLogObserver
+        // and forwarder attach below, seeing only new iterations.
+        RunSpec quiet = s.spec;
+        quiet.progress_log = false;
+        s.optimizer = campaign.build_optimizer(quiet);
+        s.optimizer->load_state(is);
+      } else if (mode != "replay") {
+        bad_checkpoint("unknown resume mode '" + mode + "'");
+      }
+    }
     campaign.sessions_.push_back(std::move(s));
   }
   (void)expect_line(is, "end");
   if (campaign.cursor_ >= count && count > 0) bad_checkpoint("cursor out of range");
 
-  // Rebuild in-flight sessions by deterministic replay: a fresh session
-  // re-stepped to its recorded count reaches the same state as the one that
-  // was checkpointed (fixed-seed determinism, pinned by the parity tests).
-  // Replay is observer-silent: forwarders attach afterwards (observers added
-  // post-load see only new iterations), and the spec's ProgressLogObserver
-  // is attached after replay too so already-reported iterations do not log
-  // twice.
+  // Rebuild the remaining in-flight sessions by deterministic replay: a
+  // fresh session re-stepped to its recorded count reaches the same state as
+  // the one that was checkpointed (fixed-seed determinism, pinned by the
+  // parity tests).  Replay is observer-silent: forwarders attach afterwards
+  // (observers added post-load see only new iterations), and the spec's
+  // ProgressLogObserver is attached after replay too so already-reported
+  // iterations do not log twice.
   for (std::size_t i = 0; i < campaign.sessions_.size(); ++i) {
     Session& s = campaign.sessions_[i];
     if (s.terminal()) continue;
-    RunSpec quiet = s.spec;
-    quiet.progress_log = false;
-    s.optimizer = campaign.build_optimizer(quiet);
-    const std::size_t replay = s.steps;
-    s.steps = 0;
-    for (std::size_t k = 0; k < replay; ++k) {
-      try {
-        if (!s.optimizer->step()) break;
-        ++s.steps;
-      } catch (const std::exception& e) {
-        campaign.retire_failed(i, e.what());
-        break;
+    if (!s.optimizer) {
+      RunSpec quiet = s.spec;
+      quiet.progress_log = false;
+      s.optimizer = campaign.build_optimizer(quiet);
+      const std::size_t replay = s.steps;
+      s.steps = 0;
+      for (std::size_t k = 0; k < replay; ++k) {
+        try {
+          if (!s.optimizer->step()) break;
+          ++s.steps;
+        } catch (const std::exception& e) {
+          campaign.retire_failed(i, e.what());
+          break;
+        }
       }
-    }
-    if (s.steps != replay && s.state != SessionState::Failed) {
-      bad_checkpoint("replay of session " + std::to_string(i) + " stopped after " +
-                     std::to_string(s.steps) + " of " + std::to_string(replay) + " steps");
-    }
-    if (!s.terminal() && s.optimizer->done()) {
-      // A replayed session should stop strictly before termination (it was
-      // live at save time); tolerate drift by retiring it cleanly.
-      s.state = SessionState::Running;
-      campaign.retire_finished(i);
+      if (s.steps != replay && s.state != SessionState::Failed) {
+        bad_checkpoint("replay of session " + std::to_string(i) + " stopped after " +
+                       std::to_string(s.steps) + " of " + std::to_string(replay) + " steps");
+      }
+      if (!s.terminal() && s.optimizer->done()) {
+        // A replayed session should stop strictly before termination (it was
+        // live at save time); tolerate drift by retiring it cleanly.
+        s.state = SessionState::Running;
+        campaign.retire_finished(i);
+      }
     }
     if (!s.terminal()) {
       if (s.spec.progress_log) s.optimizer->add_observer(std::make_shared<ProgressLogObserver>());

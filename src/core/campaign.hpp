@@ -16,12 +16,16 @@
 //
 // Checkpoint/resume: save() serializes the campaign — config, cursor, every
 // session's spec (the way RunSpec already round-trips through text), its
-// step count, and the full result of each terminal session — to a versioned
-// text format; load() reconstructs in-flight sessions by deterministic
-// replay (re-stepping a freshly built session to its recorded step count).
-// Sessions are fixed-seed deterministic by construction (pinned by the
-// run/step parity tests), so a resumed campaign produces bit-identical
-// results to an uninterrupted one; tests/test_campaign.cpp pins that parity.
+// step count, the full result of each terminal session, and (v2) the full
+// serialized optimizer state of each in-flight session — to a versioned text
+// format.  load() restores in-flight sessions O(1) from that state, without
+// replaying a single optimizer step; v1 checkpoints (and algorithms without
+// state serialization) fall back to deterministic replay (re-stepping a
+// freshly built session to its recorded step count).  Sessions are
+// fixed-seed deterministic by construction (pinned by the run/step parity
+// tests), so a resumed campaign produces bit-identical results to an
+// uninterrupted one; tests/test_campaign.cpp and tests/test_resume_state.cpp
+// pin that parity.
 // The one caveat: wall-clock budgets (RunSpec::budget.max_wall_seconds) and
 // SPICE DC warm-start caches are inherently timing/thread dependent — specs
 // that rely on them resume correctly but only agree to solver tolerance
@@ -53,6 +57,15 @@ struct SweepSpec {
   /// Expanded specs in testcase-major, seed-minor order (Table II reading
   /// order: block, row, column, then independent runs).
   [[nodiscard]] std::vector<RunSpec> expand() const;
+
+  /// Canonical one-line form: the base RunSpec's "key=value" tokens followed
+  /// by one "sweep.<axis>=a,b,c" token per non-empty axis vector.
+  /// from_string() parses it back losslessly, so sweeps travel through the
+  /// same text channels (queues, CLIs, glova-serve jobs) RunSpecs do.
+  [[nodiscard]] std::string to_string() const;
+  static SweepSpec from_string(std::string_view text);  ///< throws on bad input
+
+  friend bool operator==(const SweepSpec&, const SweepSpec&) = default;
 };
 
 /// Campaign-level knobs.  Per-session budgets live on each RunSpec.
@@ -191,11 +204,13 @@ class Campaign {
   void save_file(const std::string& path) const;
 
   /// Reconstruct a campaign from save() output.  Terminal sessions restore
-  /// their recorded results directly; in-flight sessions are rebuilt via
-  /// make_optimizer and deterministically replayed to their recorded step
-  /// count, so resuming continues bit-identically (fixed seeds, no
-  /// wall-clock budgets).  `make_testbench` must match the factory the
-  /// saved campaign was constructed with (empty = registry default).
+  /// their recorded results directly; in-flight sessions restore O(1) from
+  /// their serialized optimizer state (v2) — zero step() replays — or, for
+  /// v1 checkpoints and algorithms without state serialization, are rebuilt
+  /// via make_optimizer and deterministically replayed to their recorded
+  /// step count.  Either way resuming continues bit-identically (fixed
+  /// seeds, no wall-clock budgets).  `make_testbench` must match the factory
+  /// the saved campaign was constructed with (empty = registry default).
   /// Throws std::runtime_error on malformed input or version mismatch.
   static Campaign load(std::istream& is,
                        std::function<circuits::TestbenchPtr(const RunSpec&)> make_testbench = {});

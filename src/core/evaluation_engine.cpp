@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/key_hash.hpp"
+#include "common/state_io.hpp"
 #include "spice/counters.hpp"
 #include "spice/simulator.hpp"
 #include "spice/warm_start.hpp"
@@ -369,6 +372,19 @@ EngineStats EvaluationEngine::stats() const {
   s.deadline_aborts = delta(sc.deadline_aborts, spice_base_[8]);
   s.retries = retries_.load();
   s.degraded_evals = degraded_evals_.load();
+  // Counters carried across a process restart via load_state().
+  s.dc_warm_hits += carried_.dc_warm_hits;
+  s.dc_warm_misses += carried_.dc_warm_misses;
+  s.dc_warm_stores += carried_.dc_warm_stores;
+  s.batch_groups += carried_.batch_groups;
+  s.batch_lanes += carried_.batch_lanes;
+  s.bypass_solves += carried_.bypass_solves;
+  s.bypass_refactors += carried_.bypass_refactors;
+  s.steps_accepted += carried_.steps_accepted;
+  s.steps_rejected += carried_.steps_rejected;
+  s.recovered_dc += carried_.recovered_dc;
+  s.recovered_transient += carried_.recovered_transient;
+  s.deadline_aborts += carried_.deadline_aborts;
   return s;
 }
 
@@ -378,6 +394,7 @@ void EvaluationEngine::reset_count() {
   cache_hits_.store(0);
   retries_.store(0);
   degraded_evals_.store(0);
+  carried_ = EngineStats{};
   snapshot_warm_baseline();
 }
 
@@ -390,6 +407,81 @@ void EvaluationEngine::clear_cache() {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   index_.clear();
   lru_.clear();
+}
+
+void EvaluationEngine::save_state(std::ostream& os) const {
+  os << "engine-state 1\n";
+  os << "counters " << requested_.load() << ' ' << executed_.load() << ' ' << cache_hits_.load()
+     << ' ' << retries_.load() << ' ' << degraded_evals_.load() << '\n';
+  // Fold the live process-wide deltas into the carried totals so a restore in
+  // a fresh process (whose deltas restart at zero) continues the same counts.
+  const EngineStats s = stats();
+  os << "carried " << s.dc_warm_hits << ' ' << s.dc_warm_misses << ' ' << s.dc_warm_stores << ' '
+     << s.batch_groups << ' ' << s.batch_lanes << ' ' << s.bypass_solves << ' '
+     << s.bypass_refactors << ' ' << s.steps_accepted << ' ' << s.steps_rejected << ' '
+     << s.recovered_dc << ' ' << s.recovered_transient << ' ' << s.deadline_aborts << '\n';
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  os << "cache " << lru_.size() << '\n';
+  // Front (most recent) first; load() rebuilds in the same order.
+  for (const auto& [key, metrics] : lru_) {
+    os << "key " << key.size();
+    for (const std::int64_t k : key) os << ' ' << k;
+    os << '\n';
+    state::write_doubles(os, "val", metrics);
+  }
+}
+
+void EvaluationEngine::load_state(std::istream& is) {
+  state::expect_line(is, "engine-state");
+  {
+    std::istringstream line(state::expect_line(is, "counters"));
+    std::uint64_t requested = 0, executed = 0, cache_hits = 0, retries = 0, degraded = 0;
+    if (!(line >> requested >> executed >> cache_hits >> retries >> degraded)) {
+      state::bad("malformed engine counters");
+    }
+    requested_.store(requested);
+    executed_.store(executed);
+    cache_hits_.store(cache_hits);
+    retries_.store(retries);
+    degraded_evals_.store(degraded);
+  }
+  {
+    std::istringstream line(state::expect_line(is, "carried"));
+    EngineStats c;
+    if (!(line >> c.dc_warm_hits >> c.dc_warm_misses >> c.dc_warm_stores >> c.batch_groups >>
+          c.batch_lanes >> c.bypass_solves >> c.bypass_refactors >> c.steps_accepted >>
+          c.steps_rejected >> c.recovered_dc >> c.recovered_transient >> c.deadline_aborts)) {
+      state::bad("malformed engine carried counters");
+    }
+    carried_ = c;
+  }
+  const std::size_t n = state::parse_u64(state::expect_line(is, "cache"), "engine cache size");
+  if (n > config_.cache_capacity) {
+    state::bad("engine cache state holds " + std::to_string(n) + " entries, capacity is " +
+               std::to_string(config_.cache_capacity));
+  }
+  decltype(lru_) lru;
+  decltype(index_) index;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream line(state::expect_line(is, "key"));
+    std::size_t klen = 0;
+    if (!(line >> klen)) state::bad("malformed engine cache key");
+    if (klen > state::kMaxCount) state::bad("implausible engine cache key length");
+    CacheKey key(klen);
+    for (std::int64_t& k : key) {
+      if (!(line >> k)) state::bad("truncated engine cache key");
+    }
+    std::vector<double> metrics = state::read_doubles(is, "val");
+    lru.emplace_back(std::move(key), std::move(metrics));
+    if (!index.emplace(lru.back().first, std::prev(lru.end())).second) {
+      state::bad("duplicate engine cache key");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  lru_ = std::move(lru);
+  index_ = std::move(index);
+  // Deltas restart from this instant; everything before is in carried_.
+  snapshot_warm_baseline();
 }
 
 }  // namespace glova::core

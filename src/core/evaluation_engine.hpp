@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -193,6 +194,16 @@ class EvaluationEngine {
   /// Drop every memoized evaluation (counters are unaffected).
   void clear_cache();
 
+  /// Text-serialize the engine's counters and memoization cache (LRU order
+  /// preserved) so a restored engine answers the same requests with the same
+  /// hit/miss pattern.  The process-wide SPICE counter deltas accrued so far
+  /// are folded into a carried snapshot, so stats() of a restored engine in a
+  /// fresh process continues from the saved totals.  Configuration is NOT
+  /// serialized — `load_state` expects an engine constructed with the same
+  /// EngineConfig and testbench.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
  private:
   /// Flat integer cache key: corner fields, then quantized x, a separator,
   /// then quantized h.  Vector equality is exact key equality.
@@ -247,6 +258,9 @@ class EvaluationEngine {
   /// same baseline instant.
   std::uint64_t spice_base_[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
   void snapshot_warm_baseline();
+  /// Counter totals carried over from a previous process via load_state();
+  /// stats() adds these to the live deltas.  All-zero outside resumes.
+  EngineStats carried_;
 
   mutable std::mutex cache_mutex_;
   /// LRU: most recent at the front.  The map points into the list.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/state_io.hpp"
 #include "core/mu_sigma.hpp"
 #include "core/reward.hpp"
 #include "opt/turbo.hpp"
@@ -38,6 +40,54 @@ GlovaOptimizer::~GlovaOptimizer() = default;
 
 const EvaluationEngine* GlovaOptimizer::engine_ptr() const {
   return s_ ? &s_->service : nullptr;
+}
+
+rl::AgentConfig GlovaOptimizer::agent_config() const {
+  rl::AgentConfig agent_cfg;
+  agent_cfg.critic.ensemble_size = config_.use_ensemble_critic ? config_.ensemble_size : 1;
+  agent_cfg.critic.beta1 = config_.use_ensemble_critic ? config_.beta1 : 0.0;
+  agent_cfg.critic.hidden = config_.hidden;
+  agent_cfg.hidden = config_.hidden;
+  agent_cfg.batch_size = config_.batch_size;
+  return agent_cfg;
+}
+
+VerifierOptions GlovaOptimizer::verifier_options() const {
+  VerifierOptions verif_opts;
+  verif_opts.beta2 = config_.beta2;
+  verif_opts.use_mu_sigma = config_.use_mu_sigma;
+  verif_opts.use_reordering = config_.use_reordering;
+  return verif_opts;
+}
+
+void GlovaOptimizer::do_save_state(std::ostream& os) const {
+  const Session& s = *s_;
+  os << "glova " << s.iter << '\n';
+  os << "rng " << s.rng.save() << '\n';
+  os << "mc_rng " << s.mc_rng.save() << '\n';
+  state::write_doubles(os, "x_last", s.x_last);
+  s.buffer.save(os);
+  s.last_worst.save(os);
+  s.agent->save(os);
+  s.service.save_state(os);
+}
+
+void GlovaOptimizer::do_load_state(std::istream& is) {
+  s_ = std::make_unique<Session>(testbench_, config_, op_config_.corner_count());
+  Session& s = *s_;
+  s.iter = state::parse_u64(state::expect_line(is, "glova"), "GLOVA iteration");
+  s.rng.restore(state::expect_line(is, "rng"));
+  s.mc_rng.restore(state::expect_line(is, "mc_rng"));
+  s.x_last = state::read_doubles(is, "x_last");
+  s.buffer.load(is);
+  s.last_worst.load(is);
+  // The constructor seed stream is a placeholder: agent->load overwrites
+  // every weight, moment, and RNG word with the saved state.
+  const std::size_t p = testbench_->sizing().dimension();
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
+  s.agent->load(is);
+  s.verifier = std::make_unique<Verifier>(s.service, op_config_, verifier_options());
+  s.service.load_state(is);
 }
 
 void GlovaOptimizer::do_start() {
@@ -105,19 +155,8 @@ void GlovaOptimizer::do_start() {
   }
 
   // ---------------- Risk-sensitive agent ----------------------------------
-  rl::AgentConfig agent_cfg;
-  agent_cfg.critic.ensemble_size = config_.use_ensemble_critic ? config_.ensemble_size : 1;
-  agent_cfg.critic.beta1 = config_.use_ensemble_critic ? config_.beta1 : 0.0;
-  agent_cfg.critic.hidden = config_.hidden;
-  agent_cfg.hidden = config_.hidden;
-  agent_cfg.batch_size = config_.batch_size;
-  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_cfg, s.rng.split(0xA6E7));
-
-  VerifierOptions verif_opts;
-  verif_opts.beta2 = config_.beta2;
-  verif_opts.use_mu_sigma = config_.use_mu_sigma;
-  verif_opts.use_reordering = config_.use_reordering;
-  s.verifier = std::make_unique<Verifier>(service, op_config_, verif_opts);
+  s.agent = std::make_unique<rl::RiskSensitiveAgent>(p, agent_config(), s.rng.split(0xA6E7));
+  s.verifier = std::make_unique<Verifier>(service, op_config_, verifier_options());
 
   // Warm up the agent on the initial dataset.
   for (int i = 0; i < 100; ++i) (void)s.agent->update(s.buffer);

@@ -59,10 +59,13 @@ class GlovaOptimizer final : public Optimizer {
 
   [[nodiscard]] const OperationalConfig& operational_config() const { return op_config_; }
   [[nodiscard]] const char* algorithm_name() const override { return "GLOVA"; }
+  [[nodiscard]] bool supports_state_serialization() const override { return true; }
 
  protected:
   void do_start() override;
   bool do_step() override;
+  void do_save_state(std::ostream& os) const override;
+  void do_load_state(std::istream& is) override;
   [[nodiscard]] const EvaluationEngine* engine_ptr() const override;
   [[nodiscard]] const SimulationCost& cost() const override { return config_.cost; }
 
@@ -70,6 +73,12 @@ class GlovaOptimizer final : public Optimizer {
   /// Per-run state hoisted from the legacy run() stack (engine, RNG streams,
   /// TuRBO-seeded buffers, agent, verifier); created lazily on first step.
   struct Session;
+
+  /// The agent/verifier configurations derived from config_, shared by
+  /// do_start and do_load_state so a restored agent is built exactly like
+  /// the saved one.
+  [[nodiscard]] rl::AgentConfig agent_config() const;
+  [[nodiscard]] VerifierOptions verifier_options() const;
 
   circuits::TestbenchPtr testbench_;
   GlovaConfig config_;

@@ -1,11 +1,81 @@
 #include "core/optimizer_base.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/state_io.hpp"
+#include "common/text.hpp"
 
 namespace glova::core {
+
+// ---------------------------------------------------------------------------
+// GlovaResult text codec, shared by campaign checkpoints and optimizer state.
+
+void write_glova_result(std::ostream& os, const GlovaResult& r) {
+  os << "result " << (r.success ? 1 : 0) << ' ' << r.rl_iterations << ' ' << r.n_simulations
+     << ' ' << r.n_simulations_executed << ' ' << r.n_cache_hits << ' ' << r.turbo_evaluations
+     << ' ' << format_double_roundtrip(r.wall_seconds) << ' '
+     << format_double_roundtrip(r.modeled_runtime) << '\n';
+  os << "stats " << r.engine_stats.requested << ' ' << r.engine_stats.executed << ' '
+     << r.engine_stats.cache_hits << ' ' << r.engine_stats.dc_warm_hits << ' '
+     << r.engine_stats.dc_warm_misses << ' ' << r.engine_stats.dc_warm_stores << '\n';
+  os << "termination " << state::one_line(r.termination) << '\n';
+  state::write_doubles(os, "x01", r.x01_final);
+  state::write_doubles(os, "xphys", r.x_phys_final);
+  os << "trace " << r.trace.size() << '\n';
+  for (const IterationTrace& t : r.trace) {
+    os << "t " << t.iteration << ' ' << format_double_roundtrip(t.reward_worst) << ' '
+       << format_double_roundtrip(t.critic_mean) << ' '
+       << format_double_roundtrip(t.critic_bound) << ' ' << (t.mu_sigma_pass ? 1 : 0) << ' '
+       << (t.attempted_verification ? 1 : 0) << ' ' << t.sims_total << '\n';
+  }
+}
+
+GlovaResult read_glova_result(std::istream& is) {
+  GlovaResult r;
+  {
+    std::istringstream line(state::expect_line(is, "result"));
+    int success = 0;
+    if (!(line >> success >> r.rl_iterations >> r.n_simulations >> r.n_simulations_executed >>
+          r.n_cache_hits >> r.turbo_evaluations >> r.wall_seconds >> r.modeled_runtime)) {
+      state::bad("malformed 'result' line");
+    }
+    r.success = success != 0;
+  }
+  {
+    std::istringstream line(state::expect_line(is, "stats"));
+    if (!(line >> r.engine_stats.requested >> r.engine_stats.executed >>
+          r.engine_stats.cache_hits >> r.engine_stats.dc_warm_hits >>
+          r.engine_stats.dc_warm_misses >> r.engine_stats.dc_warm_stores)) {
+      state::bad("malformed 'stats' line");
+    }
+  }
+  r.termination = state::expect_line(is, "termination");
+  r.x01_final = state::read_doubles(is, "x01");
+  r.x_phys_final = state::read_doubles(is, "xphys");
+  const std::size_t trace_count =
+      state::parse_u64(state::expect_line(is, "trace"), "trace count");
+  if (trace_count > state::kMaxCount) {
+    state::bad("implausible trace count " + std::to_string(trace_count));
+  }
+  r.trace.reserve(trace_count);
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    std::istringstream line(state::expect_line(is, "t"));
+    IterationTrace t;
+    int mu = 0;
+    int att = 0;
+    if (!(line >> t.iteration >> t.reward_worst >> t.critic_mean >> t.critic_bound >> mu >>
+          att >> t.sims_total)) {
+      state::bad("malformed trace row");
+    }
+    t.mu_sigma_pass = mu != 0;
+    t.attempted_verification = att != 0;
+    r.trace.push_back(t);
+  }
+  return r;
+}
 
 const char* RunBudget::exceeded_by(std::uint64_t simulations, std::size_t iterations,
                                    double wall_seconds) const {
@@ -17,7 +87,64 @@ const char* RunBudget::exceeded_by(std::uint64_t simulations, std::size_t iterat
 
 double Optimizer::elapsed_seconds() const {
   if (!started_) return 0.0;
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  return wall_offset_ +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+void Optimizer::do_save_state(std::ostream&) const {
+  throw std::logic_error(std::string(algorithm_name()) +
+                         ": state serialization not implemented");
+}
+
+void Optimizer::do_load_state(std::istream&) {
+  throw std::logic_error(std::string(algorithm_name()) +
+                         ": state serialization not implemented");
+}
+
+void Optimizer::save_state(std::ostream& os) const {
+  if (!supports_state_serialization()) {
+    throw std::logic_error(std::string(algorithm_name()) +
+                           ": state serialization not supported");
+  }
+  if (!started_ || finished_) {
+    throw std::logic_error(
+        "Optimizer::save_state: only a live (started, unfinished) session can be serialized; "
+        "a fresh session is captured by its spec, a terminal one by its result");
+  }
+  os << "optimizer-state v2 " << algorithm_name() << '\n';
+  write_glova_result(os, result_);
+  do_save_state(os);
+  os << "optimizer-state-end\n";
+  if (!os) state::bad("optimizer state write failed");
+}
+
+void Optimizer::load_state(std::istream& is) {
+  if (!supports_state_serialization()) {
+    throw std::logic_error(std::string(algorithm_name()) +
+                           ": state serialization not supported");
+  }
+  if (started_ || finished_) {
+    throw std::logic_error("Optimizer::load_state: requires a fresh session (no step() yet)");
+  }
+  std::istringstream header(state::expect_line(is, "optimizer-state"));
+  std::string version;
+  std::string name;
+  header >> version >> name;
+  if (version != "v2") {
+    state::bad("unsupported optimizer-state version '" + version + "' (this build reads v2)");
+  }
+  if (name != algorithm_name()) {
+    state::bad("optimizer-state algorithm mismatch: state is for '" + name +
+               "', this session runs " + algorithm_name());
+  }
+  result_ = read_glova_result(is);
+  do_load_state(is);
+  state::expect_line(is, "optimizer-state-end");
+  // The session is live from here: the saved wall time carries into
+  // elapsed_seconds() so wall-clock budgets span process restarts.
+  wall_offset_ = result_.wall_seconds;
+  t0_ = std::chrono::steady_clock::now();
+  started_ = true;
 }
 
 bool Optimizer::step() {

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,13 @@ struct GlovaResult {
   std::vector<IterationTrace> trace;
   std::string termination;          ///< "verified" / "iteration-cap" / ...
 };
+
+/// Line-oriented text serialization of a GlovaResult (final or partial);
+/// doubles round-trip via max_digits10.  One shared codec: campaign
+/// checkpoints (every version) and optimizer session state embed results in
+/// exactly this byte form.
+void write_glova_result(std::ostream& os, const GlovaResult& r);
+[[nodiscard]] GlovaResult read_glova_result(std::istream& is);
 
 /// Session-level resource limits, enforced after every step.  0 = unlimited.
 /// `max_iterations` here is a cross-algorithm cap on top of whatever
@@ -131,6 +139,28 @@ class Optimizer {
 
   [[nodiscard]] virtual const char* algorithm_name() const = 0;
 
+  /// True when the algorithm implements replay-free state serialization
+  /// (save_state/load_state below).  Campaign checkpoints fall back to
+  /// deterministic replay for algorithms that return false.
+  [[nodiscard]] virtual bool supports_state_serialization() const { return false; }
+
+  /// Serialize the live session — the partial result plus the algorithm's
+  /// full internal state (agent weights, RNG streams, buffers, engine
+  /// counters/cache) — so an identically configured fresh session restored
+  /// via load_state() continues bit-identically without replaying a single
+  /// step.  Only a started, unfinished session can be saved; throws
+  /// std::logic_error otherwise (terminal sessions are captured by their
+  /// result, fresh ones by their spec).
+  void save_state(std::ostream& os) const;
+
+  /// Restore a session saved by save_state().  Must be called on a fresh
+  /// session (no step() yet) constructed with the same configuration and
+  /// testbench; the session is `started` afterwards and the next step()
+  /// continues where the saved one left off.  Observer on_start callbacks do
+  /// not re-fire.  Throws std::logic_error on protocol misuse and
+  /// std::runtime_error on malformed state.
+  void load_state(std::istream& is);
+
   /// Iterations completed so far (== result().rl_iterations when done).
   [[nodiscard]] std::size_t iterations_completed() const { return result_.rl_iterations; }
 
@@ -150,6 +180,11 @@ class Optimizer {
   virtual bool do_step() = 0;
   /// Algorithm-specific result fields beyond the common finalization.
   virtual void do_finalize(GlovaResult& /*result*/) {}
+  /// Algorithm-specific state serialization behind save_state()/load_state().
+  /// The default implementations throw std::logic_error; algorithms that
+  /// override both also override supports_state_serialization().
+  virtual void do_save_state(std::ostream& os) const;
+  virtual void do_load_state(std::istream& is);
   [[nodiscard]] virtual const EvaluationEngine* engine_ptr() const = 0;
   [[nodiscard]] virtual const SimulationCost& cost() const = 0;
 
@@ -166,6 +201,9 @@ class Optimizer {
   RunBudget budget_;
   std::vector<std::shared_ptr<RunObserver>> observers_;
   std::chrono::steady_clock::time_point t0_{};
+  /// Wall seconds accrued before a load_state() restore; elapsed_seconds()
+  /// (and thus wall-clock budgets) count across process restarts.
+  double wall_offset_ = 0.0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,10 @@
 #include "nn/adam.hpp"
 
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
+
+#include "common/state_io.hpp"
 
 namespace glova::nn {
 
@@ -24,6 +27,25 @@ void Adam::step(std::span<double> params, std::span<const double> grad) {
     const double v_hat = v_[i] / bias2;
     params[i] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
   }
+}
+
+void Adam::save(std::ostream& os) const {
+  os << "adam " << t_ << '\n';
+  state::write_doubles(os, "m", m_);
+  state::write_doubles(os, "v", v_);
+}
+
+void Adam::load(std::istream& is) {
+  const std::size_t t = state::parse_u64(state::expect_line(is, "adam"), "adam step count");
+  std::vector<double> m = state::read_doubles(is, "m");
+  std::vector<double> v = state::read_doubles(is, "v");
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    state::bad("Adam state size mismatch: expected " + std::to_string(m_.size()) + " parameters, got " +
+               std::to_string(m.size()) + "/" + std::to_string(v.size()));
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 }  // namespace glova::nn

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,12 @@ class Adam {
 
   [[nodiscard]] std::size_t step_count() const { return t_; }
   [[nodiscard]] const AdamConfig& config() const { return config_; }
+
+  /// Text-serialize the moment estimates and step counter (config comes from
+  /// the constructor).  `load` throws when the stored moment length does not
+  /// match this optimizer's parameter count.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   AdamConfig config_;

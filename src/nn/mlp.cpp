@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/state_io.hpp"
+
 namespace glova::nn {
 
 double activate(Activation act, double x) {
@@ -135,6 +137,17 @@ std::vector<double> Mlp::backward(const Workspace& ws, std::span<const double> d
 
 std::vector<double> Mlp::input_gradient(const Workspace& ws, std::span<const double> dLdy) const {
   return backprop(ws, dLdy, nullptr);
+}
+
+void Mlp::save(std::ostream& os) const { state::write_doubles(os, "mlp", params_); }
+
+void Mlp::load(std::istream& is) {
+  std::vector<double> params = state::read_doubles(is, "mlp");
+  if (params.size() != params_.size()) {
+    state::bad("Mlp state size mismatch: network has " + std::to_string(params_.size()) +
+               " parameters, state holds " + std::to_string(params.size()));
+  }
+  params_ = std::move(params);
 }
 
 }  // namespace glova::nn

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,12 @@ class Mlp {
   /// used when the critic is frozen during the actor update.
   [[nodiscard]] std::vector<double> input_gradient(const Workspace& ws,
                                                    std::span<const double> dLdy) const;
+
+  /// Text-serialize the flat parameter vector (architecture comes from the
+  /// constructor).  `load` throws when the stored count does not match this
+  /// network's parameter_count().
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   struct LayerView {

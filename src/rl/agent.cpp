@@ -4,7 +4,11 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <ostream>
+#include <sstream>
 
+#include "common/state_io.hpp"
+#include "common/text.hpp"
 #include "nn/loss.hpp"
 
 namespace glova::rl {
@@ -100,6 +104,27 @@ std::vector<double> RiskSensitiveAgent::propose_screened(std::span<const double>
 
 std::vector<double> RiskSensitiveAgent::act(std::span<const double> x_last) const {
   return actor_.forward(x_last);
+}
+
+void RiskSensitiveAgent::save(std::ostream& os) const {
+  os << "agent " << updates_ << ' ' << format_double_roundtrip(noise_) << '\n';
+  os << "agent_rng " << rng_.save() << '\n';
+  actor_.save(os);
+  actor_opt_.save(os);
+  critic_.save(os);
+}
+
+void RiskSensitiveAgent::load(std::istream& is) {
+  std::istringstream head(state::expect_line(is, "agent"));
+  std::size_t updates = 0;
+  double noise = 0.0;
+  if (!(head >> updates >> noise)) state::bad("malformed agent header");
+  rng_.restore(state::expect_line(is, "agent_rng"));
+  actor_.load(is);
+  actor_opt_.load(is);
+  critic_.load(is);
+  updates_ = updates;
+  noise_ = noise;
 }
 
 }  // namespace glova::rl

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -58,6 +59,12 @@ class RiskSensitiveAgent {
   [[nodiscard]] const EnsembleCritic& critic() const { return critic_; }
   [[nodiscard]] double exploration_noise() const { return noise_; }
   [[nodiscard]] std::size_t update_count() const { return updates_; }
+
+  /// Text-serialize the full learning state (agent RNG stream, actor
+  /// weights + Adam moments, critic ensemble, noise schedule, update count).
+  /// `load` expects an agent constructed with the same design_dim and config.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   AgentConfig config_;

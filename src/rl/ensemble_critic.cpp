@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
+#include "common/state_io.hpp"
 #include "nn/loss.hpp"
 
 namespace glova::rl {
@@ -92,6 +94,26 @@ std::vector<double> EnsembleCritic::input_gradient(std::span<const double> x, do
     for (std::size_t d = 0; d < dx.size(); ++d) dx[d] += gi[d];
   }
   return dx;
+}
+
+void EnsembleCritic::save(std::ostream& os) const {
+  os << "critic " << models_.size() << '\n';
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    models_[i].save(os);
+    optimizers_[i].save(os);
+  }
+}
+
+void EnsembleCritic::load(std::istream& is) {
+  const std::size_t n = state::parse_u64(state::expect_line(is, "critic"), "critic ensemble size");
+  if (n != models_.size()) {
+    state::bad("critic ensemble size mismatch: expected " + std::to_string(models_.size()) +
+               ", got " + std::to_string(n));
+  }
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    models_[i].load(is);
+    optimizers_[i].load(is);
+  }
 }
 
 }  // namespace glova::rl

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,11 @@ class EnsembleCritic {
 
   [[nodiscard]] std::size_t ensemble_size() const { return models_.size(); }
   [[nodiscard]] const CriticConfig& config() const { return config_; }
+
+  /// Text-serialize every base model's parameters and optimizer moments
+  /// (architecture and config come from the constructor).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   CriticConfig config_;

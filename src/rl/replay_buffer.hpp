@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,11 @@ class WorstCaseReplayBuffer {
   /// Best experience seen so far (highest reward), if any.
   [[nodiscard]] std::optional<Experience> best() const;
 
+  /// Text-serialize the full buffer (entries, FIFO cursor, best).  `load`
+  /// replaces this buffer's contents; the stored capacity must match.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
  private:
   std::size_t capacity_;
   std::size_t next_ = 0;  ///< FIFO cursor once full
@@ -57,6 +63,11 @@ class LastWorstBuffer {
 
   /// Corner indices sorted worst-first (used by Algorithm 2's first phase).
   [[nodiscard]] std::vector<std::size_t> corners_worst_first() const;
+
+  /// Text-serialize the per-corner rewards.  `load` requires the stored
+  /// corner count to match this buffer's.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   std::vector<double> rewards_;

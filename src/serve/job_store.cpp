@@ -1,0 +1,116 @@
+#include "serve/job_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fsio.hpp"
+#include "common/state_io.hpp"
+
+namespace glova::serve {
+
+namespace fs = std::filesystem;
+
+JobStore::JobStore(std::string spool_dir) : spool_dir_(std::move(spool_dir)) {
+  std::error_code ec;
+  for (const char* sub : {"jobs", "checkpoints", "results"}) {
+    fs::create_directories(fs::path(spool_dir_) / sub, ec);
+    if (ec) {
+      throw std::runtime_error("glova-serve spool: cannot create '" + spool_dir_ + "/" + sub +
+                               "': " + ec.message());
+    }
+  }
+}
+
+std::string JobStore::job_path(const std::string& id) const {
+  return spool_dir_ + "/jobs/" + id + ".job";
+}
+
+std::string JobStore::checkpoint_path(const std::string& id) const {
+  return spool_dir_ + "/checkpoints/" + id + ".ckpt";
+}
+
+std::string JobStore::result_path(const std::string& id) const {
+  return spool_dir_ + "/results/" + id + ".result";
+}
+
+void JobStore::save_job(const JobRecord& record) const {
+  std::ostringstream os;
+  os << "glova-job v1\n";
+  os << "id " << record.id << '\n';
+  os << "tenant " << state::one_line(record.tenant) << '\n';
+  os << "spec " << state::one_line(record.spec_text) << '\n';
+  atomic_write_file(job_path(record.id), os.str());
+}
+
+std::vector<JobRecord> JobStore::load_jobs() const {
+  std::vector<JobRecord> records;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(spool_dir_ + "/jobs", ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".job") continue;
+    std::ifstream is(entry.path());
+    if (!is) throw std::runtime_error("glova-serve spool: cannot read " + entry.path().string());
+    JobRecord record;
+    (void)state::expect_line(is, "glova-job");  // version checked implicitly below
+    record.id = state::expect_line(is, "id");
+    record.tenant = state::expect_line(is, "tenant");
+    record.spec_text = state::expect_line(is, "spec");
+    if (record.id.empty()) state::bad("job record with empty id: " + entry.path().string());
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  return records;
+}
+
+void JobStore::save_result(const std::string& id, std::string_view state,
+                           const std::string& text) const {
+  std::string content = "glova-job-result v1\nstate ";
+  content += state;
+  content += '\n';
+  content += text;
+  atomic_write_file(result_path(id), content);
+}
+
+std::optional<TerminalRecord> JobStore::load_result(const std::string& id) const {
+  std::ifstream is(result_path(id));
+  if (!is) return std::nullopt;
+  TerminalRecord record;
+  (void)state::expect_line(is, "glova-job-result");
+  record.state = state::expect_line(is, "state");
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  record.text = rest.str();
+  return record;
+}
+
+void JobStore::remove_checkpoint(const std::string& id) const {
+  std::remove(checkpoint_path(id).c_str());
+}
+
+std::uint64_t JobStore::max_job_number() const {
+  std::uint64_t max_n = 0;
+  for (const JobRecord& record : load_jobs()) {
+    // ids are "job-<digits>"; foreign ids are ignored rather than rejected.
+    const std::string_view id = record.id;
+    if (id.substr(0, 4) != "job-") continue;
+    std::uint64_t n = 0;
+    bool numeric = id.size() > 4;
+    for (std::size_t i = 4; i < id.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(id[i]))) {
+        numeric = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(id[i] - '0');
+    }
+    if (numeric) max_n = std::max(max_n, n);
+  }
+  return max_n;
+}
+
+}  // namespace glova::serve

@@ -1,0 +1,70 @@
+// Spool-directory persistence for glova-serve jobs.
+//
+// Layout (docs/serve.md#spool-layout):
+//
+//   <spool>/jobs/<id>.job          submitted spec record, written at SUBMIT
+//   <spool>/checkpoints/<id>.ckpt  periodic Campaign checkpoint (in-flight
+//                                  jobs only; removed at terminal state)
+//   <spool>/results/<id>.result    terminal state + canonical result text
+//
+// Every file is written through glova::atomic_write_file (temp sibling,
+// fsync, rename), so a kill at any instant leaves either the old file or the
+// new one — never a truncated half.  Recovery is a pure function of the
+// directory: jobs with a result file are terminal; the rest resume from
+// their checkpoint when one exists, else restart from their spec.  Both
+// paths land on bit-identical results (fixed seeds).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glova::serve {
+
+/// Immutable submission record: what was asked for, by whom.
+struct JobRecord {
+  std::string id;
+  std::string tenant;
+  std::string spec_text;  ///< SweepSpec::to_string() form
+};
+
+/// Terminal outcome as persisted: the job's final state name plus the
+/// canonical result text (empty for cancelled-before-finish jobs).
+struct TerminalRecord {
+  std::string state;
+  std::string text;
+};
+
+class JobStore {
+ public:
+  /// Creates the spool layout if absent; throws std::runtime_error when the
+  /// directories cannot be created.
+  explicit JobStore(std::string spool_dir);
+
+  [[nodiscard]] const std::string& spool_dir() const { return spool_dir_; }
+  [[nodiscard]] std::string checkpoint_path(const std::string& id) const;
+
+  void save_job(const JobRecord& record) const;
+  /// Every persisted job record, sorted by id (submission order, since ids
+  /// are zero-padded sequence numbers).
+  [[nodiscard]] std::vector<JobRecord> load_jobs() const;
+
+  void save_result(const std::string& id, std::string_view state,
+                   const std::string& text) const;
+  [[nodiscard]] std::optional<TerminalRecord> load_result(const std::string& id) const;
+
+  void remove_checkpoint(const std::string& id) const;
+
+  /// Highest numeric suffix among persisted "job-<n>" ids (0 when none);
+  /// restarted servers continue the id sequence instead of reusing ids.
+  [[nodiscard]] std::uint64_t max_job_number() const;
+
+ private:
+  std::string spool_dir_;
+  std::string job_path(const std::string& id) const;
+  std::string result_path(const std::string& id) const;
+};
+
+}  // namespace glova::serve

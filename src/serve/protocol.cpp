@@ -1,0 +1,105 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "common/state_io.hpp"
+#include "core/optimizer_base.hpp"
+
+namespace glova::serve {
+
+std::vector<std::string> split_tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\t') ++j;
+    if (j > i) tokens.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+Request parse_request(std::string_view line) {
+  Request request;
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+  request.verb = std::string(line.substr(i, j - i));
+  while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+  request.rest = std::string(line.substr(j));
+  request.args = split_tokens(request.rest);
+  return request;
+}
+
+std::string ok_line(std::string_view detail) {
+  if (detail.empty()) return "OK";
+  return "OK " + state::one_line(detail);
+}
+
+std::string err_line(std::string_view reason) {
+  return "ERR " + state::one_line(reason);
+}
+
+std::string format_campaign_result(const core::CampaignResult& table) {
+  std::ostringstream os;
+  os << "campaign-result entries " << table.entries.size() << " finished " << table.finished
+     << " failed " << table.failed << " retries " << table.session_retries
+     << " total_simulations " << table.total_simulations << '\n';
+  for (std::size_t i = 0; i < table.entries.size(); ++i) {
+    const core::CampaignEntry& entry = table.entries[i];
+    os << "entry " << i << ' ' << core::to_string(entry.state) << " steps " << entry.steps
+       << " retries " << entry.retries << '\n';
+    os << "spec " << entry.spec.to_string() << '\n';
+    os << "error " << (entry.error.empty() ? "-" : state::one_line(entry.error)) << '\n';
+    // wall_seconds is measured time, the one nondeterministic field; zero it
+    // so resumed-vs-straight-through runs compare byte-identical.
+    core::GlovaResult result = entry.result;
+    result.wall_seconds = 0.0;
+    core::write_glova_result(os, result);
+  }
+  return os.str();
+}
+
+bool LineIo::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool LineIo::write_line(std::string_view line) { return write_line(fd_, line); }
+
+bool LineIo::write_line(int fd, std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  const char* data = framed.data();
+  std::size_t remaining = framed.size();
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd, data, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace glova::serve

@@ -1,0 +1,80 @@
+// glova-serve wire protocol: newline-delimited request/response over a
+// loopback TCP socket.
+//
+// Requests are one line each: an upper-case verb followed by space-separated
+// arguments.  The full grammar (docs/serve.md documents every form):
+//
+//   SUBMIT <tenant> <sweep-spec text>      -> OK <job-id> | ERR <reason>
+//   STATUS <job-id>                        -> OK <job-id> <state> steps=<n> tenant=<t>
+//   RESULT <job-id>                        -> OK <job-id> <state>, result lines, END
+//   WATCH <job-id>                         -> OK watching <job-id>, EVENT lines, END
+//   CANCEL <job-id>                        -> OK <job-id> <state>
+//   LIST                                   -> OK <count>, JOB lines, END
+//   SHUTDOWN                               -> OK shutting-down
+//
+// Every response's first line starts with "OK" or "ERR"; multi-line payloads
+// are terminated by a line that is exactly "END".  The sweep-spec text is the
+// SweepSpec::to_string() "key=value" form, so jobs travel through the same
+// canonical grammar the rest of the repo uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace glova::serve {
+
+/// One parsed request line.  `verb` is the first token verbatim (the server
+/// rejects unknown verbs, case-sensitively); `rest` is everything after the
+/// verb with leading whitespace stripped; `args` is `rest` split on runs of
+/// whitespace.
+struct Request {
+  std::string verb;
+  std::string rest;
+  std::vector<std::string> args;
+};
+
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Split on runs of spaces/tabs, dropping empty tokens.
+[[nodiscard]] std::vector<std::string> split_tokens(std::string_view text);
+
+/// Response first-line helpers ("OK <detail>" / "ERR <reason>", reason
+/// flattened to one line).
+[[nodiscard]] std::string ok_line(std::string_view detail);
+[[nodiscard]] std::string err_line(std::string_view reason);
+
+/// Terminator line for multi-line payloads.
+inline constexpr std::string_view kEndLine = "END";
+
+/// Canonical deterministic text of a campaign result table: header, then per
+/// entry its spec, state, steps, retries, error, and the full GlovaResult in
+/// the shared write_glova_result byte form — with wall_seconds zeroed, so two
+/// fixed-seed runs of the same sweep compare byte-identical (the contract the
+/// kill-restart smoke test and tests/test_serve.cpp pin).
+[[nodiscard]] std::string format_campaign_result(const core::CampaignResult& table);
+
+/// Blocking line-oriented I/O over a connected stream socket, shared by the
+/// server's connection threads and the client CLI.  write_line appends '\n'
+/// and sends with SIGPIPE suppressed; read_line strips the trailing newline
+/// (and a carriage return, for telnet-style clients) and returns false on
+/// EOF or error.
+class LineIo {
+ public:
+  explicit LineIo(int fd) : fd_(fd) {}
+
+  bool read_line(std::string& line);
+  bool write_line(std::string_view line);
+
+  /// One send() call per line keeps concurrent writers (command responses vs
+  /// streamed events) from interleaving bytes mid-line.
+  static bool write_line(int fd, std::string_view line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace glova::serve

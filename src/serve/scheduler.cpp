@@ -1,0 +1,70 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace glova::serve {
+
+std::deque<std::string>& FairScheduler::queue_for(const std::string& tenant) {
+  for (auto& [name, queue] : tenants_) {
+    if (name == tenant) return queue;
+  }
+  tenants_.emplace_back(tenant, std::deque<std::string>{});
+  return tenants_.back().second;
+}
+
+std::optional<std::string> FairScheduler::admit(const std::string& tenant,
+                                                const std::string& id) {
+  if (max_live_ > 0 && live_ >= max_live_) {
+    return "queue full: " + std::to_string(live_) + " live jobs (max " +
+           std::to_string(max_live_) + "), retry later";
+  }
+  ++live_;
+  queue_for(tenant).push_back(id);
+  return std::nullopt;
+}
+
+void FairScheduler::adopt(const std::string& tenant, const std::string& id) {
+  ++live_;
+  queue_for(tenant).push_back(id);
+}
+
+void FairScheduler::requeue(const std::string& tenant, const std::string& id) {
+  queue_for(tenant).push_back(id);
+}
+
+std::optional<std::string> FairScheduler::next() {
+  if (tenants_.empty()) return std::nullopt;
+  for (std::size_t probe = 0; probe < tenants_.size(); ++probe) {
+    auto& [name, queue] = tenants_[cursor_ % tenants_.size()];
+    cursor_ = (cursor_ + 1) % tenants_.size();
+    if (!queue.empty()) {
+      std::string id = std::move(queue.front());
+      queue.pop_front();
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FairScheduler::remove(const std::string& id) {
+  for (auto& [name, queue] : tenants_) {
+    const auto it = std::find(queue.begin(), queue.end(), id);
+    if (it != queue.end()) {
+      queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FairScheduler::release() {
+  if (live_ > 0) --live_;
+}
+
+std::size_t FairScheduler::queued() const {
+  std::size_t n = 0;
+  for (const auto& [name, queue] : tenants_) n += queue.size();
+  return n;
+}
+
+}  // namespace glova::serve

@@ -1,0 +1,68 @@
+// Per-tenant fair scheduling with bounded admission for glova-serve.
+//
+// Jobs are queued per tenant and dispatched round-robin across tenants, so
+// one tenant submitting a hundred sweeps cannot starve another submitting
+// one.  Admission is bounded: the scheduler tracks every *live* job
+// (queued or dispatched-and-unfinished) and rejects new submissions with a
+// human-readable reason once the bound is hit — backpressure belongs at the
+// door, not in an unbounded queue.
+//
+// The class is intentionally not thread-safe: glova-serve already serializes
+// job-table access under one mutex, and a second lock here would only hide
+// ordering bugs.  (tests/test_serve.cpp exercises it standalone.)
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace glova::serve {
+
+class FairScheduler {
+ public:
+  /// `max_live` bounds queued + dispatched-but-unfinished jobs; 0 = unlimited.
+  explicit FairScheduler(std::size_t max_live = 0) : max_live_(max_live) {}
+
+  /// Admit a new job for `tenant`.  Returns std::nullopt on success or the
+  /// rejection reason when the live-job bound is reached.
+  [[nodiscard]] std::optional<std::string> admit(const std::string& tenant,
+                                                 const std::string& id);
+
+  /// Admit a job recovered from the spool on restart: counts against the
+  /// live total like admit() but never rejects — a full queue must not
+  /// orphan work that was already accepted before the crash.
+  void adopt(const std::string& tenant, const std::string& id);
+
+  /// Re-enqueue an already-live job after an unfinished scheduling quantum.
+  /// Never rejects, never re-counts.
+  void requeue(const std::string& tenant, const std::string& id);
+
+  /// Pop the next job id, round-robin across tenants with queued work.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Remove a queued job (cancellation).  Returns false if it was not queued
+  /// (already dispatched or unknown); the live count is NOT released — call
+  /// release() when the job reaches a terminal state, queued or not.
+  bool remove(const std::string& id);
+
+  /// A live job reached a terminal state; frees one admission slot.
+  void release();
+
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t max_live() const { return max_live_; }
+
+ private:
+  std::size_t max_live_;
+  std::size_t live_ = 0;
+  /// Tenant queues in first-seen order; the cursor walks them round-robin.
+  std::vector<std::pair<std::string, std::deque<std::string>>> tenants_;
+  std::size_t cursor_ = 0;
+
+  std::deque<std::string>& queue_for(const std::string& tenant);
+};
+
+}  // namespace glova::serve

@@ -1,0 +1,135 @@
+// glova-serve: a long-lived campaign service over the line protocol.
+//
+// One Server owns:
+//   - a loopback TCP listener (port 0 = ephemeral, see port()),
+//   - a bounded per-tenant FairScheduler feeding a shared worker pool,
+//   - the job table (every submitted job, live and terminal),
+//   - a JobStore spool for crash-safe persistence.
+//
+// Jobs are campaigns: SUBMIT parses a SweepSpec, admission either queues it
+// or rejects with a reason, and workers drive each campaign in fair quanta of
+// `steps_per_quantum` Campaign::step() calls, checkpointing to the spool
+// every `checkpoint_every_steps` steps through the atomic-rename path.  A
+// killed server therefore restarts with every in-flight campaign resuming
+// from its last periodic checkpoint — and, campaigns being fixed-seed
+// deterministic, finishing with results bit-identical to an uninterrupted
+// run (pinned by tests/test_serve.cpp and the CI serve-smoke job).
+//
+// WATCH subscribers receive the campaign's observer events as EVENT lines on
+// their connection until the job reaches a terminal state.  Events are
+// forwarded from the driving worker thread; a subscriber that stops reading
+// stalls only its own stream buffer, not the optimization (writes block on
+// the kernel socket buffer, which only a wholly absent reader fills).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "serve/job_store.hpp"
+#include "serve/scheduler.hpp"
+
+namespace glova::serve {
+
+struct ServerConfig {
+  std::string spool_dir;             ///< required: job + checkpoint spool
+  std::uint16_t port = 0;            ///< loopback TCP port; 0 = ephemeral
+  std::size_t workers = 2;           ///< campaign-driving threads
+  std::size_t max_jobs = 64;         ///< live-job admission bound; 0 = unlimited
+  std::size_t steps_per_quantum = 8; ///< Campaign::step() calls per turn
+  std::size_t checkpoint_every_steps = 16;  ///< spool checkpoint cadence
+  /// Testbench factory forwarded to every campaign (and to Campaign::load on
+  /// recovery).  Empty = the circuits registry.
+  std::function<circuits::TestbenchPtr(const core::RunSpec&)> make_testbench;
+};
+
+/// Lifecycle of one served job.
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+[[nodiscard]] const char* to_string(JobState state);
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  ///< calls stop(true) if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Recover spool jobs, bind the loopback listener, and spawn the accept +
+  /// worker threads.  Throws std::runtime_error on socket/spool failure.
+  void start();
+
+  /// The bound port (after start()); useful with config.port == 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Block until a client issues SHUTDOWN (or stop() is called).
+  void wait();
+
+  /// Stop the server: close the listener and every connection, drain the
+  /// workers, and — when `checkpoint` is true (graceful shutdown) — write a
+  /// final spool checkpoint for every in-flight campaign.  stop(false)
+  /// skips that final save, leaving only the periodic checkpoints, exactly
+  /// the on-disk state a SIGKILL leaves behind (the crash path the
+  /// kill-and-restart tests exercise).  Idempotent.
+  void stop(bool checkpoint);
+
+  [[nodiscard]] bool shutdown_requested() const;
+
+ private:
+  struct Job;
+  class WatchForwarder;
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+
+  /// One scheduling quantum for `id`: build or restore the campaign if
+  /// needed, drive it, checkpoint on cadence, retire or requeue.
+  void run_quantum(const std::string& id);
+  void retire_job(std::unique_lock<std::mutex>& lock, Job& job, JobState state,
+                  std::string result_text);
+  void recover_spool();
+
+  // Request handlers: each writes its complete response (first line, any
+  // payload lines, END) to `fd`.
+  void handle_submit(int fd, const std::string& rest);
+  void handle_status(int fd, const std::string& id);
+  void handle_result(int fd, const std::string& id);
+  void handle_cancel(int fd, const std::string& id);
+  void handle_list(int fd);
+  /// On success registers `fd` as a watcher and sets `watching` (the
+  /// connection becomes a dedicated event stream); already-terminal jobs get
+  /// their final events immediately.
+  void handle_watch(int fd, const std::string& id, bool& watching);
+
+  void send_event_locked(Job& job, const std::string& line);
+
+  ServerConfig config_;
+  JobStore store_;
+  FairScheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;      ///< workers: queue non-empty or stopping
+  std::condition_variable cv_shutdown_;  ///< wait(): SHUTDOWN or stop()
+  std::map<std::string, std::unique_ptr<Job>> jobs_;  ///< ordered by id
+  std::uint64_t next_job_number_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;  ///< open connection sockets (guarded by mutex_)
+};
+
+}  // namespace glova::serve

@@ -467,6 +467,26 @@ TEST(CampaignCheckpoint, SaveFileSurvivesPartialWriteInjection) {
   EXPECT_THROW(campaign.save_file(path), std::runtime_error);
   std::filesystem::remove_all(tmp);
   expect_identical_tables(core::Campaign::load_file(path).run(), campaign.result());
+
+  // The file path writes exactly the save() bytes — the durable (fsync +
+  // rename) route and the stream route are one serializer.
+  std::stringstream expected;
+  campaign.save(expected);
+  std::ifstream written(path);
+  std::stringstream on_disk;
+  on_disk << written.rdbuf();
+  EXPECT_EQ(on_disk.str(), expected.str());
+
+  // Overwriting a good checkpoint with a newer one is atomic too: a
+  // different campaign saved over the same path fully replaces it.
+  core::SweepSpec newer_sweep = parity_sweep();
+  newer_sweep.algorithms = {core::Algorithm::PvtSizing};
+  newer_sweep.seeds = {2};
+  core::Campaign newer(newer_sweep);
+  (void)newer.run();
+  newer.save_file(path);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  expect_identical_tables(core::Campaign::load_file(path).run(), newer.result());
 }
 
 TEST(Campaign, WideSimulationBudgetStopsWithinOneTurn) {

@@ -1,0 +1,86 @@
+// glova-serve daemon: the long-lived campaign service (docs/serve.md).
+//
+//   glova_serve --spool DIR [--port N] [--port-file PATH] [--workers N]
+//               [--max-jobs N] [--steps-per-quantum N] [--checkpoint-every N]
+//
+// Binds 127.0.0.1 (port 0 = ephemeral; --port-file publishes the bound port
+// for scripts), serves the line protocol until a client sends SHUTDOWN or
+// the process receives SIGINT/SIGTERM, then checkpoints every in-flight
+// campaign and exits 0.  A SIGKILL skips the final checkpoint — by design,
+// the periodic spool checkpoints are enough to resume bit-identically on the
+// next start (the CI serve-smoke job kills and restarts exactly this way).
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/fsio.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --spool DIR [--port N] [--port-file PATH] [--workers N] [--max-jobs N]"
+               " [--steps-per-quantum N] [--checkpoint-every N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  glova::serve::ServerConfig config;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (arg == "--spool" && (v = value())) {
+      config.spool_dir = v;
+    } else if (arg == "--port" && (v = value())) {
+      config.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--port-file" && (v = value())) {
+      port_file = v;
+    } else if (arg == "--workers" && (v = value())) {
+      config.workers = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--max-jobs" && (v = value())) {
+      config.max_jobs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--steps-per-quantum" && (v = value())) {
+      config.steps_per_quantum = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--checkpoint-every" && (v = value())) {
+      config.checkpoint_every_steps = static_cast<std::size_t>(std::atol(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.spool_dir.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    glova::serve::Server server(std::move(config));
+    server.start();
+    std::cout << "glova-serve: port " << server.port() << std::endl;
+    if (!port_file.empty()) {
+      glova::atomic_write_file(port_file, std::to_string(server.port()) + "\n");
+    }
+    // Poll instead of blocking in wait(): a signal handler cannot safely
+    // notify a condition variable, and 100 ms of shutdown latency is fine
+    // for a daemon.
+    while (g_signal == 0 && !server.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop(/*checkpoint=*/true);
+  } catch (const std::exception& e) {
+    std::cerr << "glova-serve: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
