@@ -12,6 +12,7 @@
 #include "common/log.hpp"
 #include "common/state_io.hpp"
 #include "common/text.hpp"
+#include "core/persistent_cache.hpp"
 
 namespace glova::core {
 
@@ -261,7 +262,19 @@ circuits::TestbenchPtr Campaign::testbench_for(const RunSpec& spec) {
 }
 
 std::unique_ptr<Optimizer> Campaign::build_optimizer(const RunSpec& spec) {
-  return make_optimizer(spec, testbench_for(spec));
+  circuits::TestbenchPtr tb = testbench_for(spec);
+  if (!config_.cache_dir.empty() && spec.engine.cache_path.empty()) {
+    // Shard the directory per (testcase, backend, numerics-config) tag so
+    // sessions with different engine settings never collide on a file — a
+    // foreign-tag cache is a hard load error by design.  The stored session
+    // spec stays untouched: the injected path is a campaign-level concern and
+    // must not leak into result serialization or checkpoint specs.
+    RunSpec cached = spec;
+    cached.engine.cache_path =
+        config_.cache_dir + "/" + memo_cache_file_name(tb->name(), spec.engine);
+    return make_optimizer(cached, std::move(tb));
+  }
+  return make_optimizer(spec, std::move(tb));
 }
 
 void Campaign::attach_forwarder(std::size_t index) {
@@ -463,8 +476,10 @@ constexpr const char* kMagic = "glova-campaign";
 /// v1: in-flight sessions resume by deterministic replay.  v2 additionally
 /// records per-session retry counts and embeds each in-flight session's full
 /// serialized optimizer state (Optimizer::save_state), so load() restores
-/// them O(1) with zero step() replays.  Both versions load.
-constexpr int kFormatVersion = 2;
+/// them O(1) with zero step() replays.  v3 adds the persistent memo-cache
+/// directory (CampaignConfig::cache_dir), so a restarted daemon keeps
+/// re-serving previously simulated points.  All three versions load.
+constexpr int kFormatVersion = 3;
 
 /// Sanity cap on serialized element counts (sessions, vector lengths, trace
 /// rows).  Real campaigns are orders of magnitude below this; a corrupt
@@ -519,6 +534,7 @@ void Campaign::save(std::ostream& os) const {
   os << kMagic << " v" << kFormatVersion << '\n';
   os << "max_total_simulations " << config_.max_total_simulations << '\n';
   os << "steps_per_turn " << config_.steps_per_turn << '\n';
+  os << "cache_dir " << one_line(config_.cache_dir) << '\n';
   os << "cursor " << cursor_ << '\n';
   os << "sessions " << sessions_.size() << '\n';
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
@@ -572,9 +588,11 @@ Campaign Campaign::load(std::istream& is,
       version = 1;
     } else if (version_text == "v2") {
       version = 2;
+    } else if (version_text == "v3") {
+      version = 3;
     } else {
       bad_checkpoint("unsupported format version '" + version_text +
-                     "' (this build reads v1 and v2)");
+                     "' (this build reads v1, v2 and v3)");
     }
   }
 
@@ -584,6 +602,7 @@ Campaign Campaign::load(std::istream& is,
       parse_u64_field(expect_line(is, "max_total_simulations"), "max_total_simulations");
   campaign.config_.steps_per_turn = static_cast<std::size_t>(
       parse_u64_field(expect_line(is, "steps_per_turn"), "steps_per_turn"));
+  if (version >= 3) campaign.config_.cache_dir = expect_line(is, "cache_dir");
   campaign.cursor_ = static_cast<std::size_t>(parse_u64_field(expect_line(is, "cursor"), "cursor"));
   const std::size_t count =
       static_cast<std::size_t>(parse_u64_field(expect_line(is, "sessions"), "sessions"));

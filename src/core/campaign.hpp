@@ -86,6 +86,13 @@ struct CampaignConfig {
   /// budget is exhausted — a deterministic failure re-throws on every retry —
   /// is it retired as Failed.  0 = retire on the first throw (legacy).
   std::size_t max_session_retries = 0;
+  /// Directory for persistent memo-cache files (empty = off).  Every session
+  /// whose spec leaves engine.cache_path unset gets one assigned here, named
+  /// by its (testcase, backend, numerics-config) tag, so a campaign re-run —
+  /// or a glova-serve restart — re-serves previously simulated points with
+  /// zero evaluations.  A spec with its own cache_path keeps it.  Saved in
+  /// checkpoints (format v3) and restored by load().
+  std::string cache_dir;
   /// Testbench factory override (custom circuits, failure-injection tests).
   /// Default: the circuits registry, with one shared testbench instance per
   /// (testcase, backend) — testbenches are stateless-const, so sharing is

@@ -86,6 +86,14 @@ void validate_scalars(const RunSpec& spec) {
   if (spec.budget.max_wall_seconds < 0.0) {
     bad_spec("budget.max_wall_seconds must be non-negative");
   }
+  if (spec.engine.surrogate_keep <= 0.0 || spec.engine.surrogate_keep > 1.0) {
+    bad_spec("engine.surrogate_keep must be in (0, 1]");
+  }
+  for (const char c : spec.engine.cache_path) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      bad_spec("engine.cache_path must not contain whitespace");
+    }
+  }
 }
 
 }  // namespace
@@ -117,7 +125,9 @@ const std::vector<std::string_view>& run_spec_keys() {
       "batched_draws",   "adaptive_timestep",
       "newton_bypass",   "recovery",
       "max_eval_retries", "eval_deadline_steps",
-      "degrade_to_behavioral", "progress_log",
+      "degrade_to_behavioral", "cache_path",
+      "surrogate",       "surrogate_keep",
+      "surrogate_warmup", "progress_log",
   };
   return keys;
 }
@@ -157,6 +167,10 @@ std::string RunSpec::to_string() const {
   kv("max_eval_retries", std::to_string(engine.max_eval_retries));
   kv("eval_deadline_steps", std::to_string(engine.eval_deadline_steps));
   kv("degrade_to_behavioral", engine.degrade_to_behavioral ? "1" : "0");
+  kv("cache_path", engine.cache_path);  // empty value round-trips as "cache_path="
+  kv("surrogate", engine.surrogate ? "1" : "0");
+  kv("surrogate_keep", format_double(engine.surrogate_keep));
+  kv("surrogate_warmup", std::to_string(engine.surrogate_warmup));
   kv("progress_log", progress_log ? "1" : "0");
   return out;
 }
@@ -241,6 +255,14 @@ RunSpec RunSpec::from_string(std::string_view text) {
       spec.engine.eval_deadline_steps = parse_u64(key, value);
     } else if (key == "degrade_to_behavioral") {
       spec.engine.degrade_to_behavioral = parse_bool(key, value);
+    } else if (key == "cache_path") {
+      spec.engine.cache_path = std::string(value);
+    } else if (key == "surrogate") {
+      spec.engine.surrogate = parse_bool(key, value);
+    } else if (key == "surrogate_keep") {
+      spec.engine.surrogate_keep = parse_double(key, value);
+    } else if (key == "surrogate_warmup") {
+      spec.engine.surrogate_warmup = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "progress_log") {
       spec.progress_log = parse_bool(key, value);
     } else {

@@ -131,6 +131,15 @@ void Server::start() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (started_) throw std::logic_error("glova-serve: start() called twice");
 
+  if (!config_.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.cache_dir, ec);
+    if (ec) {
+      throw std::runtime_error("glova-serve: cannot create cache dir '" + config_.cache_dir +
+                               "': " + ec.message());
+    }
+  }
+
   recover_spool();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -462,6 +471,7 @@ void Server::run_quantum(const std::string& id) {
       } else {
         core::CampaignConfig campaign_config;
         campaign_config.make_testbench = config_.make_testbench;
+        campaign_config.cache_dir = config_.cache_dir;
         job.campaign = std::make_unique<core::Campaign>(
             core::SweepSpec::from_string(job.record.spec_text), campaign_config);
       }

@@ -45,6 +45,12 @@ struct ServerConfig {
   std::size_t max_jobs = 64;         ///< live-job admission bound; 0 = unlimited
   std::size_t steps_per_quantum = 8; ///< Campaign::step() calls per turn
   std::size_t checkpoint_every_steps = 16;  ///< spool checkpoint cadence
+  /// Directory for persistent memo-cache files, forwarded to every fresh
+  /// campaign (CampaignConfig::cache_dir) and created at start(); campaigns
+  /// resumed from a checkpoint restore it from the checkpoint itself.  A
+  /// kill -9'd and restarted server re-serves previously simulated points
+  /// with zero evaluations.  Empty = off.
+  std::string cache_dir;
   /// Testbench factory forwarded to every campaign (and to Campaign::load on
   /// recovery).  Empty = the circuits registry.
   std::function<circuits::TestbenchPtr(const core::RunSpec&)> make_testbench;

@@ -4,8 +4,11 @@
 // parallelism cap, and the future-based submission path.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <set>
 #include <thread>
 
 #include "circuits/registry.hpp"
@@ -242,6 +245,87 @@ TEST(EvaluationEngine, MixedSubmitAndBatchShareOneCap) {
   (void)engine.evaluate_batch(x, pdk::typical_corner(), hs);
   for (auto& f : futures) (void)f.get();
   EXPECT_LE(probe->max_in_flight(), 3);
+}
+
+/// Minimal three-way-mismatch testbench for key-quantization properties:
+/// metrics echo the draw so result identity implies key identity.
+class EchoBench final : public circuits::Testbench {
+ public:
+  EchoBench() {
+    sizing_.names = {"x0"};
+    sizing_.lower = {0.0};
+    sizing_.upper = {1.0};
+    performance_.metrics = {
+        circuits::MetricSpec{"m", "u", 1.0, 1.0, circuits::Sense::MinimizeBelow}};
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const circuits::SizingSpec& sizing() const override { return sizing_; }
+  [[nodiscard]] const circuits::PerformanceSpec& performance() const override {
+    return performance_;
+  }
+  [[nodiscard]] pdk::MismatchLayout mismatch_layout(std::span<const double>,
+                                                    bool) const override {
+    pdk::MismatchLayout layout;
+    layout.names = {"h0", "h1", "h2"};
+    layout.local_sigma = {1.0, 1.0, 1.0};
+    layout.global_sigma = {0.0, 0.0, 0.0};
+    return layout;
+  }
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double>, const pdk::PvtCorner&,
+                                             std::span<const double> h) const override {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < h.size(); ++j) sum += (static_cast<double>(j) + 1.0) * h[j];
+    return {sum};
+  }
+
+ private:
+  std::string name_ = "echo-bench";
+  circuits::SizingSpec sizing_;
+  circuits::PerformanceSpec performance_;
+};
+
+TEST(EvaluationEngine, MemoKeyQuantizationProperty) {
+  // Property-test the memo-key quantization on randomized draws: draws that
+  // differ by at least one cache quantum in some coordinate never alias
+  // (every grid-distinct draw executes), and sub-quantum perturbations of a
+  // cached draw always hit.  parallelism=1 keeps intra-batch duplicate
+  // resolution deterministic (inserts land in submission order).
+  const double q = 1e-6;
+  EngineConfig cfg;
+  cfg.cache_quantum = q;
+  cfg.cache_capacity = 4096;
+  cfg.parallelism = 1;
+  EvaluationEngine engine(std::make_shared<EchoBench>(), cfg);
+  const std::vector<double> x = {0.5};
+
+  Rng rng(2026);
+  std::vector<std::vector<double>> hs;
+  std::set<std::array<long long, 3>> grid_distinct;
+  for (int i = 0; i < 200; ++i) {
+    std::array<long long, 3> g{};
+    std::vector<double> h(3);
+    for (int j = 0; j < 3; ++j) {
+      g[j] = std::llround(rng.uniform(-1000.0, 1000.0));
+      h[j] = static_cast<double>(g[j]) * q;  // exactly on the quantization grid
+    }
+    grid_distinct.insert(g);
+    hs.push_back(std::move(h));
+  }
+  (void)engine.evaluate_batch(x, pdk::typical_corner(), hs);
+  // No aliasing: every grid-distinct draw was simulated; grid-equal repeats
+  // were answered from cache.
+  EXPECT_EQ(engine.stats().executed, grid_distinct.size());
+  EXPECT_EQ(engine.stats().cache_hits, hs.size() - grid_distinct.size());
+
+  // Perturbing every coordinate by strictly less than half a quantum rounds
+  // to the same key: the whole batch must be served from cache.
+  std::vector<std::vector<double>> perturbed = hs;
+  for (auto& h : perturbed) {
+    for (double& v : h) v += q * rng.uniform(-0.49, 0.49);
+  }
+  (void)engine.evaluate_batch(x, pdk::typical_corner(), perturbed);
+  EXPECT_EQ(engine.stats().executed, grid_distinct.size()) << "sub-quantum perturbation re-ran";
+  EXPECT_EQ(engine.stats().cache_hits, 2 * hs.size() - grid_distinct.size());
 }
 
 TEST(EvaluationEngine, SequentialParallelismNeverUsesThePool) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "nn/adam.hpp"
@@ -145,6 +147,92 @@ TEST(Loss, MseAndGradient) {
   EXPECT_DOUBLE_EQ(g[1], -1.0);
   EXPECT_DOUBLE_EQ(mse(2.0, 3.0), 0.5);
   EXPECT_DOUBLE_EQ(mse_grad_scalar(2.0, 3.0), -1.0);
+}
+
+TEST(Serialization, MlpSaveLoadRoundTripsParameters) {
+  Rng rng(41);
+  Mlp net({3, 8, 2}, Activation::Tanh, Activation::Identity, rng);
+  std::ostringstream saved;
+  net.save(saved);
+
+  Rng rng2(99);  // different init: load must overwrite every parameter
+  Mlp restored({3, 8, 2}, Activation::Tanh, Activation::Identity, rng2);
+  std::istringstream in(saved.str());
+  restored.load(in);
+  ASSERT_EQ(restored.parameter_count(), net.parameter_count());
+  for (std::size_t i = 0; i < net.parameter_count(); ++i) {
+    EXPECT_EQ(restored.parameters()[i], net.parameters()[i]) << "parameter " << i;
+  }
+  // Bit-identical parameters mean bit-identical inference.
+  const std::vector<double> x = {0.1, -0.7, 2.5};
+  EXPECT_EQ(restored.forward(x), net.forward(x));
+
+  // Save -> load -> save is a byte fixed point.
+  std::ostringstream resaved;
+  restored.save(resaved);
+  EXPECT_EQ(resaved.str(), saved.str());
+}
+
+TEST(Serialization, MlpLoadRejectsMismatchedShape) {
+  Rng rng(41);
+  Mlp small({2, 4, 1}, Activation::Tanh, Activation::Identity, rng);
+  Mlp big({3, 8, 2}, Activation::Tanh, Activation::Identity, rng);
+  std::ostringstream saved;
+  small.save(saved);
+  std::istringstream in(saved.str());
+  try {
+    big.load(in);
+    FAIL() << "load() must reject a parameter-count mismatch";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("size mismatch"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Serialization, AdamSaveLoadRoundTripsMoments) {
+  Rng rng(7);
+  Mlp net({2, 6, 1}, Activation::Tanh, Activation::Identity, rng);
+  Adam adam(net.parameter_count());
+  Mlp::Workspace ws;
+  // A few real steps so the moments and timestep are non-trivial.
+  for (int step = 0; step < 5; ++step) {
+    std::vector<double> grad(net.parameter_count(), 0.0);
+    const auto y = net.forward(std::vector<double>{0.3, -0.9}, ws);
+    const std::vector<double> dLdy = {y[0] - 1.0};
+    (void)net.backward(ws, dLdy, grad);
+    adam.step(net.parameters(), grad);
+  }
+  std::ostringstream saved;
+  adam.save(saved);
+
+  Adam restored(net.parameter_count());
+  std::istringstream in(saved.str());
+  restored.load(in);
+  std::ostringstream resaved;
+  restored.save(resaved);
+  EXPECT_EQ(resaved.str(), saved.str());  // full state: t, m, v
+
+  // The restored optimizer continues exactly like the original: one more
+  // identical step must produce identical parameters.
+  std::vector<double> params_a(net.parameters().begin(), net.parameters().end());
+  std::vector<double> params_b = params_a;
+  std::vector<double> grad(net.parameter_count(), 0.01);
+  adam.step(params_a, grad);
+  restored.step(params_b, grad);
+  EXPECT_EQ(params_a, params_b);
+}
+
+TEST(Serialization, AdamLoadRejectsMismatchedCount) {
+  Adam small(4);
+  std::ostringstream saved;
+  small.save(saved);
+  Adam big(9);
+  std::istringstream in(saved.str());
+  try {
+    big.load(in);
+    FAIL() << "load() must reject a moment-length mismatch";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("size mismatch"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Training, LearnsOneDimensionalRegression) {

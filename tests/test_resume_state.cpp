@@ -114,12 +114,13 @@ class CountingBench final : public circuits::Testbench {
   std::shared_ptr<std::atomic<std::uint64_t>> count_;
 };
 
-/// Down-convert a v2 campaign checkpoint to the v1 format: v1 has no
-/// per-session `retries` line and no `resume` line (in-flight sessions were
-/// implicitly replayed), so strip them — for `resume state`, through the
-/// embedded state's `optimizer-state-end` terminator.
-std::string downconvert_to_v1(const std::string& v2_text) {
-  std::istringstream in(v2_text);
+/// Down-convert a current (v3) campaign checkpoint to the v1 format: v1 has
+/// no `cache_dir` line, no per-session `retries` line and no `resume` line
+/// (in-flight sessions were implicitly replayed), so strip them — for
+/// `resume state`, through the embedded state's `optimizer-state-end`
+/// terminator.
+std::string downconvert_to_v1(const std::string& v3_text) {
+  std::istringstream in(v3_text);
   std::ostringstream out;
   std::string line;
   bool in_embedded_state = false;
@@ -128,7 +129,7 @@ std::string downconvert_to_v1(const std::string& v2_text) {
       if (line == "optimizer-state-end") in_embedded_state = false;
       continue;
     }
-    if (line == "glova-campaign v2") {
+    if (line == "glova-campaign v3") {
       out << "glova-campaign v1\n";
     } else if (line == "resume state") {
       in_embedded_state = true;
@@ -136,6 +137,8 @@ std::string downconvert_to_v1(const std::string& v2_text) {
       // dropped: v1 replays every in-flight session unconditionally
     } else if (line.rfind("retries ", 0) == 0) {
       // dropped: v1 predates the retry ladder
+    } else if (line.rfind("cache_dir", 0) == 0) {
+      // dropped: v1 predates the persistent memo cache
     } else {
       out << line << '\n';
     }
@@ -328,7 +331,7 @@ TEST(ResumeState, V1CheckpointStillLoadsViaReplay) {
 }
 
 TEST(ResumeState, UnknownCheckpointVersionIsRejected) {
-  std::istringstream is("glova-campaign v3\n");
+  std::istringstream is("glova-campaign v999\n");
   EXPECT_THROW((void)core::Campaign::load(is), std::runtime_error);
 }
 

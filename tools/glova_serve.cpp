@@ -2,6 +2,7 @@
 //
 //   glova_serve --spool DIR [--port N] [--port-file PATH] [--workers N]
 //               [--max-jobs N] [--steps-per-quantum N] [--checkpoint-every N]
+//               [--cache-dir DIR]
 //
 // Binds 127.0.0.1 (port 0 = ephemeral; --port-file publishes the bound port
 // for scripts), serves the line protocol until a client sends SHUTDOWN or
@@ -28,7 +29,7 @@ void on_signal(int) { g_signal = 1; }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --spool DIR [--port N] [--port-file PATH] [--workers N] [--max-jobs N]"
-               " [--steps-per-quantum N] [--checkpoint-every N]\n";
+               " [--steps-per-quantum N] [--checkpoint-every N] [--cache-dir DIR]\n";
   return 2;
 }
 
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
       config.steps_per_quantum = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--checkpoint-every" && (v = value())) {
       config.checkpoint_every_steps = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--cache-dir" && (v = value())) {
+      config.cache_dir = v;
     } else {
       return usage(argv[0]);
     }
