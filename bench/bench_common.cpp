@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/log.hpp"
 #include "core/campaign.hpp"
@@ -36,6 +37,23 @@ BenchOptions options_from_env() {
   if (const char* s = std::getenv("GLOVA_BENCH_BATCHED")) {
     opt.batched_draws = s[0] != '\0' && s[0] != '0';
   }
+  if (const char* s = std::getenv("GLOVA_BENCH_MOS_MODEL")) {
+    if (std::string_view(s) != "level1" && std::string_view(s) != "ekv") {
+      fprintf(stderr, "GLOVA_BENCH_MOS_MODEL: unknown model '%s' (level1, ekv)\n", s);
+      exit(2);
+    }
+    opt.mos_model = s;
+  }
+  if (const char* s = std::getenv("GLOVA_BENCH_SPICE_NOISE")) {
+    opt.spice_noise = s[0] != '\0' && s[0] != '0';
+  }
+  if (const char* s = std::getenv("GLOVA_BENCH_CORNERS")) {
+    if (std::string_view(s) != "all" && std::string_view(s) != "cold_lv") {
+      fprintf(stderr, "GLOVA_BENCH_CORNERS: unknown corner_filter '%s' (all, cold_lv)\n", s);
+      exit(2);
+    }
+    opt.corner_filter = s;
+  }
   if (opt.seeds == 0) opt.seeds = 1;
   return opt;
 }
@@ -58,6 +76,9 @@ CellStats run_cell(Method method, circuits::Testcase testcase, core::VerifMethod
   sweep.base.use_mu_sigma = options.use_mu_sigma;
   sweep.base.use_reordering = options.use_reordering;
   sweep.base.engine.batched_draws = options.batched_draws;
+  sweep.base.engine.mos_model = options.mos_model;
+  sweep.base.engine.spice_noise = options.spice_noise;
+  sweep.base.corner_filter = options.corner_filter;
   sweep.seeds.reserve(options.seeds);
   for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) sweep.seeds.push_back(seed);
 

@@ -11,6 +11,12 @@
 //   GLOVA_BENCH_BATCHED (default 0) route mismatch-draw groups through the
 //                       lockstep batched SPICE evaluator
 //                       (RunSpec engine.batched_draws; no-op on behavioral)
+//   GLOVA_BENCH_MOS_MODEL (default level1) SPICE MOSFET channel model
+//                       (RunSpec engine.mos_model: level1 or ekv)
+//   GLOVA_BENCH_SPICE_NOISE (default 0) simulated AC/noise pass in place of
+//                       the analytic budget (RunSpec engine.spice_noise)
+//   GLOVA_BENCH_CORNERS (default all) corner_filter: "all" or "cold_lv"
+//                       (only the coldest low-voltage corner)
 #pragma once
 
 #include <cstdint>
@@ -46,6 +52,15 @@ struct BenchOptions {
   /// Batched mismatch-draw evaluation (GLOVA_BENCH_BATCHED), forwarded to
   /// RunSpec engine.batched_draws.
   bool batched_draws = false;
+  /// SPICE MOSFET channel model (GLOVA_BENCH_MOS_MODEL), forwarded to
+  /// RunSpec engine.mos_model.
+  std::string mos_model = "level1";
+  /// Simulated AC/noise pass (GLOVA_BENCH_SPICE_NOISE), forwarded to
+  /// RunSpec engine.spice_noise.
+  bool spice_noise = false;
+  /// PVT corner-set restriction (GLOVA_BENCH_CORNERS), forwarded to
+  /// RunSpec corner_filter.
+  std::string corner_filter = "all";
   /// Ablation switches (Table III); default = full GLOVA.
   bool use_ensemble_critic = true;
   bool use_mu_sigma = true;

@@ -19,7 +19,7 @@ int main() {
   core::RunSpec spec;
   spec.testcase = circuits::Testcase::DramOcsa;
   spec.method = core::VerifMethod::C_MCGL;
-  spec.seed = 3;
+  spec.seed = 5;
   const auto result = core::make_optimizer(spec, bench)->run();
   printf("optimization: success=%s iterations=%zu simulations=%llu\n",
          result.success ? "yes" : "no", result.rl_iterations,

@@ -36,7 +36,8 @@ struct PvtSizingOptimizer::Session {
 PvtSizingOptimizer::PvtSizingOptimizer(circuits::TestbenchPtr testbench, PvtSizingConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
-      op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
+      op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples,
+                                                     config.corner_filter)) {}
 
 PvtSizingOptimizer::~PvtSizingOptimizer() = default;
 

@@ -24,6 +24,7 @@ namespace glova::baselines {
 
 struct PvtSizingConfig {
   core::VerifMethod method = core::VerifMethod::C;
+  std::string corner_filter = "all";  ///< RunSpec `corner_filter` (docs/run_spec.md)
   std::size_t n_opt_samples = 3;
   std::size_t batch_size = 10;
   std::size_t hidden = 64;

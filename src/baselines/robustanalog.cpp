@@ -38,7 +38,8 @@ RobustAnalogOptimizer::RobustAnalogOptimizer(circuits::TestbenchPtr testbench,
                                              RobustAnalogConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
-      op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
+      op_config_(core::OperationalConfig::for_method(config.method, config.n_opt_samples,
+                                                     config.corner_filter)) {}
 
 RobustAnalogOptimizer::~RobustAnalogOptimizer() = default;
 

@@ -183,8 +183,8 @@ std::vector<double> DramOcsaSubhole::evaluate(std::span<const double> x,
   const double vov_reg = 0.75 * vdd;
   const double i_xn = pdk::ekv_id(p[0], wol(0), vov_reg, 0.25 * vdd, temp_k);
   const double i_xp = pdk::ekv_id(p[2], wol(2), vov_reg, 0.25 * vdd, temp_k);
-  const double gm_xn = 2.0 * i_xn / std::max(pdk::ekv_overdrive(vov_reg - p[0].vth, temp_k), 1e-4);
-  const double gm_xp = 2.0 * i_xp / std::max(pdk::ekv_overdrive(vov_reg - p[2].vth, temp_k), 1e-4);
+  const double gm_xn = pdk::ekv_gm(p[0], wol(0), vov_reg, 0.25 * vdd, temp_k);
+  const double gm_xp = pdk::ekv_gm(p[2], wol(2), vov_reg, 0.25 * vdd, temp_k);
   const double g0 = std::min(cond.gain_cap, gm_xn * cond.t_overlap / (cs + cbl) * frac_n);
   const double g1 = std::min(cond.gain_cap, gm_xp * cond.t_overlap / (cs + cbl) * frac_p);
 

@@ -97,12 +97,15 @@ FiaAnalysis FloatingInverterAmplifier::analyze(std::span<const double> x,
   const double i_p = pdk::ekv_id(p[2], wol_p, vdd - vcm, 0.3 * vdd, temp_k);
   const double i_branch = std::max(1e-12, std::min(i_n, i_p));
 
-  // Effective transconductance of the push-pull pair at i_branch, using the
-  // smoothed overdrive (correct in both strong and weak inversion).
+  // Effective transconductance of the push-pull pair, as the analytic
+  // derivative of the same EKV current the bias uses.  (The old
+  // 2*I/max(Vov, 1e-4) estimate is a strong-inversion identity; in weak
+  // inversion it collapses to 2*I/1e-4 instead of the correct I/(n*vt),
+  // overstating gm by orders of magnitude at cold low-voltage corners.)
   const double vov_n = pdk::ekv_overdrive(vcm - p[0].vth, temp_k);
   const double vov_p = pdk::ekv_overdrive((vdd - vcm) - p[2].vth, temp_k);
-  const double gm_n = 2.0 * i_branch / std::max(vov_n, 1e-4);
-  const double gm_p = 2.0 * i_branch / std::max(vov_p, 1e-4);
+  const double gm_n = pdk::ekv_gm(p[0], wol_n, vcm, 0.3 * vdd, temp_k);
+  const double gm_p = pdk::ekv_gm(p[2], wol_p, vdd - vcm, 0.3 * vdd, temp_k);
   const double gm_eff = gm_n + gm_p;
 
   // --- integration window limited by the reservoir droop ---

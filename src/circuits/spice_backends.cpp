@@ -5,6 +5,7 @@
 
 #include "circuits/parasitics.hpp"
 #include "common/units.hpp"
+#include "spice/ac.hpp"
 #include "spice/batch.hpp"
 #include "spice/measure.hpp"
 #include "spice/warm_start.hpp"
@@ -37,7 +38,8 @@ StrongArmLatchSpice::StrongArmLatchSpice() = default;
 
 spice::Circuit StrongArmLatchSpice::build_netlist(std::span<const double> x,
                                                   const pdk::PvtCorner& corner,
-                                                  std::span<const double> h) const {
+                                                  std::span<const double> h,
+                                                  bool amplify_phase_dc) const {
   if (x.size() != SalSizing::kCount) throw std::invalid_argument("SAL spice: bad sizing vector");
   if (!h.empty() && h.size() != 22) throw std::invalid_argument("SAL spice: bad mismatch vector");
   const double vdd = corner.vdd;
@@ -57,13 +59,22 @@ spice::Circuit StrongArmLatchSpice::build_netlist(std::span<const double> x,
   const auto gnd = spice::Circuit::ground();
 
   ckt.add_vsource("VDD", vdd_n, gnd, spice::Waveform::dc(vdd));
-  ckt.add_vsource("VCLK", clk, gnd,
-                  spice::Waveform::pulse(0.0, vdd, kClkRise, kEdge, kEdge, kClkFall - kClkRise,
-                                         0.0));
   const double vin = behavioral_.conditions().v_input_diff;
   const double vcm = behavioral_.conditions().input_cm_frac * vdd;
-  ckt.add_vsource("VINP", inp, gnd, spice::Waveform::dc(vcm + 0.5 * vin));
-  ckt.add_vsource("VINN", inn, gnd, spice::Waveform::dc(vcm - 0.5 * vin));
+  if (amplify_phase_dc) {
+    // Noise testbench: hold the clock DC-high and drive both inputs at the
+    // common mode, so the DC solve lands on the symmetric (metastable)
+    // amplify-phase operating point rather than a latched rail state.
+    ckt.add_vsource("VCLK", clk, gnd, spice::Waveform::dc(vdd));
+    ckt.add_vsource("VINP", inp, gnd, spice::Waveform::dc(vcm));
+    ckt.add_vsource("VINN", inn, gnd, spice::Waveform::dc(vcm));
+  } else {
+    ckt.add_vsource("VCLK", clk, gnd,
+                    spice::Waveform::pulse(0.0, vdd, kClkRise, kEdge, kEdge, kClkFall - kClkRise,
+                                           0.0));
+    ckt.add_vsource("VINP", inp, gnd, spice::Waveform::dc(vcm + 0.5 * vin));
+    ckt.add_vsource("VINN", inn, gnd, spice::Waveform::dc(vcm - 0.5 * vin));
+  }
 
   // Device instance order matches StrongArmLatch::devices():
   //   0 tail, 1-2 input pair, 3-4 cross NMOS, 5-6 cross PMOS,
@@ -204,7 +215,26 @@ std::vector<double> StrongArmLatchSpice::metrics_from_transient(
                                                h.empty() ? 0.0 : h[2 * 9 + 1]),
                                x[SalSizing::kWSr] / x[SalSizing::kLSr], vdd, 0.5 * vdd));
   const double t_sr = (0.5 * x[SalSizing::kCSr]) * vdd / i_sr;
-  const double set_delay = (t_dec ? *t_dec - kClkRise : kTStop) + t_sr;
+  // No crossing inside the evaluate window: extrapolate the decision time
+  // from the exponential regeneration rate at the end of the window instead
+  // of returning a flat sentinel.  The latch separation grows as
+  // exp(t / tau); projecting the final separation forward at the measured
+  // rate keeps set_delay continuous across the window boundary and gives
+  // the optimizer a gradient toward deciding designs — a flat sentinel made
+  // every under-driven sizing look equally bad, which is what the old
+  // raised input-CM crutch papered over at cold low-voltage corners.
+  double t_undecided = kTStop;
+  if (!t_dec) {
+    const double t1 = kClkFall;
+    const double t0 = kClkRise + 0.5 * (kClkFall - kClkRise);
+    const double d1 = spice::value_at(t, diff, t1);
+    const double d0 = spice::value_at(t, diff, t0);
+    if (d1 > d0 && d0 > 0.0) {
+      const double rate = std::log(d1 / d0) / (t1 - t0);  // 1/tau
+      t_undecided = (t1 - kClkRise) + std::log(0.5 * vdd / d1) / rate;
+    }
+  }
+  const double set_delay = (t_dec ? *t_dec - kClkRise : t_undecided) + t_sr;
 
   // Reset delay: falling clock edge until *both* outputs are back near vdd.
   // The winning output never crossed down, so measure on min(va, vb).
@@ -223,10 +253,39 @@ std::vector<double> StrongArmLatchSpice::metrics_from_transient(
   const double e_cycle = spice::supply_energy(t, res.trace("I(VDD)"), vdd, 0.0, kTStop);
   const double power = std::max(0.0, e_cycle) * behavioral_.conditions().clock_hz;
 
-  // Noise: analytic kT/C budget from the behavioral model.
-  const double noise = behavioral_.evaluate(x, corner, h)[3];
+  // Noise: analytic kT/C budget from the behavioral model by default; the
+  // engine's spice_noise knob swaps in the simulated amplify-phase AC pass
+  // (docs/architecture.md#ac-noise), keeping the analytic budget as the
+  // fallback when the small-signal solve fails.
+  double noise = behavioral_.evaluate(x, corner, h)[3];
+  if (spice::noise_analysis_default()) {
+    if (const std::optional<double> simulated = simulated_input_noise(x, corner, h)) {
+      noise = *simulated;
+    }
+  }
 
   return {power, set_delay, reset_delay, noise};
+}
+
+std::optional<double> StrongArmLatchSpice::simulated_input_noise(
+    std::span<const double> x, const pdk::PvtCorner& corner, std::span<const double> h) const {
+  const spice::Circuit ckt = build_netlist(x, corner, h, /*amplify_phase_dc=*/true);
+  spice::Simulator sim(ckt, spice::default_simulator_options());
+  const spice::OpResult op = sim.operating_point();
+  if (!op.converged) return std::nullopt;
+  spice::AcNoiseSpec spec;
+  spec.input = "VINP";
+  spec.output_pos = "out_a";
+  spec.output_neg = "out_b";
+  // Band: well below the amplify-phase bandwidth up to far past it, so the
+  // integrated output noise covers the full equivalent noise bandwidth.
+  spec.f_start = 1e6;
+  spec.f_stop = 100e9;
+  spec.temp_k = corner.temp_k();
+  const spice::NoiseResult nr =
+      spice::noise_analysis(ckt, op, spec, spice::default_simulator_options());
+  if (!nr.ok || nr.gain_ref < 1e-3 || !std::isfinite(nr.input_noise_vrms)) return std::nullopt;
+  return nr.input_noise_vrms;
 }
 
 }  // namespace glova::circuits

@@ -36,10 +36,13 @@ struct SalConditions {
   double v_input_diff = 50e-3;  ///< differential input drive [V]
   double leakage_per_um = 5e-9; ///< off-state leakage [A per um of width]
   /// Input common mode as a fraction of vdd (SPICE testbench only — the
-  /// behavioral model is CM-agnostic).  Biased high, as usual for an NMOS
-  /// input pair, so the pair still conducts at cold low-voltage corners
-  /// under the Level-1 model's hard sub-Vth cutoff.
-  double input_cm_frac = 0.7;
+  /// behavioral model is CM-agnostic).  Mid-rail, matching the paper's
+  /// testbench.  (An earlier revision biased this to 0.7 so the input pair
+  /// stayed out of the Level-1 model's hard sub-Vth cutoff at cold
+  /// low-voltage corners; the `mos_model=ekv` option conducts continuously
+  /// through weak inversion, so the crutch default is gone.  The knob stays
+  /// for CM-sensitivity studies.)
+  double input_cm_frac = 0.5;
 };
 
 class StrongArmLatch final : public Testbench {

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <algorithm>
+
 #include "common/text.hpp"
 
 namespace glova::core {
@@ -49,7 +51,30 @@ pdk::GlobalMode OperationalConfig::verification_sampling_mode() const {
   return global_mismatch ? pdk::GlobalMode::PerSample : pdk::GlobalMode::Zero;
 }
 
-OperationalConfig OperationalConfig::for_method(VerifMethod method, std::size_t n_opt_samples) {
+namespace {
+
+/// The coldest low-voltage member of a corner set: minimum vdd, then
+/// minimum temperature, with a slow-process member preferred when the set
+/// spans process corners.  Deterministic in the set's contents, so the
+/// same method always verifies against the same single condition.
+std::vector<pdk::PvtCorner> coldest_low_voltage_subset(std::vector<pdk::PvtCorner> corners) {
+  if (corners.empty()) return corners;
+  double vdd = corners.front().vdd;
+  for (const auto& c : corners) vdd = std::min(vdd, c.vdd);
+  std::erase_if(corners, [&](const pdk::PvtCorner& c) { return c.vdd != vdd; });
+  double temp = corners.front().temp_c;
+  for (const auto& c : corners) temp = std::min(temp, c.temp_c);
+  std::erase_if(corners, [&](const pdk::PvtCorner& c) { return c.temp_c != temp; });
+  for (const auto& c : corners) {
+    if (c.process == pdk::ProcessCorner::SS) return {c};
+  }
+  return {corners.front()};
+}
+
+}  // namespace
+
+OperationalConfig OperationalConfig::for_method(VerifMethod method, std::size_t n_opt_samples,
+                                                std::string_view corner_filter) {
   OperationalConfig cfg;
   cfg.method = method;
   switch (method) {
@@ -77,6 +102,9 @@ OperationalConfig OperationalConfig::for_method(VerifMethod method, std::size_t 
       cfg.n_verif = 1000;  // 1K global-local MC x 6 VT corners -> 6,000 sims
       cfg.corners = pdk::vt_corner_set();
       break;
+  }
+  if (corner_filter == "cold_lv") {
+    cfg.corners = coldest_low_voltage_subset(std::move(cfg.corners));
   }
   return cfg;
 }

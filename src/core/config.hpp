@@ -70,7 +70,13 @@ struct OperationalConfig {
 
   /// Standard configuration for a verification method.
   /// `n_opt_samples` is the paper's optimization-phase sample size (3).
-  static OperationalConfig for_method(VerifMethod method, std::size_t n_opt_samples = 3);
+  /// `corner_filter` (RunSpec `corner_filter`) restricts the method's
+  /// predefined corner set: "all" keeps it, "cold_lv" keeps only the
+  /// coldest low-voltage condition (minimum vdd, minimum temperature,
+  /// slow process if the set has one) — the corner the Level-1 hard
+  /// cutoff cannot evaluate and the EKV model exists for.
+  static OperationalConfig for_method(VerifMethod method, std::size_t n_opt_samples = 3,
+                                      std::string_view corner_filter = "all");
 };
 
 }  // namespace glova::core

@@ -55,6 +55,12 @@ EvaluationEngine::EvaluationEngine(circuits::TestbenchPtr testbench, EngineConfi
       throw std::invalid_argument("EvaluationEngine: cache_path must not contain whitespace");
     }
   }
+  if (config_.mos_model != "level1" && config_.mos_model != "ekv") {
+    throw std::invalid_argument("EvaluationEngine: mos_model must be 'level1' or 'ekv'");
+  }
+  spice::set_mos_model_default(config_.mos_model == "ekv" ? spice::MosModel::kEkv
+                                                          : spice::MosModel::kLevel1);
+  spice::set_noise_analysis_default(config_.spice_noise);
   spice::set_dc_warm_start_enabled(config_.dc_warm_start);
   spice::set_adaptive_timestep_default(config_.adaptive_timestep);
   spice::set_newton_bypass_default(config_.newton_bypass);

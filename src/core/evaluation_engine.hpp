@@ -103,6 +103,20 @@ struct EngineConfig {
   /// Off by default — opt-in because the fallback's metrics are modeled, not
   /// simulated.
   bool degrade_to_behavioral = false;
+  /// MOSFET channel model for every SPICE simulation this engine drives
+  /// (process-wide spice::set_mos_model_default, like dc_warm_start).
+  /// "level1" (default): the historical square law with hard sub-Vth cutoff
+  /// — bit-identical to previous releases.  "ekv": the continuous
+  /// weak/strong-inversion model (docs/architecture.md#mos-models), which
+  /// keeps channels conductive at cold low-voltage corners the Level-1
+  /// model cuts off at.  Any other value is rejected at construction.
+  std::string mos_model = "level1";
+  /// Replace the analytic noise budget of SPICE testbenches with the
+  /// simulated small-signal AC/noise pass on the converged DC operating
+  /// point (process-wide spice::set_noise_analysis_default; see
+  /// docs/architecture.md#ac-noise).  Off by default — behavioral
+  /// testbenches and every pinned baseline are unaffected.
+  bool spice_noise = false;
   /// Path of the persistent cross-session memo-cache file (see
   /// core/persistent_cache.hpp).  Non-empty: the engine loads matching
   /// entries into its LRU at construction and merges the LRU back to disk on

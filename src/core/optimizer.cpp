@@ -34,7 +34,8 @@ struct GlovaOptimizer::Session {
 GlovaOptimizer::GlovaOptimizer(circuits::TestbenchPtr testbench, GlovaConfig config)
     : testbench_(std::move(testbench)),
       config_(config),
-      op_config_(OperationalConfig::for_method(config.method, config.n_opt_samples)) {}
+      op_config_(OperationalConfig::for_method(config.method, config.n_opt_samples,
+                                               config.corner_filter)) {}
 
 GlovaOptimizer::~GlovaOptimizer() = default;
 

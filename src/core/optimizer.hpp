@@ -35,6 +35,7 @@ namespace glova::core {
 
 struct GlovaConfig {
   VerifMethod method = VerifMethod::C;
+  std::string corner_filter = "all";  ///< RunSpec `corner_filter` (docs/run_spec.md)
   std::size_t n_opt_samples = 3;      ///< N' (paper: parallel sample size 3)
   double beta1 = -3.0;                ///< risk-avoidance (Eq. 6)
   double beta2 = 4.0;                 ///< reliability factor (Eq. 7)

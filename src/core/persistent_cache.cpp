@@ -77,6 +77,8 @@ std::string memo_cache_tag(const std::string& testbench_name, const EngineConfig
   tag += "|retries=" + std::to_string(engine.max_eval_retries);
   tag += "|deadline=" + std::to_string(engine.eval_deadline_steps);
   tag += engine.degrade_to_behavioral ? "|degrade=1" : "|degrade=0";
+  tag += "|mos=" + engine.mos_model;
+  tag += engine.spice_noise ? "|noise=1" : "|noise=0";
   return tag;
 }
 

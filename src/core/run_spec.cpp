@@ -79,6 +79,9 @@ namespace {
 void validate_scalars(const RunSpec& spec) {
   if (spec.max_iterations == 0) bad_spec("max_iterations must be >= 1");
   if (spec.n_opt_samples == 0) bad_spec("n_opt_samples must be >= 1");
+  if (spec.corner_filter != "all" && spec.corner_filter != "cold_lv") {
+    bad_spec("corner_filter must be 'all' or 'cold_lv'");
+  }
   if (spec.engine.cache_quantum <= 0.0) bad_spec("engine.cache_quantum must be positive");
   if (spec.cost.per_simulation < 0.0 || spec.cost.per_rl_iteration < 0.0) {
     bad_spec("simulation costs must be non-negative");
@@ -114,8 +117,10 @@ const std::vector<std::string_view>& run_spec_keys() {
   static const std::vector<std::string_view> keys = {
       "testcase",        "backend",
       "algorithm",       "method",
-      "seed",            "max_iterations",
-      "n_opt_samples",   "use_ensemble_critic",
+      "corner_filter",   "seed",
+      "max_iterations",
+      "n_opt_samples",
+      "use_ensemble_critic",
       "use_mu_sigma",    "use_reordering",
       "max_simulations", "budget_iterations",
       "max_wall_seconds", "cost_per_simulation",
@@ -124,6 +129,7 @@ const std::vector<std::string_view>& run_spec_keys() {
       "cache_quantum",   "dc_warm_start",
       "batched_draws",   "adaptive_timestep",
       "newton_bypass",   "recovery",
+      "mos_model",       "spice_noise",
       "max_eval_retries", "eval_deadline_steps",
       "degrade_to_behavioral", "cache_path",
       "surrogate",       "surrogate_keep",
@@ -144,6 +150,7 @@ std::string RunSpec::to_string() const {
   kv("backend", circuits::to_string(backend));
   kv("algorithm", core::to_string(algorithm));
   kv("method", core::to_string(method));
+  kv("corner_filter", corner_filter);
   kv("seed", std::to_string(seed));
   kv("max_iterations", std::to_string(max_iterations));
   kv("n_opt_samples", std::to_string(n_opt_samples));
@@ -164,6 +171,8 @@ std::string RunSpec::to_string() const {
   kv("adaptive_timestep", engine.adaptive_timestep ? "1" : "0");
   kv("newton_bypass", engine.newton_bypass ? "1" : "0");
   kv("recovery", engine.recovery ? "1" : "0");
+  kv("mos_model", engine.mos_model);
+  kv("spice_noise", engine.spice_noise ? "1" : "0");
   kv("max_eval_retries", std::to_string(engine.max_eval_retries));
   kv("eval_deadline_steps", std::to_string(engine.eval_deadline_steps));
   kv("degrade_to_behavioral", engine.degrade_to_behavioral ? "1" : "0");
@@ -209,6 +218,11 @@ RunSpec RunSpec::from_string(std::string_view text) {
       const auto m = verif_method_from_string(value);
       if (!m) bad_spec("unknown verification method '" + std::string(value) + "'");
       spec.method = *m;
+    } else if (key == "corner_filter") {
+      if (value != "all" && value != "cold_lv") {
+        bad_spec("corner_filter must be 'all' or 'cold_lv', got '" + std::string(value) + "'");
+      }
+      spec.corner_filter = std::string(value);
     } else if (key == "seed") {
       spec.seed = parse_u64(key, value);
     } else if (key == "max_iterations") {
@@ -249,6 +263,13 @@ RunSpec RunSpec::from_string(std::string_view text) {
       spec.engine.newton_bypass = parse_bool(key, value);
     } else if (key == "recovery") {
       spec.engine.recovery = parse_bool(key, value);
+    } else if (key == "mos_model") {
+      if (value != "level1" && value != "ekv") {
+        bad_spec("mos_model must be 'level1' or 'ekv', got '" + std::string(value) + "'");
+      }
+      spec.engine.mos_model = std::string(value);
+    } else if (key == "spice_noise") {
+      spec.engine.spice_noise = parse_bool(key, value);
     } else if (key == "max_eval_retries") {
       spec.engine.max_eval_retries = static_cast<int>(parse_u64(key, value));
     } else if (key == "eval_deadline_steps") {
@@ -281,6 +302,7 @@ std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec,
     case Algorithm::Glova: {
       GlovaConfig cfg;
       cfg.method = spec.method;
+      cfg.corner_filter = spec.corner_filter;
       cfg.n_opt_samples = spec.n_opt_samples;
       cfg.max_iterations = spec.max_iterations;
       cfg.use_ensemble_critic = spec.use_ensemble_critic;
@@ -295,6 +317,7 @@ std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec,
     case Algorithm::PvtSizing: {
       baselines::PvtSizingConfig cfg;
       cfg.method = spec.method;
+      cfg.corner_filter = spec.corner_filter;
       cfg.n_opt_samples = spec.n_opt_samples;
       cfg.max_iterations = spec.max_iterations;
       cfg.seed = spec.seed;
@@ -306,6 +329,7 @@ std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec,
     case Algorithm::RobustAnalog: {
       baselines::RobustAnalogConfig cfg;
       cfg.method = spec.method;
+      cfg.corner_filter = spec.corner_filter;
       cfg.n_opt_samples = spec.n_opt_samples;
       cfg.max_iterations = spec.max_iterations;
       cfg.seed = spec.seed;

@@ -43,6 +43,10 @@ struct RunSpec {
   circuits::Backend backend = circuits::Backend::Behavioral;  ///< evaluator backend
   Algorithm algorithm = Algorithm::Glova;                     ///< Table II row
   VerifMethod method = VerifMethod::C;                        ///< Table I column
+  /// Restriction on the method's predefined corner set: "all" (the method's
+  /// own set) or "cold_lv" (only the coldest low-voltage condition — the
+  /// corner the EKV model exists for; see docs/run_spec.md).
+  std::string corner_filter = "all";
   std::uint64_t seed = 1;  ///< root seed; fixed seeds give bit-identical runs
   std::size_t max_iterations = 3000;  ///< the algorithm's own success-rate cap
   std::size_t n_opt_samples = 3;      ///< N' (paper: parallel sample size 3)

@@ -35,6 +35,9 @@ MosParams mos_params(bool is_pmos, const PvtCorner& corner, double length, doubl
   p.vth = std::max(0.05, p.vth);  // keep devices enhancement-mode
   p.kp = std::max(1e-6, p.kp);
   p.lambda = tech.lambda0 * tech.l_min / std::max(length, tech.l_min);
+  p.temp_k = corner.temp_k();
+  p.kf = is_pmos ? tech.kf_p : tech.kf_n;
+  p.gamma_n = tech.gamma_noise;
   return p;
 }
 
@@ -51,8 +54,7 @@ double square_law_id(const MosParams& p, double w_over_l, double vgs, double vds
 }
 
 double ekv_overdrive(double vov, double temp_k) {
-  constexpr double kSlopeFactor = 1.3;  // typical bulk subthreshold slope factor
-  const double v_char = 2.0 * kSlopeFactor * units::thermal_voltage(temp_k);
+  const double v_char = 2.0 * kEkvSlopeFactor * units::thermal_voltage(temp_k);
   // Numerically safe softplus.
   const double z = vov / v_char;
   double softplus = 0.0;
@@ -64,14 +66,40 @@ double ekv_overdrive(double vov, double temp_k) {
   return v_char * softplus;
 }
 
+double ekv_overdrive_slope(double vov, double temp_k) {
+  const double v_char = 2.0 * kEkvSlopeFactor * units::thermal_voltage(temp_k);
+  const double z = vov / v_char;
+  if (z > 30.0) return 1.0;
+  if (z < -30.0) return std::exp(z);
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
 double ekv_id(const MosParams& p, double w_over_l, double vgs, double vds, double temp_k) {
-  if (vds <= 0.0) return 0.0;
+  if (vds < 0.0) {
+    // Symmetric device: swap source/drain roles, flip the current sign.
+    return -ekv_id(p, w_over_l, vgs - vds, -vds, temp_k);
+  }
   const double vov_eff = ekv_overdrive(vgs - p.vth, temp_k);
   const double k = p.kp * w_over_l;
   if (vds < vov_eff) {
     return k * (vov_eff - 0.5 * vds) * vds * (1.0 + p.lambda * vds);
   }
   return 0.5 * k * vov_eff * vov_eff * (1.0 + p.lambda * vds);
+}
+
+double ekv_gm(const MosParams& p, double w_over_l, double vgs, double vds, double temp_k) {
+  if (vds < 0.0) {
+    return -ekv_gm(p, w_over_l, vgs - vds, -vds, temp_k);
+  }
+  const double vov_eff = ekv_overdrive(vgs - p.vth, temp_k);
+  const double slope = ekv_overdrive_slope(vgs - p.vth, temp_k);
+  const double k = p.kp * w_over_l;
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov_eff) {
+    return k * vds * clm * slope;  // triode
+  }
+  return k * vov_eff * clm * slope;  // saturation
 }
 
 }  // namespace glova::pdk

@@ -18,7 +18,14 @@ struct MosParams {
   double kp = 350e-6;    ///< transconductance parameter u*Cox [A/V^2]
   double lambda = 0.10;  ///< channel-length modulation [1/V]
   bool is_pmos = false;
+  double temp_k = 300.0;   ///< device temperature [K]; sets the EKV subthreshold slope
+  double kf = 1.0e-26;     ///< flicker coefficient in S_id(f) = kf * |Id|^af / f [A^2/Hz units]
+  double af = 1.0;         ///< flicker current exponent
+  double gamma_n = 0.7;    ///< thermal channel-noise excess factor (S_id = 4 k T gamma gm)
 };
+
+/// EKV subthreshold slope factor n (bulk, typical): v_char = 2 n vt.
+inline constexpr double kEkvSlopeFactor = 1.3;
 
 /// Nominal (TT, 27 C, no mismatch) parameter set for the technology.
 struct TechnologyNominal {
@@ -30,6 +37,9 @@ struct TechnologyNominal {
   double l_min = 30e-9;      ///< [m]
   double vth_tc = -0.8e-3;   ///< Vth temperature coefficient [V/K]
   double mobility_exp = 1.5; ///< mobility ~ (T/T0)^-exp
+  double kf_n = 1.0e-26;     ///< NMOS flicker coefficient (S_id = kf |Id|^af / f)
+  double kf_p = 0.5e-26;     ///< PMOS flicker coefficient (buried channel: quieter)
+  double gamma_noise = 0.7;  ///< thermal channel-noise excess factor
 };
 
 [[nodiscard]] const TechnologyNominal& technology_28nm();
@@ -50,11 +60,22 @@ struct TechnologyNominal {
 /// inversion but with a soft subthreshold transition, so behavioral models
 /// stay differentiable (and non-zero) when slow corners push devices toward
 /// weak inversion.  `temp_k` sets the subthreshold slope via the thermal
-/// voltage.
+/// voltage.  The model is source/drain symmetric: for vds < 0 the terminals
+/// swap roles and the current sign flips.
 [[nodiscard]] double ekv_id(const MosParams& p, double w_over_l, double vgs, double vds,
+                            double temp_k);
+
+/// Transconductance d(ekv_id)/d(vgs), analytically consistent with ekv_id.
+/// Recovers k*Vov in strong inversion and Id/(n*vt) in weak inversion, where
+/// the classic gm = 2*Id/Vov estimate collapses.  Source/drain symmetric like
+/// ekv_id.
+[[nodiscard]] double ekv_gm(const MosParams& p, double w_over_l, double vgs, double vds,
                             double temp_k);
 
 /// The smoothed overdrive used by ekv_id: 2 n vt ln(1 + exp(vov / (2 n vt))).
 [[nodiscard]] double ekv_overdrive(double vov, double temp_k);
+
+/// d(ekv_overdrive)/d(vov): the logistic sigmoid of vov / (2 n vt).
+[[nodiscard]] double ekv_overdrive_slope(double vov, double temp_k);
 
 }  // namespace glova::pdk

@@ -1,0 +1,314 @@
+#include "spice/ac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/units.hpp"
+#include "spice/mos_model.hpp"
+
+namespace glova::spice {
+
+namespace {
+
+using Cplx = std::complex<double>;
+
+/// Dense complex LU with partial pivoting.  The AC systems are tiny (every
+/// node plus one branch per V/E element), so a plain O(n^3) factorization is
+/// the right tool; the transpose solve is what makes the adjoint noise
+/// method one-solve-per-frequency.
+class ComplexLu {
+ public:
+  explicit ComplexLu(std::size_t n) : n_(n), a_(n * n, Cplx{0.0, 0.0}), piv_(n, 0) {}
+
+  void reset() { std::fill(a_.begin(), a_.end(), Cplx{0.0, 0.0}); }
+  Cplx& at(std::size_t row, std::size_t col) { return a_[row * n_ + col]; }
+
+  /// In-place PA = LU factorization; false on a (numerically) singular pivot.
+  bool factor() {
+    for (std::size_t k = 0; k < n_; ++k) {
+      std::size_t p = k;
+      double best = std::abs(a_[k * n_ + k]);
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const double mag = std::abs(a_[r * n_ + k]);
+        if (mag > best) {
+          best = mag;
+          p = r;
+        }
+      }
+      if (!(best > 0.0) || !std::isfinite(best)) return false;
+      piv_[k] = p;
+      if (p != k) {
+        for (std::size_t c = 0; c < n_; ++c) std::swap(a_[k * n_ + c], a_[p * n_ + c]);
+      }
+      const Cplx inv_pivot = 1.0 / a_[k * n_ + k];
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const Cplx m = a_[r * n_ + k] * inv_pivot;
+        a_[r * n_ + k] = m;
+        if (m == Cplx{0.0, 0.0}) continue;
+        for (std::size_t c = k + 1; c < n_; ++c) a_[r * n_ + c] -= m * a_[k * n_ + c];
+      }
+    }
+    return true;
+  }
+
+  /// Solve A x = b in place.
+  void solve(std::vector<Cplx>& b) const {
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (piv_[k] != k) std::swap(b[k], b[piv_[k]]);
+    }
+    for (std::size_t r = 1; r < n_; ++r) {
+      Cplx sum = b[r];
+      for (std::size_t c = 0; c < r; ++c) sum -= a_[r * n_ + c] * b[c];
+      b[r] = sum;
+    }
+    for (std::size_t r = n_; r-- > 0;) {
+      Cplx sum = b[r];
+      for (std::size_t c = r + 1; c < n_; ++c) sum -= a_[r * n_ + c] * b[c];
+      b[r] = sum / a_[r * n_ + r];
+    }
+  }
+
+  /// Solve A^T y = b in place (adjoint transfer solve): with PA = LU,
+  /// A^T = U^T L^T P, so U^T z = b (forward), L^T w = z (backward), then the
+  /// row swaps are undone in reverse order.
+  void solve_transpose(std::vector<Cplx>& b) const {
+    for (std::size_t r = 0; r < n_; ++r) {
+      Cplx sum = b[r];
+      for (std::size_t c = 0; c < r; ++c) sum -= a_[c * n_ + r] * b[c];
+      b[r] = sum / a_[r * n_ + r];
+    }
+    for (std::size_t r = n_; r-- > 0;) {
+      Cplx sum = b[r];
+      for (std::size_t c = r + 1; c < n_; ++c) sum -= a_[c * n_ + r] * b[c];
+      b[r] = sum;
+    }
+    for (std::size_t k = n_; k-- > 0;) {
+      if (piv_[k] != k) std::swap(b[k], b[piv_[k]]);
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<Cplx> a_;
+  std::vector<std::size_t> piv_;
+};
+
+/// One device noise-current injection (flowing from `from_x` to `to_x`
+/// through the device, i.e. RHS contribution (e_to - e_from) * i) and its
+/// PSD: S(f) = thermal + flicker_coeff / f.
+struct NoiseSource {
+  std::ptrdiff_t from_x = -1;  ///< unknown index or -1 for ground
+  std::ptrdiff_t to_x = -1;
+  double thermal = 0.0;        ///< [A^2/Hz] white part
+  double flicker_coeff = 0.0;  ///< [A^2] flicker part, S_fl = coeff / f
+};
+
+}  // namespace
+
+NoiseResult noise_analysis(const Circuit& circuit, const OpResult& op, const AcNoiseSpec& spec,
+                           const SimulatorOptions& options) {
+  NoiseResult res;
+  if (!op.converged || op.node_voltages.size() < circuit.node_count()) {
+    res.message = "noise_analysis: operating point not converged";
+    return res;
+  }
+  if (!(spec.f_start > 0.0) || !(spec.f_stop > spec.f_start) || spec.points_per_decade < 1) {
+    res.message = "noise_analysis: bad frequency grid";
+    return res;
+  }
+
+  // --- unknown ordering: node voltages (ground dropped), V branches, E
+  // branches.  The AC pass keeps the classic full MNA formulation — no
+  // pinning: shorted sources cost one branch each and the systems are tiny.
+  const std::size_t n_nodes = circuit.node_count();
+  const std::size_t n_vsrc = circuit.vsources().size();
+  const std::size_t n_vcvs = circuit.vcvs().size();
+  const std::size_t n = (n_nodes - 1) + n_vsrc + n_vcvs;
+  const auto xof = [](NodeId nd) -> std::ptrdiff_t {
+    return nd == Circuit::ground() ? -1 : static_cast<std::ptrdiff_t>(nd - 1);
+  };
+
+  std::ptrdiff_t input_branch = -1;
+  for (std::size_t si = 0; si < n_vsrc; ++si) {
+    if (circuit.vsources()[si].name == spec.input) {
+      input_branch = static_cast<std::ptrdiff_t>((n_nodes - 1) + si);
+    }
+  }
+  if (input_branch < 0) {
+    res.message = "noise_analysis: input source '" + spec.input + "' not found";
+    return res;
+  }
+  if (!circuit.has_node(spec.output_pos) ||
+      (!spec.output_neg.empty() && !circuit.has_node(spec.output_neg))) {
+    res.message = "noise_analysis: output node not found";
+    return res;
+  }
+  const std::ptrdiff_t out_p = xof(circuit.find_node(spec.output_pos));
+  const std::ptrdiff_t out_n =
+      spec.output_neg.empty() ? -1 : xof(circuit.find_node(spec.output_neg));
+
+  // --- operating-point linearization of every MOSFET (shared by the matrix
+  // stamps and the channel noise models) ---
+  struct MosLin {
+    const Mosfet* dev;
+    MosLinearization lin;
+  };
+  std::vector<MosLin> mos;
+  mos.reserve(circuit.mosfets().size());
+  for (const Mosfet& m : circuit.mosfets()) {
+    const double vg = op.node_voltages[m.gate];
+    const double vd = op.node_voltages[m.drain];
+    const double vs = op.node_voltages[m.source];
+    mos.push_back({&m, mos_linearize(options.mos_model, m.params, m.w_over_l(), vg, vd, vs)});
+  }
+
+  // --- noise source list (frequency-independent descriptions) ---
+  const double kT_res = units::kBoltzmann * spec.temp_k;
+  std::vector<NoiseSource> sources;
+  sources.reserve(circuit.resistors().size() + mos.size());
+  for (const Resistor& r : circuit.resistors()) {
+    if (!(r.ohms > 0.0)) continue;
+    sources.push_back({xof(r.a), xof(r.b), 4.0 * kT_res / r.ohms, 0.0});
+  }
+  for (const MosLin& ml : mos) {
+    const pdk::MosParams& p = ml.dev->params;
+    const double gm = std::abs(ml.lin.d_vg);
+    const double gds = std::abs(ml.lin.d_vd);
+    const double kT_dev = units::kBoltzmann * p.temp_k;
+    NoiseSource s;
+    s.from_x = xof(ml.dev->drain);
+    s.to_x = xof(ml.dev->source);
+    s.thermal = 4.0 * kT_dev * (p.gamma_n * gm + gds);
+    s.flicker_coeff = p.kf * std::pow(std::abs(ml.lin.i_ds), p.af);
+    sources.push_back(s);
+  }
+
+  // --- logarithmic frequency grid ---
+  const double decades = std::log10(spec.f_stop / spec.f_start);
+  const int n_pts = std::max(2, 1 + static_cast<int>(std::ceil(decades * spec.points_per_decade)));
+  res.freq.resize(n_pts);
+  for (int i = 0; i < n_pts; ++i) {
+    res.freq[i] = spec.f_start * std::pow(10.0, decades * i / (n_pts - 1));
+  }
+  res.gain_mag.resize(n_pts, 0.0);
+  res.output_psd.resize(n_pts, 0.0);
+  std::vector<double> thermal_psd(n_pts, 0.0);
+
+  ComplexLu lu(n);
+  std::vector<Cplx> fwd(n);
+  std::vector<Cplx> adj(n);
+  const auto read = [](const std::vector<Cplx>& v, std::ptrdiff_t x) {
+    return x < 0 ? Cplx{0.0, 0.0} : v[static_cast<std::size_t>(x)];
+  };
+
+  for (int fi = 0; fi < n_pts; ++fi) {
+    const double w = 2.0 * std::numbers::pi * res.freq[fi];
+    lu.reset();
+    const auto add = [&](std::ptrdiff_t row, std::ptrdiff_t col, Cplx v) {
+      if (row < 0 || col < 0) return;
+      lu.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+    };
+    // gmin keeps floating (capacitor-only) nodes non-singular, as in the
+    // Newton assembly.
+    for (NodeId nd = 1; nd < n_nodes; ++nd) add(xof(nd), xof(nd), Cplx{options.gmin, 0.0});
+    for (const Resistor& r : circuit.resistors()) {
+      const Cplx g{1.0 / r.ohms, 0.0};
+      add(xof(r.a), xof(r.a), g);
+      add(xof(r.a), xof(r.b), -g);
+      add(xof(r.b), xof(r.b), g);
+      add(xof(r.b), xof(r.a), -g);
+    }
+    for (const Capacitor& c : circuit.capacitors()) {
+      const Cplx y{0.0, w * c.farads};
+      add(xof(c.a), xof(c.a), y);
+      add(xof(c.a), xof(c.b), -y);
+      add(xof(c.b), xof(c.b), y);
+      add(xof(c.b), xof(c.a), -y);
+    }
+    for (const Vccs& g : circuit.vccs()) {
+      const Cplx gm{g.transconductance, 0.0};
+      add(xof(g.pos), xof(g.ctrl_pos), gm);
+      add(xof(g.pos), xof(g.ctrl_neg), -gm);
+      add(xof(g.neg), xof(g.ctrl_pos), -gm);
+      add(xof(g.neg), xof(g.ctrl_neg), gm);
+    }
+    for (std::size_t si = 0; si < n_vsrc; ++si) {
+      const VoltageSource& v = circuit.vsources()[si];
+      const auto branch = static_cast<std::ptrdiff_t>((n_nodes - 1) + si);
+      add(xof(v.pos), branch, Cplx{1.0, 0.0});
+      add(xof(v.neg), branch, Cplx{-1.0, 0.0});
+      add(branch, xof(v.pos), Cplx{1.0, 0.0});
+      add(branch, xof(v.neg), Cplx{-1.0, 0.0});
+    }
+    for (std::size_t ei = 0; ei < n_vcvs; ++ei) {
+      const Vcvs& e = circuit.vcvs()[ei];
+      const auto branch = static_cast<std::ptrdiff_t>((n_nodes - 1) + n_vsrc + ei);
+      add(xof(e.pos), branch, Cplx{1.0, 0.0});
+      add(xof(e.neg), branch, Cplx{-1.0, 0.0});
+      add(branch, xof(e.pos), Cplx{1.0, 0.0});
+      add(branch, xof(e.neg), Cplx{-1.0, 0.0});
+      add(branch, xof(e.ctrl_pos), Cplx{-e.gain, 0.0});
+      add(branch, xof(e.ctrl_neg), Cplx{e.gain, 0.0});
+    }
+    for (const MosLin& ml : mos) {
+      const std::ptrdiff_t d = xof(ml.dev->drain);
+      const std::ptrdiff_t g = xof(ml.dev->gate);
+      const std::ptrdiff_t s = xof(ml.dev->source);
+      add(d, g, Cplx{ml.lin.d_vg, 0.0});
+      add(d, d, Cplx{ml.lin.d_vd, 0.0});
+      add(d, s, Cplx{ml.lin.d_vs, 0.0});
+      add(s, g, Cplx{-ml.lin.d_vg, 0.0});
+      add(s, d, Cplx{-ml.lin.d_vd, 0.0});
+      add(s, s, Cplx{-ml.lin.d_vs, 0.0});
+    }
+
+    if (!lu.factor()) {
+      res.message = "noise_analysis: singular AC matrix at f = " + std::to_string(res.freq[fi]);
+      return res;
+    }
+
+    // Forward transfer: unit AC excitation on the input source's branch row.
+    std::fill(fwd.begin(), fwd.end(), Cplx{0.0, 0.0});
+    fwd[static_cast<std::size_t>(input_branch)] = Cplx{1.0, 0.0};
+    lu.solve(fwd);
+    res.gain_mag[fi] = std::abs(read(fwd, out_p) - read(fwd, out_n));
+
+    // Adjoint transfer: one transpose solve gives every source's transfer to
+    // the output.
+    std::fill(adj.begin(), adj.end(), Cplx{0.0, 0.0});
+    if (out_p >= 0) adj[static_cast<std::size_t>(out_p)] += Cplx{1.0, 0.0};
+    if (out_n >= 0) adj[static_cast<std::size_t>(out_n)] -= Cplx{1.0, 0.0};
+    lu.solve_transpose(adj);
+    double psd = 0.0;
+    double psd_thermal = 0.0;
+    for (const NoiseSource& s : sources) {
+      // RHS of a current i flowing from -> to through the device is
+      // (e_to - e_from) * i, so the transfer is y[to] - y[from].
+      const double t2 = std::norm(read(adj, s.to_x) - read(adj, s.from_x));
+      psd_thermal += s.thermal * t2;
+      psd += (s.thermal + s.flicker_coeff / res.freq[fi]) * t2;
+    }
+    res.output_psd[fi] = psd;
+    thermal_psd[fi] = psd_thermal;
+  }
+
+  // Trapezoid integration over the (linear-frequency) grid.
+  double total = 0.0;
+  double thermal = 0.0;
+  for (int i = 0; i + 1 < n_pts; ++i) {
+    const double df = res.freq[i + 1] - res.freq[i];
+    total += 0.5 * (res.output_psd[i] + res.output_psd[i + 1]) * df;
+    thermal += 0.5 * (thermal_psd[i] + thermal_psd[i + 1]) * df;
+  }
+  res.output_noise_vrms = std::sqrt(std::max(0.0, total));
+  res.thermal_vrms = std::sqrt(std::max(0.0, thermal));
+  res.flicker_vrms = std::sqrt(std::max(0.0, total - thermal));
+  res.gain_ref = res.gain_mag.empty() ? 0.0 : res.gain_mag.front();
+  res.input_noise_vrms = res.output_noise_vrms / std::max(res.gain_ref, 1e-12);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace glova::spice

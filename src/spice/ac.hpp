@@ -1,0 +1,68 @@
+// Linearized small-signal AC / noise analysis on a converged DC operating
+// point.
+//
+// The circuit is re-assembled as a complex MNA system A(w) = G + jwC around
+// the operating point: every MOSFET contributes its analytic small-signal
+// conductances (gm, gds) from the same mos_model.hpp linearization the
+// Newton loop stamps, capacitors become jwC admittances, independent voltage
+// sources become AC shorts (the designated input source gets a unit
+// excitation), and independent current sources are AC-open.
+//
+// Noise is computed with the adjoint method: one transpose solve
+// A(w)^T y = e_out per frequency yields the transfer from *every* device
+// noise-current injection to the output simultaneously.  Device models:
+//   - resistor: thermal, S_i = 4kT / R,
+//   - MOSFET channel: thermal S_i = 4kT (gamma |gm| + |gds|)  (the gds term
+//     covers triode-region pass-gates, where the channel is a resistor),
+//     plus flicker S_i = kf |Id|^af / f  (pdk::MosParams).
+// Output noise PSD is summed over sources and integrated over the
+// logarithmic frequency grid by the trapezoid rule; by linearity the
+// thermal/flicker split obeys thermal^2 + flicker^2 == total^2 exactly.
+//
+// See docs/architecture.md#ac-noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/simulator.hpp"
+
+namespace glova::spice {
+
+/// What to analyze: which source drives the AC input, which node (pair) is
+/// the output, and the frequency band the noise integral covers.
+struct AcNoiseSpec {
+  std::string input;       ///< name of the AC-excited voltage source
+  std::string output_pos;  ///< output node name
+  std::string output_neg;  ///< differential partner node; empty = vs ground
+  double f_start = 1e3;    ///< [Hz] first grid point (reference for gain_ref)
+  double f_stop = 10e9;    ///< [Hz] last grid point
+  int points_per_decade = 8;
+  double temp_k = 300.0;   ///< [K] resistor noise temperature
+};
+
+/// Integrated small-signal noise at the output, plus the AC transfer that
+/// input-refers it.  `freq`, `gain_mag` and `output_psd` share indexing.
+struct NoiseResult {
+  bool ok = false;
+  std::string message;
+  double gain_ref = 0.0;           ///< |input -> output| at f_start
+  double output_noise_vrms = 0.0;  ///< sqrt(integral of output_psd) [V]
+  double input_noise_vrms = 0.0;   ///< output_noise_vrms / gain_ref [V]
+  double thermal_vrms = 0.0;       ///< thermal-only part of output noise [V]
+  double flicker_vrms = 0.0;       ///< flicker-only part of output noise [V]
+  std::vector<double> freq;        ///< [Hz] logarithmic grid
+  std::vector<double> gain_mag;    ///< |input -> output| per grid point
+  std::vector<double> output_psd;  ///< [V^2/Hz] per grid point
+};
+
+/// Run the AC/noise pass around the operating point `op` (as returned by
+/// Simulator::operating_point or TransientResult::dc_op; node_voltages must
+/// cover every circuit node).  `options` supplies the channel model and
+/// gmin; the result does not depend on Newton settings.
+[[nodiscard]] NoiseResult noise_analysis(const Circuit& circuit, const OpResult& op,
+                                         const AcNoiseSpec& spec,
+                                         const SimulatorOptions& options);
+
+}  // namespace glova::spice

@@ -296,7 +296,8 @@ void BatchSimulator::solve_step(double time, double dt, bool trapezoidal) {
           const double vg = xl[ms.xg];
           const double vd = xl[ms.xd];
           const double vs = xl[ms.xs];
-          const MosLinearization lin = mos_linearize(*ms.params, ms.w_over_l, vg, vd, vs);
+          const MosLinearization lin =
+              mos_linearize(options_.mos_model, *ms.params, ms.w_over_l, vg, vd, vs);
           const double i_eq = lin.i_ds - ms.mg * (lin.d_vg * vg) - ms.md * (lin.d_vd * vd) -
                               ms.ms * (lin.d_vs * vs);
           gd[ms.j_dg] += lin.d_vg;

@@ -21,6 +21,8 @@ std::atomic<bool> g_adaptive_timestep_default{false};
 std::atomic<bool> g_newton_bypass_default{false};
 std::atomic<bool> g_recovery_default{false};
 std::atomic<std::uint64_t> g_deadline_default{0};
+std::atomic<unsigned char> g_mos_model_default{static_cast<unsigned char>(MosModel::kLevel1)};
+std::atomic<bool> g_noise_analysis_default{false};
 thread_local int t_recovery_escalation = 0;
 thread_local const FaultPlan* t_fault_plan = nullptr;
 }  // namespace
@@ -43,11 +45,22 @@ std::uint64_t deadline_default() { return g_deadline_default.load(std::memory_or
 void set_deadline_default(std::uint64_t max_newton_iterations) {
   g_deadline_default.store(max_newton_iterations, std::memory_order_relaxed);
 }
+MosModel mos_model_default() {
+  return static_cast<MosModel>(g_mos_model_default.load(std::memory_order_relaxed));
+}
+void set_mos_model_default(MosModel model) {
+  g_mos_model_default.store(static_cast<unsigned char>(model), std::memory_order_relaxed);
+}
+bool noise_analysis_default() { return g_noise_analysis_default.load(std::memory_order_relaxed); }
+void set_noise_analysis_default(bool enabled) {
+  g_noise_analysis_default.store(enabled, std::memory_order_relaxed);
+}
 int recovery_escalation() { return t_recovery_escalation; }
 void set_recovery_escalation(int level) { t_recovery_escalation = level; }
 
 SimulatorOptions default_simulator_options() {
   SimulatorOptions options;
+  options.mos_model = mos_model_default();
   options.adaptive_timestep = adaptive_timestep_default();
   options.newton_bypass = newton_bypass_default();
   options.recovery.enabled = recovery_default();
@@ -223,6 +236,7 @@ void StampPlan::append_conductance(NodeId a, NodeId b, double cond) {
 }
 
 StampPlan::StampPlan(const Circuit& circuit, const SimulatorOptions& options) {
+  mos_model_ = options.mos_model;
   n_nodes_ = circuit.node_count();
   const std::vector<VoltageSource>& vsrcs = circuit.vsources();
   const std::size_t n_vsrc = vsrcs.size();
@@ -566,7 +580,7 @@ void StampPlan::stamp(std::span<const double> x, DenseMatrix& g, std::span<doubl
     const double vg = x[ms.xg];
     const double vd = x[ms.xd];
     const double vs = x[ms.xs];
-    const MosLinearization lin = mos_linearize(*ms.params, ms.w_over_l, vg, vd, vs);
+    const MosLinearization lin = mos_linearize(mos_model_, *ms.params, ms.w_over_l, vg, vd, vs);
     // i(vg, vd, vs) ~ i0 + d_vg*(Vg - vg) + d_vd*(Vd - vd) + d_vs*(Vs - vs);
     // only unknown-terminal slopes stay on the left-hand side.
     const double i_eq = lin.i_ds - ms.mg * (lin.d_vg * vg) - ms.md * (lin.d_vd * vd) -
@@ -598,7 +612,7 @@ void StampPlan::residual(std::span<const double> x, std::span<double> r) const {
   // Nonlinear part: each channel current leaves the drain node and enters
   // the source node (gates draw no current).
   for (const MosStamp& ms : mosfets_) {
-    const double i = mos_current(*ms.params, ms.w_over_l, x[ms.xg], x[ms.xd], x[ms.xs]);
+    const double i = mos_current(mos_model_, *ms.params, ms.w_over_l, x[ms.xg], x[ms.xd], x[ms.xs]);
     rd[ms.rhs_d] += i;
     rd[ms.rhs_s] -= i;
   }
@@ -620,7 +634,8 @@ void StampPlan::vsource_currents(std::span<const double> x, std::span<const doub
           if (!cap_current.empty()) sum += t.coeff * cap_current[t.index];
           break;
         case RecoveryTerm::Kind::MosChannel:
-          sum += t.coeff * mos_current(*t.params, t.w_over_l, x[t.xg], x[t.xd], x[t.xs]);
+          sum += t.coeff * mos_current(mos_model_, *t.params, t.w_over_l, x[t.xg], x[t.xd],
+                                       x[t.xs]);
           break;
         case RecoveryTerm::Kind::SourceCurrent:
           sum += t.coeff * t.waveform->value(time) * source_scale;

@@ -35,6 +35,7 @@
 
 #include "spice/circuit.hpp"
 #include "spice/lu.hpp"
+#include "spice/mos_model.hpp"
 
 namespace glova::spice {
 
@@ -196,6 +197,13 @@ struct SimulatorOptions {
   /// already cheaper than a retained factorization for single lanes.
   bool newton_bypass = false;
 
+  /// MOSFET channel model.  kLevel1 (default) is the historical square law
+  /// with hard sub-Vth cutoff — every pinned baseline was recorded against
+  /// it.  kEkv switches every channel evaluation (scalar Newton loop,
+  /// StampPlan companion pass, batched device-major loop) to the continuous
+  /// weak/strong-inversion interpolation in mos_model.hpp.
+  MosModel mos_model = MosModel::kLevel1;
+
   /// Convergence-recovery ladder (see RecoveryPolicy); off by default.
   RecoveryPolicy recovery;
   /// Cooperative evaluation deadline: abort a run (DC + transient combined;
@@ -224,6 +232,10 @@ void set_newton_bypass_default(bool enabled);
 void set_recovery_default(bool enabled);
 [[nodiscard]] std::uint64_t deadline_default();
 void set_deadline_default(std::uint64_t max_newton_iterations);
+[[nodiscard]] MosModel mos_model_default();
+void set_mos_model_default(MosModel model);
+[[nodiscard]] bool noise_analysis_default();
+void set_noise_analysis_default(bool enabled);
 
 /// Thread-local recovery escalation level, applied on top of the process
 /// defaults by default_simulator_options().  core::EvaluationEngine raises
@@ -383,6 +395,12 @@ class StampPlan {
   /// Per-MOSFET stamp records in circuit order (see MosStamp).
   [[nodiscard]] std::span<const MosStamp> mos_stamps() const { return mosfets_; }
 
+  /// Channel model every MOSFET in this plan is linearized with (captured
+  /// from SimulatorOptions at construction).  The batched evaluator reads it
+  /// so its device-major companion pass evaluates the exact expressions the
+  /// scalar loop does.
+  [[nodiscard]] MosModel mos_model() const { return mos_model_; }
+
   /// True nonlinear KCL residual at iterate `x` for the current solve:
   /// r = G_static * x + i_mos(x) - rhs_base, row for row the amount by which
   /// the assembled equations are violated.  Used by the Newton LU-bypass
@@ -468,6 +486,7 @@ class StampPlan {
   void append_conductance(NodeId a, NodeId b, double cond);
   void build_recovery(const Circuit& circuit, const SimulatorOptions& options);
 
+  MosModel mos_model_ = MosModel::kLevel1;
   std::size_t n_ = 0;         ///< solved unknowns
   std::size_t nu_ = 0;        ///< unknown node voltages (first in the ordering)
   std::size_t n_nodes_ = 0;   ///< including ground

@@ -9,43 +9,84 @@
 // stops deciding, a reservoir that stops drooping, a sense amp that flips
 // the wrong way — lands far outside them.
 //
+// The suite runs each testcase under BOTH channel models (Level-1 and EKV,
+// see mos_model.hpp): separate band rows per model, with the process-wide
+// default switched through an RAII guard.  The ekv rows additionally
+// include the cold low-voltage corner (SS / 0.8 V / -40 C) that the hard
+// Level-1 cutoff cannot evaluate at all — converging there without source
+// stepping crutches is an explicit acceptance criterion of ISSUE 10.
+//
 // Why the bands are not ±5 %:
 //   * the behavioral models are first-order analytics (square-law/EKV
-//     hand calculations), while the SPICE backend solves the Level-1 MNA
+//     hand calculations), while the SPICE backend solves the full MNA
 //     system; absolute delays/energies legitimately differ by factors;
-//   * the Level-1 model cuts off hard below Vth while the behavioral EKV
-//     smoothing keeps subthreshold conduction alive, so slow/low-voltage
-//     corners (SS @ 0.8 V) push ratios outward — most visibly on the FIA
-//     noise metric, whose latch-offset term divides by the measured gain;
-//   * SAL noise and (nominal-mismatch) FIA noise reuse the analytic
-//     budget, so their ratios are pinned near 1 exactly.
+//   * slow/low-voltage corners (SS @ 0.8 V) operate near or below
+//     threshold, where the analytic delay model and the transient solver
+//     diverge most — at the cold ekv-only corner the SAL decision rides
+//     weak-inversion currents and the set-delay ratio stretches to ~31;
+//   * the FIA noise metric divides the latch-offset term by the measured
+//     gain, amplifying any gain disagreement (ratio up to ~62 at the cold
+//     corner under nominal mismatch);
+//   * SAL noise reuses the analytic budget on both backends (the simulated
+//     AC/noise pass is opt-in via spice_noise), so its ratio is pinned at
+//     exactly 1 and its band is tight.
 //
 // Recorded ratio ranges (spice / behavioral, over the shared grid in
-// backend_parity_grid.hpp, 2026 toolchain) and the shipped bands with
-// headroom:
-//   SAL   power      0.25..0.39   band [0.1, 0.8]
-//         set delay  0.48..1.90   band [0.25, 4.0]
-//         reset      1.11..2.04   band [0.5, 4.0]
-//         noise      1.00         band [0.99, 1.01]
-//   FIA   energy     0.13..0.56   band [0.06, 1.0]
-//         noise      0.47..5.7    band [0.25, 9.0]
-//   OCSA  dVD0       0.35..1.04   band [0.12, 2.5]
-//         dVD1       0.45..2.16   band [0.2, 3.6]
-//         energy     0.24..1.03   band [0.1, 1.8]
+// backend_parity_grid.hpp, nominal + drawn mismatch, 2026 toolchain) and
+// the shipped bands with headroom:
+//
+//   level1 (corners TT/0.9/27, SS/0.8/85, FF/1.0/-25):
+//     SAL   power      0.12..0.37   band [0.05, 0.8]
+//           set delay  1.11..9.58   band [0.5, 16.0]
+//           reset      0.69..2.03   band [0.35, 4.0]
+//           noise      1.00         band [0.99, 1.01]
+//     FIA   energy     0.13..0.57   band [0.06, 1.0]
+//           noise      0.70..20.7   band [0.3, 35.0]
+//     OCSA  dVD0       0.35..1.23   band [0.12, 2.5]
+//           dVD1       0.46..2.26   band [0.2, 3.6]
+//           energy     0.24..1.02   band [0.1, 1.8]
+//
+//   ekv (same corners + SS/0.8/-40 cold):
+//     SAL   power      0.06..0.40   band [0.03, 0.8]
+//           set delay  0.98..27.6   band [0.5, 50.0]
+//           reset      0.30..2.04   band [0.15, 4.0]
+//           noise      1.00         band [0.999, 1.001]
+//     FIA   energy     0.22..0.59   band [0.12, 1.0]
+//           noise      0.99..61.8   band [0.5, 100.0]
+//     OCSA  dVD0       0.35..1.36   band [0.15, 2.7]
+//           dVD1       0.40..2.07   band [0.2, 3.6]
+//           energy     0.24..0.99   band [0.12, 1.8]
 //
 // Re-recording: if an intentional model/netlist change moves a ratio out
 // of band, rerun this suite — each failure prints the measured ratio —
-// and update the table above plus the bands below together
-// (tools/probe_parity.cpp prints the full ratio grid in one shot).
+// and update the table above plus the bands below together.  The CMake
+// target `probe_parity` prints the full grid in one shot: run it plain and
+// with `h`, then with `ekv` and `ekv h`, and take the envelope.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "backend_parity_grid.hpp"
 #include "circuits/registry.hpp"
+#include "spice/simulator.hpp"
 
 namespace glova {
 namespace {
+
+/// Swaps the process-wide channel-model default for the duration of one
+/// test, restoring the previous value even on assertion failure.
+class ScopedMosModel {
+ public:
+  explicit ScopedMosModel(spice::MosModel model) : prev_(spice::mos_model_default()) {
+    spice::set_mos_model_default(model);
+  }
+  ~ScopedMosModel() { spice::set_mos_model_default(prev_); }
+  ScopedMosModel(const ScopedMosModel&) = delete;
+  ScopedMosModel& operator=(const ScopedMosModel&) = delete;
+
+ private:
+  spice::MosModel prev_;
+};
 
 struct MetricBand {
   const char* metric;
@@ -55,28 +96,64 @@ struct MetricBand {
 
 struct ParityBands {
   circuits::Testcase tc;
+  spice::MosModel model;
   std::vector<MetricBand> nominal;  ///< bands, nominal mismatch
   std::vector<MetricBand> drawn;    ///< bands, local-mismatch draws
 };
 
 // The design/corner grid and draw recipe live in backend_parity_grid.hpp
 // (shared with tools/probe_parity.cpp, which regenerates the ratio table).
+// Rows 0-2 assert the Level-1 default; rows 3-5 re-run the same grid under
+// ekv, with the cold low-voltage corner appended.
 const ParityBands kBands[] = {
     {circuits::Testcase::Sal,
-     {{"power", 0.1, 0.8},
-      {"set_delay", 0.25, 4.0},
-      {"reset_delay", 0.5, 4.0},
+     spice::MosModel::kLevel1,
+     {{"power", 0.05, 0.8},
+      {"set_delay", 0.5, 16.0},
+      {"reset_delay", 0.35, 4.0},
       {"noise", 0.99, 1.01}},
-     {{"power", 0.1, 0.8},
-      {"set_delay", 0.25, 4.0},
-      {"reset_delay", 0.5, 4.0},
+     {{"power", 0.05, 0.8},
+      {"set_delay", 0.5, 16.0},
+      {"reset_delay", 0.35, 4.0},
       {"noise", 0.99, 1.01}}},
     {circuits::Testcase::Fia,
-     {{"energy", 0.06, 1.0}, {"noise", 0.25, 9.0}},
-     {{"energy", 0.06, 1.0}, {"noise", 0.25, 9.0}}},
+     spice::MosModel::kLevel1,
+     {{"energy", 0.06, 1.0}, {"noise", 0.3, 35.0}},
+     {{"energy", 0.06, 1.0}, {"noise", 0.3, 35.0}}},
     {circuits::Testcase::DramOcsa,
+     spice::MosModel::kLevel1,
      {{"dVD0", 0.12, 2.5}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.1, 1.8}},
-     {{"dVD0", 0.12, 2.5}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.1, 1.8}}}};
+     {{"dVD0", 0.12, 2.5}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.1, 1.8}}},
+    {circuits::Testcase::Sal,
+     spice::MosModel::kEkv,
+     {{"power", 0.03, 0.8},
+      {"set_delay", 0.5, 50.0},
+      {"reset_delay", 0.15, 4.0},
+      {"noise", 0.999, 1.001}},
+     {{"power", 0.03, 0.8},
+      {"set_delay", 0.5, 50.0},
+      {"reset_delay", 0.15, 4.0},
+      {"noise", 0.999, 1.001}}},
+    {circuits::Testcase::Fia,
+     spice::MosModel::kEkv,
+     {{"energy", 0.12, 1.0}, {"noise", 0.5, 100.0}},
+     {{"energy", 0.12, 1.0}, {"noise", 0.5, 100.0}}},
+    {circuits::Testcase::DramOcsa,
+     spice::MosModel::kEkv,
+     {{"dVD0", 0.15, 2.7}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.12, 1.8}},
+     {{"dVD0", 0.15, 2.7}, {"dVD1", 0.2, 3.6}, {"energy_per_bit", 0.12, 1.8}}}};
+
+std::vector<pdk::PvtCorner> corners_for(const ParityBands& bands) {
+  auto corners = parity_grid::corners();
+  if (bands.model == spice::MosModel::kEkv) {
+    corners.push_back(parity_grid::cold_low_voltage_corner());
+  }
+  return corners;
+}
+
+const char* model_tag(const ParityBands& bands) {
+  return bands.model == spice::MosModel::kEkv ? " [ekv]" : " [level1]";
+}
 
 void check_pair(const circuits::Testbench& beh, const circuits::Testbench& spc,
                 std::span<const double> x, const pdk::PvtCorner& corner,
@@ -101,31 +178,33 @@ class BackendParity : public ::testing::TestWithParam<int> {};
 
 TEST_P(BackendParity, NominalMetricsAgreeWithinBands) {
   const ParityBands& bands = kBands[GetParam()];
+  const ScopedMosModel guard(bands.model);
   const auto beh = circuits::make_testbench(bands.tc, circuits::Backend::Behavioral);
   const auto spc = circuits::make_testbench(bands.tc, circuits::Backend::Spice);
   const auto designs = parity_grid::designs_x01(bands.tc);
   for (std::size_t gi = 0; gi < designs.size(); ++gi) {
     const auto x = beh->sizing().denormalize(designs[gi]);
-    for (const auto& corner : parity_grid::corners()) {
+    for (const auto& corner : corners_for(bands)) {
       check_pair(*beh, *spc, x, corner, {}, bands.nominal,
-                 std::string(circuits::to_string(bands.tc)) + " design " + std::to_string(gi) +
-                     " corner " + corner.name());
+                 std::string(circuits::to_string(bands.tc)) + model_tag(bands) + " design " +
+                     std::to_string(gi) + " corner " + corner.name());
     }
   }
 }
 
 TEST_P(BackendParity, LocalMismatchDrawsAgreeWithinBands) {
   const ParityBands& bands = kBands[GetParam()];
+  const ScopedMosModel guard(bands.model);
   const auto beh = circuits::make_testbench(bands.tc, circuits::Backend::Behavioral);
   const auto spc = circuits::make_testbench(bands.tc, circuits::Backend::Spice);
   const auto designs = parity_grid::designs_x01(bands.tc);
   for (std::size_t gi = 0; gi < designs.size(); ++gi) {
     const auto x = beh->sizing().denormalize(designs[gi]);
     const auto h = parity_grid::local_draw(*beh, x, gi);
-    for (const auto& corner : parity_grid::corners()) {
+    for (const auto& corner : corners_for(bands)) {
       check_pair(*beh, *spc, x, corner, h, bands.drawn,
-                 std::string(circuits::to_string(bands.tc)) + " design " + std::to_string(gi) +
-                     " corner " + corner.name() + " (drawn)");
+                 std::string(circuits::to_string(bands.tc)) + model_tag(bands) + " design " +
+                     std::to_string(gi) + " corner " + corner.name() + " (drawn)");
     }
   }
 }
@@ -153,7 +232,7 @@ TEST_P(BackendParity, SpecsAndMismatchLayoutMatch) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllTestcases, BackendParity, ::testing::Range(0, 3));
+INSTANTIATE_TEST_SUITE_P(AllTestcases, BackendParity, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace glova

@@ -41,8 +41,12 @@ struct PinnedRun {
 constexpr PinnedRun kPinnedRuns[] = {
     {circuits::Testcase::Sal, core::VerifMethod::C, 1, 200, 100, 99, 1, 15, "verified"},
     {circuits::Testcase::Sal, core::VerifMethod::C_MCGL, 7, 60, 6199, 6199, 0, 39, "verified"},
-    {circuits::Testcase::DramOcsa, core::VerifMethod::C_MCL, 3, 60, 3571, 3571, 0, 11, "verified"},
-    {circuits::Testcase::Fia, core::VerifMethod::C, 5, 120, 133, 132, 1, 16, "verified"},
+    // OCSA and FIA rows re-recorded when the behavioral gm estimates moved
+    // from the 2*I/max(Vov, 1e-4) strong-inversion identity to the analytic
+    // pdk::ekv_gm derivative (the optimizer sees different metric surfaces,
+    // so its fixed-seed trajectory legitimately changes).
+    {circuits::Testcase::DramOcsa, core::VerifMethod::C_MCL, 3, 60, 3151, 3151, 0, 2, "verified"},
+    {circuits::Testcase::Fia, core::VerifMethod::C, 5, 120, 96, 95, 1, 4, "verified"},
 };
 
 TEST(PinnedSeedRegression, SimulationCountsMatchReferenceTable) {
@@ -89,19 +93,22 @@ const SpiceBaseline kSpiceBaselines[] = {
     {circuits::Testcase::Sal,
      {0.2, 0.3, 0.2, 0.2, 0.2, 0.1, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.05, 0.01},
      {
-         // Re-recorded in ISSUE 5: the testbench input common mode moved to
-         // input_cm_frac * vdd so the input pair conducts at cold
-         // low-voltage corners (see SalConditions).
-         1.17624375354998305e-05,  // power [W]
-         1.59575437209311982e-10,  // set delay [s]
-         1.11650001407885103e-10,  // reset delay [s]
+         // Re-recorded when SalConditions::input_cm_frac returned to the
+         // paper's mid-rail testbench (the 0.7*vdd bias was a Level-1
+         // cutoff crutch; see SalConditions).
+         1.07752996735812805e-05,  // power [W]
+         5.11384451347077711e-10,  // set delay [s]
+         1.11129848615213381e-10,  // reset delay [s]
          9.12987598746986783e-05,  // input noise [V]
      }},
     {circuits::Testcase::Fia,
      {0.05, 0.25, 0.5, 0.3, 0.003, 0.001},
      {
          4.80820605355794003e-14,  // energy per conversion [J]
-         8.07426946384900111e-04,  // input-referred noise [V]
+         // Noise re-recorded with the behavioral gm estimate moved to the
+         // analytic pdk::ekv_gm derivative (thermal + latch-referral terms
+         // shift slightly at this bias).
+         8.04802882424353610e-04,  // input-referred noise [V]
      }},
     {circuits::Testcase::DramOcsa,
      {1.0, 1.0, 1.0, 0.0, 0.0, 0.3, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0},

@@ -10,6 +10,7 @@
 #include "spice/circuit.hpp"
 #include "spice/lu.hpp"
 #include "spice/measure.hpp"
+#include "spice/mos_model.hpp"
 #include "spice/parser.hpp"
 #include "spice/simulator.hpp"
 #include "spice/waveform.hpp"
@@ -150,6 +151,78 @@ TEST(Op, CmosInverterTransfersCorrectly) {
   EXPECT_GT(out_at(0.0), 0.85);   // input low -> output high
   EXPECT_LT(out_at(0.9), 0.05);   // input high -> output low
   EXPECT_GT(out_at(0.2), out_at(0.7));  // monotone falling
+}
+
+// The MOS channel is symmetric: biasing the "source" terminal above the
+// "drain" must produce the same current magnitude flowing the other way,
+// both in the raw linearization and through the assembled MNA stamp.
+TEST(Op, NmosReversedBiasSwapsSourceAndDrain) {
+  const pdk::MosParams params = pdk::mos_params(false, pdk::typical_corner(), 60e-9);
+  const double w_over_l = 1e-6 / 60e-9;
+  for (const auto model : {MosModel::kLevel1, MosModel::kEkv}) {
+    const MosLinearization fwd = nmos_linearize(model, params, w_over_l, 0.9, 0.9, 0.0);
+    const MosLinearization rev = nmos_linearize(model, params, w_over_l, 0.9, 0.0, 0.9);
+    EXPECT_DOUBLE_EQ(rev.i_ds, -fwd.i_ds);
+    // Swapping terminals swaps the roles of the drain/source derivatives:
+    // the low terminal sees gm + gds, mirroring -d_vs of the forward bias.
+    EXPECT_DOUBLE_EQ(rev.d_vd, -fwd.d_vs);
+    EXPECT_GT(rev.d_vd, 0.0);
+    EXPECT_LT(rev.d_vs, 0.0);
+  }
+
+  // Same check through the full operating-point solve: reverse the supply
+  // and the measured branch current flips sign, same magnitude.
+  const auto branch_current = [&](double vd, double vs) {
+    Circuit ckt;
+    const auto d = ckt.node("d");
+    const auto g = ckt.node("g");
+    const auto s = ckt.node("s");
+    ckt.add_vsource("VD", d, Circuit::ground(), Waveform::dc(vd));
+    ckt.add_vsource("VG", g, Circuit::ground(), Waveform::dc(0.9));
+    ckt.add_vsource("VS", s, Circuit::ground(), Waveform::dc(vs));
+    ckt.add_mosfet("M1", d, g, s, params, 1e-6, 60e-9);
+    Simulator sim(ckt);
+    const OpResult op = sim.operating_point();
+    EXPECT_TRUE(op.converged);
+    return op.vsource_currents[0];  // VD branch
+  };
+  const double fwd_i = branch_current(0.9, 0.0);
+  const double rev_i = branch_current(0.0, 0.9);
+  // The small residual asymmetry is gmin leakage through swapped node sets.
+  EXPECT_NEAR(rev_i, -fwd_i, 1e-8 * std::abs(fwd_i));
+}
+
+// Regression for the cutoff-region stamp bug: at vds == 0 an on channel
+// carries no current but is still a resistor of conductance k*Vov.  The
+// old model classified vds == 0 as cutoff and stamped gds = 0, starving
+// Newton of the derivative that moves a pass-gate node off equal bias.
+TEST(Op, PassGateAtEqualBiasKeepsChannelConductance) {
+  const pdk::MosParams params = pdk::mos_params(false, pdk::typical_corner(), 60e-9);
+  const double w_over_l = 1e-6 / 60e-9;
+  const double vov = 0.45 - params.vth;  // vgs = vg - vs = 0.45
+  for (const auto model : {MosModel::kLevel1, MosModel::kEkv}) {
+    const MosLinearization lin = nmos_linearize(model, params, w_over_l, 0.9, 0.45, 0.45);
+    EXPECT_DOUBLE_EQ(lin.i_ds, 0.0);
+    EXPECT_GT(lin.d_vd, 0.0) << "channel conductance lost at vds == 0";
+    // Level-1 triode limit: gds -> k * Vov as vds -> 0 (clm factor is 1).
+    if (model == MosModel::kLevel1) {
+      EXPECT_NEAR(lin.d_vd, params.kp * w_over_l * vov, 1e-9);
+    }
+  }
+
+  // Functional version: a node connected only through an on pass-gate must
+  // settle to the driven level (gmin alone would leave it near ground).
+  Circuit ckt;
+  const auto d = ckt.node("d");
+  const auto g = ckt.node("g");
+  const auto s = ckt.node("s");
+  ckt.add_vsource("VG", g, Circuit::ground(), Waveform::dc(0.9));
+  ckt.add_vsource("VS", s, Circuit::ground(), Waveform::dc(0.45));
+  ckt.add_mosfet("M1", d, g, s, params, 1e-6, 60e-9);
+  Simulator sim(ckt);
+  const OpResult op = sim.operating_point();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.node_voltages[d], 0.45, 1e-6);
 }
 
 TEST(Transient, RcDischargeMatchesAnalytic) {

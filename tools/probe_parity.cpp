@@ -1,37 +1,52 @@
-// Dev probe (not built by CMake): prints the behavioral-vs-SPICE metric
-// ratio table over the shared parity grid, for re-recording the tolerance
-// bands in tests/test_backend_parity.cpp.  The grid, corners, and mismatch
-// draws come from tests/backend_parity_grid.hpp, so the printed ratios
-// correspond exactly to the points the test asserts.  Build by hand:
-//   g++ -std=c++20 -O2 -Isrc -Itests tools/probe_parity.cpp build/libglova.a \
-//       -lpthread -o /tmp/probe
-// Run with no arguments for the nominal-mismatch table, with "h" for the
-// local-draw table.
+// Dev probe (CMake target `probe_parity`): prints the behavioral-vs-SPICE
+// metric ratio table over the shared parity grid, for re-recording the
+// tolerance bands in tests/test_backend_parity.cpp.  The grid, corners, and
+// mismatch draws come from tests/backend_parity_grid.hpp, so the printed
+// ratios correspond exactly to the points the test asserts.
+//
+// Arguments (in any order):
+//   h    — use the deterministic local-mismatch draw instead of nominal;
+//   ekv  — evaluate the SPICE backend with mos_model=ekv and append the
+//          cold low-voltage corner the ekv parity rows assert on.
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "backend_parity_grid.hpp"
 #include "circuits/registry.hpp"
+#include "spice/simulator.hpp"
 
 using namespace glova;
 
 int main(int argc, char** argv) {
-  const bool with_h = argc > 1 && std::strcmp(argv[1], "h") == 0;
+  bool with_h = false;
+  bool ekv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "h") == 0) with_h = true;
+    if (std::strcmp(argv[i], "ekv") == 0) ekv = true;
+  }
+  spice::set_mos_model_default(ekv ? spice::MosModel::kEkv : spice::MosModel::kLevel1);
   for (const auto tc : circuits::all_testcases()) {
     const auto beh = circuits::make_testbench(tc, circuits::Backend::Behavioral);
     const auto spc = circuits::make_testbench(tc, circuits::Backend::Spice);
     const auto& sz = beh->sizing();
-    std::printf("=== %s ===\n", circuits::to_string(tc));
+    std::printf("=== %s (%s) ===\n", circuits::to_string(tc), ekv ? "ekv" : "level1");
     const auto grid = parity_grid::designs_x01(tc);
-    const auto corners = parity_grid::corners();
+    auto corners = parity_grid::corners();
+    if (ekv) corners.push_back(parity_grid::cold_low_voltage_corner());
     for (std::size_t gi = 0; gi < grid.size(); ++gi) {
       const auto x = sz.denormalize(grid[gi]);
       const std::vector<double> h =
           with_h ? parity_grid::local_draw(*beh, x, gi) : std::vector<double>{};
       for (std::size_t ci = 0; ci < corners.size(); ++ci) {
         const auto mb = beh->evaluate(x, corners[ci], h);
-        const auto ms = spc->evaluate(x, corners[ci], h);
+        std::vector<double> ms;
+        try {
+          ms = spc->evaluate(x, corners[ci], h);
+        } catch (const circuits::EvaluationError& e) {
+          std::printf("g%zu c%zu :  FAILED (%s)\n", gi, ci, e.failure().stage.c_str());
+          continue;
+        }
         std::printf("g%zu c%zu :", gi, ci);
         for (std::size_t mi = 0; mi < mb.size(); ++mi) {
           std::printf("  m%zu %.4g/%.4g r=%.3f", mi, ms[mi], mb[mi],
